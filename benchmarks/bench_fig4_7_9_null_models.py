@@ -1,0 +1,66 @@
+"""Figures 4, 7 and 9 — expected structural correlation vs support.
+
+For each dataset the paper plots the simulation estimate ``sim-exp`` (with
+its standard deviation) and the analytical upper bound ``max-exp`` for a
+sweep of support values, and observes that (i) the bound dominates the
+simulation, (ii) both grow with the support, and (iii) the bound has a
+similar growth so it is usable for normalisation.
+"""
+
+import pytest
+
+from repro.analysis.nullcurves import expected_epsilon_curve, null_curve_table
+
+
+def _supports_for(graph, points=6):
+    """Support sweep: roughly min_support .. |V|/2 in even steps."""
+    lower = max(20, graph.num_vertices // 50)
+    upper = graph.num_vertices // 2
+    step = max(1, (upper - lower) // (points - 1))
+    return list(range(lower, upper + 1, step))[:points]
+
+
+def _run_curve(graph, params, benchmark):
+    supports = _supports_for(graph)
+    return benchmark.pedantic(
+        lambda: expected_epsilon_curve(graph, params, supports, runs=10, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def _check_curve(curve):
+    # max-exp upper-bounds sim-exp at every support
+    for point in curve:
+        assert point.max_exp >= point.sim_exp_mean - 1e-9
+    # both are (weakly) monotone in the support
+    max_values = [p.max_exp for p in curve]
+    sim_values = [p.sim_exp_mean for p in curve]
+    assert all(b >= a - 1e-9 for a, b in zip(max_values, max_values[1:]))
+    assert sim_values[-1] >= sim_values[0] - 0.02
+    # the largest supports see a non-trivial expectation (the curves "grow")
+    assert max_values[-1] > max_values[0]
+
+
+@pytest.mark.parametrize(
+    "figure,profile_fixture,graph_fixture",
+    [
+        ("fig4_dblp", "dblp_profile", "dblp_graph"),
+        ("fig7_lastfm", "lastfm_profile", "lastfm_graph"),
+        ("fig9_citeseer", "citeseer_profile", "citeseer_graph"),
+    ],
+)
+def test_expected_epsilon_curves(
+    figure, profile_fixture, graph_fixture, request, benchmark, emit
+):
+    profile = request.getfixturevalue(profile_fixture)
+    graph = request.getfixturevalue(graph_fixture)
+    params = profile.params.quasi_clique_params()
+    curve = _run_curve(graph, params, benchmark)
+    emit(
+        figure,
+        null_curve_table(
+            curve, title=f"{figure}: expected epsilon vs support ({profile.name})"
+        ),
+    )
+    _check_curve(curve)

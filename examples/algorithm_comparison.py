@@ -1,0 +1,59 @@
+"""Compare SCPM-DFS, SCPM-BFS and the naive baseline on one graph.
+
+Small-scale version of the paper's performance study (Figure 8): runs the
+three algorithms on the SmallDBLP-style synthetic graph with the default
+parameters and reports runtime and the amount of work each one did.
+
+Run with::
+
+    python examples/algorithm_comparison.py [scale]
+"""
+
+import sys
+
+from repro import small_dblp_like
+from repro.analysis.performance import ALGORITHMS, run_algorithm
+from repro.analysis.reporting import format_table
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    profile = small_dblp_like(scale=scale)
+    graph = profile.build()
+    print(
+        f"{profile.name}: {graph.num_vertices} vertices, {graph.num_edges} edges, "
+        f"sigma_min={profile.params.min_support}, gamma={profile.params.gamma}, "
+        f"min_size={profile.params.min_size}"
+    )
+
+    rows = []
+    for algorithm in ALGORITHMS:
+        result = run_algorithm(graph, profile.params, algorithm)
+        rows.append(
+            (
+                algorithm,
+                result.counters.elapsed_seconds,
+                result.counters.attribute_sets_evaluated,
+                len(result.qualified),
+                len(result.patterns),
+            )
+        )
+    print()
+    print(
+        format_table(
+            headers=("algorithm", "runtime_s", "attr_sets_evaluated", "qualified", "patterns"),
+            rows=rows,
+            title="algorithm comparison (Figure 8 setting)",
+        )
+    )
+    fastest = min(rows, key=lambda r: r[1])
+    slowest = max(rows, key=lambda r: r[1])
+    print(
+        f"\n{fastest[0]} is {slowest[1] / max(fastest[1], 1e-9):.1f}x faster than "
+        f"{slowest[0]} on this graph; the gap widens with graph size and with "
+        "denser, larger communities (full enumeration pays a combinatorial price)."
+    )
+
+
+if __name__ == "__main__":
+    main()

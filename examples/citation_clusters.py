@@ -1,0 +1,45 @@
+"""Case study: research topics and related-work clusters in a citation graph.
+
+Mirrors the paper's CiteSeer analysis (Section 4.1.3): vertices are papers,
+edges citations, attributes abstract terms.  Besides the ranking tables the
+script also demonstrates the two null models of Section 2.1.3 — the
+simulation estimate sim-exp and the analytical upper bound max-exp — for a
+sweep of support values (the data behind Figure 9).
+
+Run with::
+
+    python examples/citation_clusters.py [scale]
+"""
+
+import sys
+
+from repro import SCPM, citeseer_like
+from repro.analysis.nullcurves import expected_epsilon_curve, null_curve_table
+from repro.analysis.ranking import render_case_study_table
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    profile = citeseer_like(scale=scale)
+    graph = profile.build()
+    print(f"{profile.name}: {graph.num_vertices} papers, {graph.num_edges} citations")
+
+    result = SCPM(graph, profile.params).mine()
+    print()
+    print(render_case_study_table(result, "citation network", n=10, min_set_size=2))
+
+    # expected structural correlation under the null models (Figure 9)
+    supports = [graph.num_vertices // 20, graph.num_vertices // 10, graph.num_vertices // 4]
+    curve = expected_epsilon_curve(
+        graph, profile.params.quasi_clique_params(), supports, runs=10, seed=7
+    )
+    print()
+    print(null_curve_table(curve, title="expected epsilon under the null models"))
+    print(
+        "\nmax-exp upper-bounds sim-exp at every support, and both grow with "
+        "the support — the property the delta normalisation relies on."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Case study: do musical tastes explain friendships?
+
+Mirrors the paper's LastFm analysis (Section 4.1.2) on the synthetic social
+music network: vertices are users, edges friendships, attributes the artists
+each user listens to.  The interesting finding is negative-ish: the most
+popular artists have the highest raw structural correlation simply because
+they are everywhere, but once normalised by the null model (δ) they are
+unremarkable — niche tastes are the ones slightly more correlated with
+communities than chance predicts.
+
+Run with::
+
+    python examples/music_tastes.py [scale]
+"""
+
+import sys
+
+from repro import SCPM, lastfm_like
+from repro.analysis.ranking import top_delta_rows, top_epsilon_rows, top_support_rows
+
+
+def show(rows, title):
+    print(f"\n{title}")
+    for row in rows:
+        print(
+            f"  {row.attribute_set:30s} sigma={row.support:5d} "
+            f"epsilon={row.epsilon:.3f} delta={row.delta:.2f}"
+        )
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.6
+    profile = lastfm_like(scale=scale)
+    graph = profile.build()
+    print(f"{profile.name}: {graph.num_vertices} users, {graph.num_edges} friendships")
+    print(profile.description)
+
+    result = SCPM(graph, profile.params, collect_patterns=False).mine()
+
+    show(top_support_rows(result, 8), "most listened-to (top support)")
+    show(top_epsilon_rows(result, 8), "highest structural correlation (top epsilon)")
+    show(top_delta_rows(result, 8), "most significant tastes (top delta)")
+
+    popular = top_support_rows(result, 8)
+    niche = top_delta_rows(result, 8)
+    print(
+        "\nnote how the popular artists' delta stays near or below "
+        f"{max(r.delta for r in popular):.2f} while the niche tastes reach "
+        f"{niche[0].delta:.2f} — taste explains communities only marginally "
+        "better than chance in this network."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim kept for environments without the ``wheel`` package.
+
+``pip install -e .`` with modern pip builds an editable wheel, which this
+offline environment cannot do (no ``wheel`` distribution is available), so
+the legacy ``setup.py develop`` path is used instead.  All project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

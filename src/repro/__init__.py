@@ -1,0 +1,71 @@
+"""Structural Correlation Pattern Mining (SCPM) for large attributed graphs.
+
+Reproduction of Silva, Meira Jr. and Zaki, *Mining Attribute-structure
+Correlated Patterns in Large Attributed Graphs*, PVLDB 5(5), 2012.
+
+The most common entry points are re-exported here:
+
+>>> from repro import AttributedGraph, SCPM, SCPMParams, paper_example_graph
+>>> graph = paper_example_graph()
+>>> params = SCPMParams(min_support=3, gamma=0.6, min_size=4, min_epsilon=0.5)
+>>> result = SCPM(graph, params).mine()
+>>> len(result.qualified)
+3
+"""
+
+from repro.correlation.naive import NaiveMiner, mine_naive
+from repro.correlation.null_models import AnalyticalNullModel, SimulationNullModel
+from repro.correlation.parameters import SCPMParams
+from repro.correlation.patterns import (
+    AttributeSetResult,
+    MiningResult,
+    StructuralCorrelationPattern,
+)
+from repro.correlation.scpm import SCPM, mine_scpm
+from repro.correlation.structural import structural_correlation, top_k_patterns
+from repro.datasets.example import paper_example_graph
+from repro.datasets.profiles import (
+    citeseer_like,
+    dblp_like,
+    lastfm_like,
+    load_profile,
+    small_dblp_like,
+)
+from repro.graph.attributed_graph import AttributedGraph
+from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.search import (
+    QuasiCliqueSearch,
+    find_quasi_cliques,
+    top_k_quasi_cliques,
+    vertices_in_quasi_cliques,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticalNullModel",
+    "AttributeSetResult",
+    "AttributedGraph",
+    "MiningResult",
+    "NaiveMiner",
+    "QuasiCliqueParams",
+    "QuasiCliqueSearch",
+    "SCPM",
+    "SCPMParams",
+    "SimulationNullModel",
+    "StructuralCorrelationPattern",
+    "__version__",
+    "citeseer_like",
+    "dblp_like",
+    "find_quasi_cliques",
+    "lastfm_like",
+    "load_profile",
+    "mine_naive",
+    "mine_scpm",
+    "paper_example_graph",
+    "small_dblp_like",
+    "structural_correlation",
+    "top_k_patterns",
+    "top_k_quasi_cliques",
+    "vertices_in_quasi_cliques",
+]

@@ -1,0 +1,8 @@
+"""Allow ``python -m repro`` as an alias for the ``scpm`` command."""
+
+import sys
+
+from repro.cli.main import main
+
+if __name__ == "__main__":
+    sys.exit(main())

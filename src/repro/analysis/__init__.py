@@ -1,0 +1,56 @@
+"""Analysis layer: ranking tables, runtime sweeps, sensitivity and null curves."""
+
+from repro.analysis.nullcurves import (
+    NullCurvePoint,
+    expected_epsilon_curve,
+    null_curve_table,
+)
+from repro.analysis.performance import (
+    ALGORITHMS,
+    SweepPoint,
+    run_algorithm,
+    run_parameter_sweep,
+    runtimes_by_algorithm,
+    sweep_table,
+    total_runtime,
+)
+from repro.analysis.ranking import (
+    RankingRow,
+    pattern_rows,
+    render_case_study_table,
+    render_pattern_table,
+    top_delta_rows,
+    top_epsilon_rows,
+    top_support_rows,
+)
+from repro.analysis.reporting import format_number, format_table
+from repro.analysis.sensitivity import (
+    SensitivityPoint,
+    run_sensitivity_sweep,
+    sensitivity_table,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "NullCurvePoint",
+    "RankingRow",
+    "SensitivityPoint",
+    "SweepPoint",
+    "expected_epsilon_curve",
+    "format_number",
+    "format_table",
+    "null_curve_table",
+    "pattern_rows",
+    "render_case_study_table",
+    "render_pattern_table",
+    "run_algorithm",
+    "run_parameter_sweep",
+    "run_sensitivity_sweep",
+    "runtimes_by_algorithm",
+    "sensitivity_table",
+    "sweep_table",
+    "top_delta_rows",
+    "top_epsilon_rows",
+    "top_support_rows",
+    "total_runtime",
+]

@@ -1,0 +1,141 @@
+"""Runtime comparison harness (Figure 8 of the paper).
+
+The paper compares SCPM-BFS, SCPM-DFS and the Naive algorithm on the
+SmallDBLP dataset, varying one parameter at a time (γ_min, min_size, σ_min,
+ε_min, δ_min and the top-k value).  :func:`run_parameter_sweep` reproduces
+those series for any graph and any base parameter set; absolute runtimes are
+hardware-dependent, so the benchmark assertions in ``benchmarks/`` check the
+*orderings* (SCPM ≤ Naive, pruning thresholds reduce work) rather than the
+paper's second counts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.correlation.naive import NaiveMiner
+from repro.correlation.parameters import SCPMParams
+from repro.correlation.patterns import MiningResult
+from repro.correlation.scpm import SCPM
+from repro.graph.attributed_graph import AttributedGraph
+from repro.quasiclique.search import BFS, DFS
+
+#: The three algorithms compared in Figure 8.
+ALGORITHMS = ("scpm-dfs", "scpm-bfs", "naive")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (algorithm, parameter value) measurement."""
+
+    algorithm: str
+    parameter: str
+    value: float
+    runtime_seconds: float
+    attribute_sets_evaluated: int
+    patterns_found: int
+
+    def as_row(self) -> tuple:
+        """Return the measurement as a table row."""
+        return (
+            self.algorithm,
+            self.parameter,
+            self.value,
+            self.runtime_seconds,
+            self.attribute_sets_evaluated,
+            self.patterns_found,
+        )
+
+
+def run_algorithm(
+    graph: AttributedGraph, params: SCPMParams, algorithm: str
+) -> MiningResult:
+    """Run one of the Figure-8 algorithms and return its result."""
+    if algorithm == "scpm-dfs":
+        return SCPM(graph, params.with_changes(order=DFS)).mine()
+    if algorithm == "scpm-bfs":
+        return SCPM(graph, params.with_changes(order=BFS)).mine()
+    if algorithm == "naive":
+        return NaiveMiner(graph, params).mine()
+    raise ValueError(f"unknown algorithm {algorithm!r}; expected one of {ALGORITHMS}")
+
+
+def _apply(params: SCPMParams, parameter: str, value: float) -> SCPMParams:
+    """Return ``params`` with ``parameter`` set to ``value``."""
+    field_map: Dict[str, str] = {
+        "gamma": "gamma",
+        "min_size": "min_size",
+        "min_support": "min_support",
+        "min_epsilon": "min_epsilon",
+        "min_delta": "min_delta",
+        "top_k": "top_k",
+    }
+    if parameter not in field_map:
+        raise ValueError(
+            f"unknown sweep parameter {parameter!r}; expected one of {sorted(field_map)}"
+        )
+    if parameter in ("min_size", "min_support", "top_k"):
+        value = int(value)
+    return params.with_changes(**{field_map[parameter]: value})
+
+
+def run_parameter_sweep(
+    graph: AttributedGraph,
+    base_params: SCPMParams,
+    parameter: str,
+    values: Sequence[float],
+    algorithms: Iterable[str] = ALGORITHMS,
+    timer: Callable[[], float] = time.perf_counter,
+) -> List[SweepPoint]:
+    """Measure runtime of each algorithm for each value of ``parameter``.
+
+    Returns one :class:`SweepPoint` per (algorithm, value) combination, in
+    the order they were run.
+    """
+    points: List[SweepPoint] = []
+    for value in values:
+        params = _apply(base_params, parameter, value)
+        for algorithm in algorithms:
+            started = timer()
+            result = run_algorithm(graph, params, algorithm)
+            elapsed = timer() - started
+            points.append(
+                SweepPoint(
+                    algorithm=algorithm,
+                    parameter=parameter,
+                    value=float(value),
+                    runtime_seconds=elapsed,
+                    attribute_sets_evaluated=result.counters.attribute_sets_evaluated,
+                    patterns_found=len(result.patterns),
+                )
+            )
+    return points
+
+
+def sweep_table(points: Sequence[SweepPoint], title: str = "") -> str:
+    """Render a sweep as the text table printed by the benchmark harness."""
+    return format_table(
+        headers=("algorithm", "parameter", "value", "runtime_s", "attr_sets", "patterns"),
+        rows=[point.as_row() for point in points],
+        title=title,
+    )
+
+
+def runtimes_by_algorithm(points: Sequence[SweepPoint]) -> Dict[str, List[float]]:
+    """Group runtimes per algorithm, preserving the sweep order."""
+    grouped: Dict[str, List[float]] = {}
+    for point in points:
+        grouped.setdefault(point.algorithm, []).append(point.runtime_seconds)
+    return grouped
+
+
+def total_runtime(points: Sequence[SweepPoint], algorithm: Optional[str] = None) -> float:
+    """Total runtime across a sweep, optionally for a single algorithm."""
+    return sum(
+        point.runtime_seconds
+        for point in points
+        if algorithm is None or point.algorithm == algorithm
+    )

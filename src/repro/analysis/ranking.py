@@ -1,0 +1,128 @@
+"""Ranking tables in the style of the paper's Tables 1–4.
+
+Given a :class:`~repro.correlation.patterns.MiningResult`, these helpers
+extract and render the three column groups reported for every case study —
+top attribute sets by support (σ), by structural correlation (ε) and by
+normalized structural correlation (δ) — plus the per-pattern table used for
+the running example (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.correlation.patterns import (
+    AttributeSetResult,
+    MiningResult,
+    StructuralCorrelationPattern,
+)
+
+
+@dataclass(frozen=True)
+class RankingRow:
+    """One row of a ranking table: the attribute set and its three measures."""
+
+    attribute_set: str
+    support: int
+    epsilon: float
+    delta: float
+
+    def as_tuple(self) -> Tuple[str, int, float, float]:
+        """Return the row as a plain tuple (label, σ, ε, δ)."""
+        return (self.attribute_set, self.support, self.epsilon, self.delta)
+
+
+def _to_rows(results: Sequence[AttributeSetResult]) -> List[RankingRow]:
+    return [
+        RankingRow(
+            attribute_set=result.label(),
+            support=result.support,
+            epsilon=result.epsilon,
+            delta=result.delta,
+        )
+        for result in results
+    ]
+
+
+def top_support_rows(
+    result: MiningResult, n: int = 10, min_set_size: Optional[int] = None
+) -> List[RankingRow]:
+    """Rows of the "top support (σ)" column group."""
+    return _to_rows(result.top_by_support(n, min_set_size))
+
+
+def top_epsilon_rows(
+    result: MiningResult, n: int = 10, min_set_size: Optional[int] = None
+) -> List[RankingRow]:
+    """Rows of the "top structural correlation (ε)" column group."""
+    return _to_rows(result.top_by_epsilon(n, min_set_size))
+
+
+def top_delta_rows(
+    result: MiningResult, n: int = 10, min_set_size: Optional[int] = None
+) -> List[RankingRow]:
+    """Rows of the "top normalized structural correlation (δ)" column group."""
+    return _to_rows(result.top_by_delta(n, min_set_size))
+
+
+def render_case_study_table(
+    result: MiningResult,
+    title: str,
+    n: int = 10,
+    min_set_size: Optional[int] = None,
+) -> str:
+    """Render the three ranking groups side by side (paper Tables 2–4)."""
+    groups = (
+        ("top-sigma", top_support_rows(result, n, min_set_size)),
+        ("top-epsilon", top_epsilon_rows(result, n, min_set_size)),
+        ("top-delta", top_delta_rows(result, n, min_set_size)),
+    )
+    sections = []
+    for name, rows in groups:
+        sections.append(
+            format_table(
+                headers=("S", "sigma", "epsilon", "delta"),
+                rows=[row.as_tuple() for row in rows],
+                title=f"{title} — {name}",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def pattern_rows(
+    patterns: Sequence[StructuralCorrelationPattern],
+    result: MiningResult,
+) -> List[Tuple[str, str, int, float, int, float]]:
+    """Rows of the per-pattern table (paper Table 1).
+
+    Each row is ``(attribute set, vertex set, size, γ, σ, ε)``.
+    """
+    rows = []
+    for pattern in patterns:
+        stats = result.find(pattern.attributes)
+        support = stats.support if stats else 0
+        epsilon = stats.epsilon if stats else 0.0
+        rows.append(
+            (
+                " ".join(map(str, pattern.attributes)),
+                "{" + ", ".join(sorted(map(str, pattern.vertices))) + "}",
+                pattern.size,
+                pattern.gamma,
+                support,
+                epsilon,
+            )
+        )
+    rows.sort(key=lambda row: (row[0], -row[2], row[1]))
+    return rows
+
+
+def render_pattern_table(result: MiningResult, title: str = "Patterns") -> str:
+    """Render every pattern of ``result`` in the style of Table 1."""
+    rows = pattern_rows(result.patterns, result)
+    return format_table(
+        headers=("S", "Q", "size", "gamma", "sigma", "epsilon"),
+        rows=rows,
+        title=title,
+    )

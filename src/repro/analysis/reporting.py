@@ -1,0 +1,59 @@
+"""Plain-text table rendering used by the examples, CLI and benchmarks.
+
+The benchmark harness prints the same rows the paper reports (Tables 1–4,
+the series behind Figures 4–10); this module keeps that formatting in one
+place so every consumer produces identical output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render ``rows`` as a fixed-width text table.
+
+    Floats are shown with four significant decimals, other values with
+    ``str``.  Column widths adapt to the content.
+    """
+    rendered_rows: List[List[str]] = [[_render(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _render(cell: object) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        if cell == float("inf"):
+            return "inf"
+        if cell != 0 and (abs(cell) < 1e-3 or abs(cell) >= 1e6):
+            return f"{cell:.3e}"
+        return f"{cell:.4f}".rstrip("0").rstrip(".") or "0"
+    return str(cell)
+
+
+def format_number(value: float) -> str:
+    """Render a single numeric value the same way the tables do."""
+    return _render(float(value))

@@ -1,0 +1,49 @@
+"""Core layer: structural correlation, null models, the SCPM and Naive miners."""
+
+from repro.correlation.naive import NaiveMiner, mine_naive
+from repro.correlation.null_models import (
+    AnalyticalNullModel,
+    SimulationEstimate,
+    SimulationNullModel,
+    binomial_degree_probability,
+    inclusion_probability,
+    max_expected_epsilon,
+    normalized_structural_correlation,
+)
+from repro.correlation.parameters import SCPMParams
+from repro.correlation.patterns import (
+    AttributeSetResult,
+    MiningCounters,
+    MiningResult,
+    StructuralCorrelationPattern,
+)
+from repro.correlation.scpm import SCPM, mine_scpm
+from repro.correlation.structural import (
+    all_patterns,
+    coverage_search,
+    structural_correlation,
+    top_k_patterns,
+)
+
+__all__ = [
+    "AnalyticalNullModel",
+    "AttributeSetResult",
+    "MiningCounters",
+    "MiningResult",
+    "NaiveMiner",
+    "SCPM",
+    "SCPMParams",
+    "SimulationEstimate",
+    "SimulationNullModel",
+    "StructuralCorrelationPattern",
+    "all_patterns",
+    "binomial_degree_probability",
+    "coverage_search",
+    "inclusion_probability",
+    "max_expected_epsilon",
+    "mine_naive",
+    "mine_scpm",
+    "normalized_structural_correlation",
+    "structural_correlation",
+    "top_k_patterns",
+]

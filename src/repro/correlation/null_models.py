@@ -1,0 +1,210 @@
+"""Null models for the expected structural correlation (Section 2.1.3).
+
+Two models are provided:
+
+* :class:`AnalyticalNullModel` — the closed-form upper bound ``max-exp`` of
+  Theorem 2: the probability that a random vertex of a random σ-vertex
+  subgraph keeps degree at least ``ceil(γ (min_size - 1))``, computed from
+  the binomial thinning of the population degree distribution (Theorem 1).
+* :class:`SimulationNullModel` — the sampling estimate ``sim-exp``: draw
+  random σ-vertex subsets, run the quasi-clique coverage search on each, and
+  average the covered fraction.
+
+Both expose ``expected_epsilon(support)`` and are monotonically
+non-decreasing in the support, which is what the Theorem-5 pruning rule
+relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ParameterError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.statistics import DegreeDistribution, degree_distribution
+from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.search import DFS, QuasiCliqueSearch
+
+
+def binomial_degree_probability(alpha: int, beta: int, rho: float) -> float:
+    """Theorem 1: probability that a degree-α vertex keeps degree β in the sample.
+
+    ``F(α, β, ρ) = C(α, β) ρ^β (1-ρ)^(α-β)`` where ρ is the inclusion
+    probability of each remaining vertex.
+    """
+    if beta < 0 or beta > alpha:
+        return 0.0
+    return float(stats.binom.pmf(beta, alpha, rho))
+
+
+def inclusion_probability(support: int, num_vertices: int) -> float:
+    """Equation 4: ``ρ = (σ(S) - 1) / (|V| - 1)``, clipped to [0, 1]."""
+    if num_vertices <= 1:
+        return 0.0
+    rho = (support - 1) / (num_vertices - 1)
+    return float(min(max(rho, 0.0), 1.0))
+
+
+def max_expected_epsilon(
+    distribution: DegreeDistribution,
+    num_vertices: int,
+    support: int,
+    params: QuasiCliqueParams,
+) -> float:
+    """Theorem 2: analytical upper bound ``max-exp`` on the expected ε.
+
+    ``max-exp(σ) = Σ_{α ≥ z} p(α) · P[Bin(α, ρ) ≥ z]`` with
+    ``z = ceil(γ (min_size - 1))`` and ``ρ = (σ-1)/(|V|-1)``.
+    """
+    if support < 0:
+        raise ParameterError(f"support must be >= 0, got {support}")
+    if num_vertices <= 1 or len(distribution.degrees) == 0:
+        return 0.0
+    z = params.base_degree_threshold
+    rho = inclusion_probability(support, num_vertices)
+    if rho <= 0.0:
+        return 0.0
+    mask = distribution.degrees >= z
+    if not np.any(mask):
+        return 0.0
+    degrees = distribution.degrees[mask]
+    probabilities = distribution.probabilities[mask]
+    # P[Bin(α, ρ) >= z] for each eligible degree α
+    tail = stats.binom.sf(z - 1, degrees, rho)
+    return float(np.dot(probabilities, tail))
+
+
+class AnalyticalNullModel:
+    """``max-exp`` null model with per-support caching.
+
+    Parameters
+    ----------
+    graph:
+        The population graph G.
+    params:
+        The quasi-clique parameters used for mining.
+    """
+
+    name = "max-exp"
+
+    def __init__(self, graph: AttributedGraph, params: QuasiCliqueParams) -> None:
+        self.params = params
+        self.num_vertices = graph.num_vertices
+        self.distribution = degree_distribution(graph)
+        self._cache: Dict[int, float] = {}
+
+    def expected_epsilon(self, support: int) -> float:
+        """Return ``max-exp(support)`` (cached)."""
+        cached = self._cache.get(support)
+        if cached is None:
+            cached = max_expected_epsilon(
+                self.distribution, self.num_vertices, support, self.params
+            )
+            self._cache[support] = cached
+        return cached
+
+    def curve(self, supports: Sequence[int]) -> List[Tuple[int, float]]:
+        """Return ``[(σ, max-exp(σ)), ...]`` for plotting (Figures 4, 7, 9)."""
+        return [(s, self.expected_epsilon(s)) for s in supports]
+
+
+@dataclass(frozen=True)
+class SimulationEstimate:
+    """Mean and standard deviation of the simulated expected ε."""
+
+    support: int
+    mean: float
+    std: float
+    runs: int
+
+
+class SimulationNullModel:
+    """``sim-exp`` null model: Monte-Carlo estimate over random vertex samples.
+
+    Parameters
+    ----------
+    graph:
+        The population graph G.
+    params:
+        Quasi-clique parameters.
+    runs:
+        Number of random samples per support value (``r`` in the paper).
+    seed:
+        Seed for the random generator, for reproducible experiments.
+    order:
+        Traversal order of the coverage search on each sample.
+    """
+
+    name = "sim-exp"
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        params: QuasiCliqueParams,
+        runs: int = 30,
+        seed: Optional[int] = 7,
+        order: str = DFS,
+    ) -> None:
+        if runs < 1:
+            raise ParameterError(f"runs must be >= 1, got {runs}")
+        self.graph = graph
+        self.params = params
+        self.runs = runs
+        self.order = order
+        self._rng = np.random.default_rng(seed)
+        self._vertices = list(graph.vertices())
+        self._cache: Dict[int, SimulationEstimate] = {}
+
+    def estimate(self, support: int) -> SimulationEstimate:
+        """Return the Monte-Carlo estimate for one support value (cached)."""
+        cached = self._cache.get(support)
+        if cached is not None:
+            return cached
+        support = min(max(support, 0), len(self._vertices))
+        fractions = np.zeros(self.runs, dtype=np.float64)
+        if support >= self.params.min_size:
+            for run in range(self.runs):
+                indices = self._rng.choice(
+                    len(self._vertices), size=support, replace=False
+                )
+                sample_vertices = [self._vertices[i] for i in indices]
+                search = QuasiCliqueSearch(
+                    self.graph,
+                    self.params,
+                    vertices=sample_vertices,
+                    order=self.order,
+                )
+                covered = search.covered_vertices()
+                fractions[run] = len(covered) / support
+        estimate = SimulationEstimate(
+            support=support,
+            mean=float(fractions.mean()),
+            std=float(fractions.std()),
+            runs=self.runs,
+        )
+        self._cache[support] = estimate
+        return estimate
+
+    def expected_epsilon(self, support: int) -> float:
+        """Return the simulated mean expected ε for ``support``."""
+        return self.estimate(support).mean
+
+    def curve(self, supports: Sequence[int]) -> List[SimulationEstimate]:
+        """Return the estimates for a sweep of support values."""
+        return [self.estimate(s) for s in supports]
+
+
+def normalized_structural_correlation(epsilon: float, expected_epsilon: float) -> float:
+    """Definition 5: ``δ = ε / exp``.
+
+    A zero expectation with a positive ε yields ``inf`` (the observation is
+    infinitely more correlated than the null model predicts); a zero
+    expectation with zero ε yields 0.
+    """
+    if expected_epsilon > 0.0:
+        return epsilon / expected_epsilon
+    return float("inf") if epsilon > 0.0 else 0.0

@@ -1,0 +1,93 @@
+"""Parameter bundle for structural correlation pattern mining.
+
+Collects every threshold of Definition 4 plus the extensions introduced in
+Sections 2.1.3 (δ_min) and 3.2.3 (top-k), and the search-strategy switches
+evaluated in the performance study (BFS vs DFS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ParameterError
+from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.search import BFS, DFS
+
+
+@dataclass(frozen=True)
+class SCPMParams:
+    """All thresholds of the structural correlation pattern mining problem.
+
+    Attributes
+    ----------
+    min_support:
+        ``σ_min`` — minimum number of vertices carrying the attribute set.
+    gamma:
+        ``γ_min`` — quasi-clique density threshold.
+    min_size:
+        Quasi-clique minimum size.
+    min_epsilon:
+        ``ε_min`` — minimum structural correlation for an attribute set to be
+        reported (and, via Theorem 4, to be extended).
+    min_delta:
+        ``δ_min`` — minimum normalized structural correlation (Theorem 5).
+    top_k:
+        Number of patterns reported per qualifying attribute set.
+    min_attribute_set_size:
+        Report only attribute sets with at least this many attributes (the
+        paper's case studies use 2); smaller sets are still evaluated and
+        extended.
+    max_attribute_set_size:
+        Optional cap on the attribute-set size explored.
+    order:
+        ``"dfs"`` or ``"bfs"`` — traversal strategy of the quasi-clique search
+        (the SCPM-DFS / SCPM-BFS variants of the paper).
+    """
+
+    min_support: int
+    gamma: float
+    min_size: int
+    min_epsilon: float = 0.0
+    min_delta: float = 0.0
+    top_k: int = 5
+    min_attribute_set_size: int = 1
+    max_attribute_set_size: Optional[int] = None
+    order: str = field(default=DFS)
+
+    def __post_init__(self) -> None:
+        if self.min_support < 1:
+            raise ParameterError(f"min_support must be >= 1, got {self.min_support}")
+        if not 0.0 < self.gamma <= 1.0:
+            raise ParameterError(f"gamma must be in (0, 1], got {self.gamma}")
+        if self.min_size < 2:
+            raise ParameterError(f"min_size must be >= 2, got {self.min_size}")
+        if self.min_epsilon < 0.0 or self.min_epsilon > 1.0:
+            raise ParameterError(
+                f"min_epsilon must be in [0, 1], got {self.min_epsilon}"
+            )
+        if self.min_delta < 0.0:
+            raise ParameterError(f"min_delta must be >= 0, got {self.min_delta}")
+        if self.top_k < 1:
+            raise ParameterError(f"top_k must be >= 1, got {self.top_k}")
+        if self.min_attribute_set_size < 1:
+            raise ParameterError(
+                f"min_attribute_set_size must be >= 1, got {self.min_attribute_set_size}"
+            )
+        if (
+            self.max_attribute_set_size is not None
+            and self.max_attribute_set_size < self.min_attribute_set_size
+        ):
+            raise ParameterError(
+                "max_attribute_set_size must be >= min_attribute_set_size"
+            )
+        if self.order not in (BFS, DFS):
+            raise ParameterError(f"order must be 'bfs' or 'dfs', got {self.order!r}")
+
+    def quasi_clique_params(self) -> QuasiCliqueParams:
+        """Return the quasi-clique sub-parameters ``(γ, min_size)``."""
+        return QuasiCliqueParams(gamma=self.gamma, min_size=self.min_size)
+
+    def with_changes(self, **changes: object) -> "SCPMParams":
+        """Return a copy with some fields replaced (used by parameter sweeps)."""
+        return replace(self, **changes)

@@ -1,0 +1,200 @@
+"""Result containers for structural correlation pattern mining.
+
+Three levels of result are produced by the miners:
+
+* :class:`StructuralCorrelationPattern` — one pattern ``(S, Q)``;
+* :class:`AttributeSetResult` — everything measured for one attribute set
+  (support, ε, expected ε, δ, covered vertices, its patterns);
+* :class:`MiningResult` — the full output of a mining run, with the ranking
+  helpers used to rebuild the paper's Tables 2–4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+Attribute = Hashable
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class StructuralCorrelationPattern:
+    """A structural correlation pattern ``(S, Q)`` (Definition 3).
+
+    Attributes
+    ----------
+    attributes:
+        The attribute set ``S`` (canonically ordered tuple).
+    vertices:
+        The quasi-clique ``Q`` inside ``G(S)``.
+    gamma:
+        The density of ``Q`` — ``min_v deg_Q(v) / (|Q|-1)`` — reported as the
+        γ column in the paper's tables.
+    """
+
+    attributes: Tuple[Attribute, ...]
+    vertices: FrozenSet[Vertex]
+    gamma: float
+
+    @property
+    def size(self) -> int:
+        """Number of vertices of the pattern."""
+        return len(self.vertices)
+
+    def sort_key(self) -> Tuple[int, float]:
+        """Primary/secondary ranking key of Section 3.2.3 (size, density)."""
+        return (self.size, self.gamma)
+
+    def __str__(self) -> str:
+        attrs = ", ".join(map(str, self.attributes))
+        verts = ", ".join(sorted(map(str, self.vertices)))
+        return f"({{{attrs}}}, {{{verts}}}) size={self.size} gamma={self.gamma:.2f}"
+
+
+@dataclass(frozen=True)
+class AttributeSetResult:
+    """Everything the miners measure for one attribute set ``S``.
+
+    ``patterns`` holds the (top-k or complete, depending on the algorithm)
+    quasi-cliques of ``G(S)`` when the attribute set met the reporting
+    thresholds, otherwise it is empty.
+    """
+
+    attributes: Tuple[Attribute, ...]
+    support: int
+    epsilon: float
+    expected_epsilon: float
+    delta: float
+    covered_vertices: FrozenSet[Vertex]
+    patterns: Tuple[StructuralCorrelationPattern, ...] = ()
+    qualified: bool = False
+
+    @property
+    def size(self) -> int:
+        """Number of attributes in the set."""
+        return len(self.attributes)
+
+    @property
+    def num_covered(self) -> int:
+        """``|K_S|`` — vertices of ``G(S)`` covered by quasi-cliques."""
+        return len(self.covered_vertices)
+
+    def label(self) -> str:
+        """Human-readable attribute-set label used in the report tables."""
+        return " ".join(map(str, self.attributes))
+
+
+@dataclass
+class MiningCounters:
+    """Work counters collected during a mining run (used by Figure 8)."""
+
+    attribute_sets_evaluated: int = 0
+    attribute_sets_qualified: int = 0
+    attribute_sets_extended: int = 0
+    attribute_sets_pruned: int = 0
+    coverage_nodes_expanded: int = 0
+    pattern_nodes_expanded: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class MiningResult:
+    """Complete output of a structural correlation pattern mining run."""
+
+    algorithm: str
+    evaluated: List[AttributeSetResult] = field(default_factory=list)
+    counters: MiningCounters = field(default_factory=MiningCounters)
+
+    @property
+    def qualified(self) -> List[AttributeSetResult]:
+        """Attribute sets meeting the ε_min / δ_min reporting thresholds."""
+        return [result for result in self.evaluated if result.qualified]
+
+    @property
+    def patterns(self) -> List[StructuralCorrelationPattern]:
+        """All patterns across all qualifying attribute sets."""
+        return [
+            pattern for result in self.qualified for pattern in result.patterns
+        ]
+
+    # ------------------------------------------------------------------
+    # ranking helpers for the paper's tables
+    # ------------------------------------------------------------------
+    def _reportable(
+        self, min_set_size: Optional[int]
+    ) -> List[AttributeSetResult]:
+        results = self.evaluated
+        if min_set_size is not None:
+            results = [r for r in results if r.size >= min_set_size]
+        return results
+
+    def top_by_support(
+        self, n: int = 10, min_set_size: Optional[int] = None
+    ) -> List[AttributeSetResult]:
+        """Top-σ attribute sets (first column group of Tables 2–4)."""
+        return sorted(
+            self._reportable(min_set_size),
+            key=lambda r: (-r.support, r.label()),
+        )[:n]
+
+    def top_by_epsilon(
+        self, n: int = 10, min_set_size: Optional[int] = None
+    ) -> List[AttributeSetResult]:
+        """Top-ε attribute sets (second column group of Tables 2–4)."""
+        return sorted(
+            self._reportable(min_set_size),
+            key=lambda r: (-r.epsilon, -r.support, r.label()),
+        )[:n]
+
+    def top_by_delta(
+        self, n: int = 10, min_set_size: Optional[int] = None
+    ) -> List[AttributeSetResult]:
+        """Top-δ attribute sets (third column group of Tables 2–4)."""
+        return sorted(
+            self._reportable(min_set_size),
+            key=lambda r: (-r.delta, -r.epsilon, r.label()),
+        )[:n]
+
+    def top_patterns(self, n: int = 10) -> List[StructuralCorrelationPattern]:
+        """Largest/densest patterns overall."""
+        return sorted(
+            self.patterns, key=lambda p: (-p.size, -p.gamma, p.attributes)
+        )[:n]
+
+    def find(self, attributes: Iterable[Attribute]) -> Optional[AttributeSetResult]:
+        """Return the result for one attribute set, if it was evaluated."""
+        target = frozenset(attributes)
+        for result in self.evaluated:
+            if frozenset(result.attributes) == target:
+                return result
+        return None
+
+    def average_epsilon(self, top_fraction: Optional[float] = None) -> float:
+        """Average ε over the output (optionally over the top fraction by ε).
+
+        This is the quantity plotted in Figure 10(a–c): ``global`` uses the
+        complete output, ``top-10%`` uses ``top_fraction=0.1``.
+        """
+        return _average(
+            [r.epsilon for r in self.evaluated], key_sorted=True, top_fraction=top_fraction
+        )
+
+    def average_delta(self, top_fraction: Optional[float] = None) -> float:
+        """Average δ over the output (Figure 10(d–f))."""
+        finite = [r.delta for r in self.evaluated if r.delta != float("inf")]
+        return _average(finite, key_sorted=True, top_fraction=top_fraction)
+
+
+def _average(
+    values: List[float], key_sorted: bool, top_fraction: Optional[float]
+) -> float:
+    if not values:
+        return 0.0
+    if top_fraction is not None:
+        if not 0.0 < top_fraction <= 1.0:
+            raise ValueError(f"top_fraction must be in (0, 1], got {top_fraction}")
+        ordered = sorted(values, reverse=True) if key_sorted else values
+        count = max(1, int(round(len(ordered) * top_fraction)))
+        values = ordered[:count]
+    return sum(values) / len(values)

@@ -1,0 +1,150 @@
+"""Structural correlation of attribute sets (Definition 2).
+
+``epsilon(S)`` is the fraction of vertices of the induced graph ``G(S)``
+that belong to at least one γ-quasi-clique of ``G(S)``.  The functions here
+wrap the coverage and top-k modes of the quasi-clique search for a given
+attribute set and expose the Theorem-3 vertex restriction used by SCPM.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.itemsets.itemset import canonical_itemset
+from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.search import DFS, QuasiCliqueSearch
+from repro.correlation.patterns import StructuralCorrelationPattern
+
+Attribute = Hashable
+Vertex = Hashable
+
+
+def structural_correlation(
+    graph: AttributedGraph,
+    attributes: Iterable[Attribute],
+    params: QuasiCliqueParams,
+    order: str = DFS,
+    candidate_vertices: Optional[Iterable[Vertex]] = None,
+) -> Tuple[float, FrozenSet[Vertex]]:
+    """Return ``(ε(S), K_S)`` for the attribute set ``attributes``.
+
+    Parameters
+    ----------
+    graph:
+        The attributed graph G.
+    attributes:
+        The attribute set S.
+    params:
+        Quasi-clique parameters ``(γ, min_size)``.
+    order:
+        Traversal order of the coverage search (``"dfs"`` or ``"bfs"``).
+    candidate_vertices:
+        Optional restriction of the vertices that may appear in quasi-cliques
+        of ``G(S)``.  SCPM passes the intersection of the parents' covered
+        sets here (Theorem 3): vertices outside it cannot be covered, so the
+        search works on a smaller graph.
+
+    Examples
+    --------
+    >>> from repro.datasets import paper_example_graph
+    >>> graph = paper_example_graph()
+    >>> params = QuasiCliqueParams(gamma=0.6, min_size=4)
+    >>> epsilon, covered = structural_correlation(graph, ["A"], params)
+    >>> round(epsilon, 2), len(covered)
+    (0.82, 9)
+    """
+    members = graph.vertices_with_all(attributes)
+    if not members:
+        return 0.0, frozenset()
+    if candidate_vertices is None:
+        working = members
+    else:
+        working = frozenset(candidate_vertices) & members
+    if len(working) < params.min_size:
+        return 0.0, frozenset()
+    induced = graph.subgraph(members)
+    search = QuasiCliqueSearch(induced, params, vertices=working, order=order)
+    covered = search.covered_vertices()
+    return len(covered) / len(members), covered
+
+
+def coverage_search(
+    graph: AttributedGraph,
+    attributes: Iterable[Attribute],
+    params: QuasiCliqueParams,
+    order: str = DFS,
+    candidate_vertices: Optional[Iterable[Vertex]] = None,
+) -> QuasiCliqueSearch:
+    """Build (without running) the coverage search object for ``G(S)``.
+
+    Exposed so callers (benchmarks, tests) can inspect
+    :class:`repro.quasiclique.search.SearchStats` after running a mode.
+    """
+    members = graph.vertices_with_all(attributes)
+    working = (
+        members
+        if candidate_vertices is None
+        else frozenset(candidate_vertices) & members
+    )
+    induced = graph.subgraph(members)
+    return QuasiCliqueSearch(induced, params, vertices=working, order=order)
+
+
+def top_k_patterns(
+    graph: AttributedGraph,
+    attributes: Iterable[Attribute],
+    params: QuasiCliqueParams,
+    k: int,
+    order: str = DFS,
+    candidate_vertices: Optional[Iterable[Vertex]] = None,
+) -> List[StructuralCorrelationPattern]:
+    """Return the top-``k`` structural correlation patterns induced by ``S``.
+
+    Patterns are ranked by size (primary) then density (secondary), exactly
+    as in Section 3.2.3 of the paper.
+    """
+    canonical = canonical_itemset(attributes)
+    members = graph.vertices_with_all(canonical)
+    if len(members) < params.min_size:
+        return []
+    working = (
+        members
+        if candidate_vertices is None
+        else frozenset(candidate_vertices) & members
+    )
+    induced = graph.subgraph(members)
+    search = QuasiCliqueSearch(induced, params, vertices=working, order=order)
+    return [
+        StructuralCorrelationPattern(
+            attributes=canonical, vertices=vertex_set, gamma=gamma
+        )
+        for vertex_set, gamma in search.top_k(k)
+    ]
+
+
+def all_patterns(
+    graph: AttributedGraph,
+    attributes: Iterable[Attribute],
+    params: QuasiCliqueParams,
+    order: str = DFS,
+) -> List[StructuralCorrelationPattern]:
+    """Return *every* maximal pattern induced by ``S`` (naive enumeration)."""
+    canonical = canonical_itemset(attributes)
+    members = graph.vertices_with_all(canonical)
+    if len(members) < params.min_size:
+        return []
+    induced = graph.subgraph(members)
+    search = QuasiCliqueSearch(induced, params, order=order)
+    adjacency = {v: set(induced.neighbor_set(v)) for v in induced.vertices()}
+    patterns = []
+    for vertex_set in search.enumerate_maximal():
+        min_degree = min(len(adjacency[v] & vertex_set) for v in vertex_set)
+        gamma = min_degree / (len(vertex_set) - 1)
+        patterns.append(
+            StructuralCorrelationPattern(
+                attributes=canonical, vertices=vertex_set, gamma=gamma
+            )
+        )
+    patterns.sort(key=lambda p: (-p.size, -p.gamma, sorted(map(repr, p.vertices))))
+    return patterns

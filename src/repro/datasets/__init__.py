@@ -1,0 +1,45 @@
+"""Datasets: the paper's running example and scaled synthetic corpora."""
+
+from repro.datasets.example import (
+    EXAMPLE_ATTRIBUTES,
+    EXAMPLE_EDGES,
+    TABLE1_PARAMETERS,
+    TABLE1_PATTERNS,
+    paper_example_graph,
+)
+from repro.datasets.profiles import (
+    PROFILES,
+    DatasetProfile,
+    citeseer_like,
+    dblp_like,
+    lastfm_like,
+    load_profile,
+    small_dblp_like,
+)
+from repro.datasets.synthetic import (
+    CommunitySpec,
+    SyntheticSpec,
+    community_supports,
+    generate,
+    random_attributed_graph,
+)
+
+__all__ = [
+    "CommunitySpec",
+    "DatasetProfile",
+    "EXAMPLE_ATTRIBUTES",
+    "EXAMPLE_EDGES",
+    "PROFILES",
+    "SyntheticSpec",
+    "TABLE1_PARAMETERS",
+    "TABLE1_PATTERNS",
+    "citeseer_like",
+    "community_supports",
+    "dblp_like",
+    "generate",
+    "lastfm_like",
+    "load_profile",
+    "paper_example_graph",
+    "random_attributed_graph",
+    "small_dblp_like",
+]

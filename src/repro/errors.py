@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  The subclasses map to the layers of the
+system: graph construction, mining parameters, and data loading.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised when an attributed graph is constructed or used incorrectly."""
+
+
+class UnknownVertexError(GraphError, KeyError):
+    """Raised when an operation references a vertex that is not in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} is not in the graph")
+        self.vertex = vertex
+
+
+class UnknownAttributeError(GraphError, KeyError):
+    """Raised when an operation references an attribute that no vertex carries."""
+
+    def __init__(self, attribute: object) -> None:
+        super().__init__(f"attribute {attribute!r} is not in the graph")
+        self.attribute = attribute
+
+
+class ParameterError(ReproError, ValueError):
+    """Raised when mining parameters are outside their valid domain."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be generated or parsed."""
+
+
+class FormatError(DatasetError, ValueError):
+    """Raised when a graph file does not follow the expected format."""

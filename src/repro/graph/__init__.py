@@ -1,0 +1,53 @@
+"""Attributed-graph substrate: data structure, statistics, I/O, converters."""
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.converters import from_networkx, to_networkx
+from repro.graph.io import (
+    from_json,
+    read_attributed_graph,
+    read_attributes,
+    read_edge_list,
+    read_json,
+    to_json,
+    write_attributed_graph,
+    write_attributes,
+    write_edge_list,
+    write_json,
+)
+from repro.graph.statistics import (
+    DegreeDistribution,
+    GraphSummary,
+    attribute_support_histogram,
+    connected_components,
+    degree_distribution,
+    edge_density,
+    minimum_degree_ratio,
+    summarize,
+)
+from repro.graph.validation import ValidationReport, validate_graph
+
+__all__ = [
+    "AttributedGraph",
+    "DegreeDistribution",
+    "GraphSummary",
+    "ValidationReport",
+    "attribute_support_histogram",
+    "connected_components",
+    "degree_distribution",
+    "edge_density",
+    "from_json",
+    "from_networkx",
+    "minimum_degree_ratio",
+    "read_attributed_graph",
+    "read_attributes",
+    "read_edge_list",
+    "read_json",
+    "summarize",
+    "to_json",
+    "to_networkx",
+    "validate_graph",
+    "write_attributed_graph",
+    "write_attributes",
+    "write_edge_list",
+    "write_json",
+]

@@ -1,0 +1,297 @@
+"""Core attributed-graph data structure.
+
+An attributed graph is the 4-tuple ``G = (V, E, A, F)`` of the paper:
+vertices, undirected edges, an attribute universe, and a function mapping
+every vertex to the subset of attributes it carries.  The class below keeps
+three indexes that the mining algorithms rely on:
+
+* adjacency sets (``neighbors``) for O(1) edge tests and degree queries;
+* vertex → attribute set (``attributes_of``);
+* attribute → vertex set (``vertices_with``), the *inverted index* used by
+  the Eclat miner and by induced-subgraph construction.
+
+Vertices and attributes can be any hashable objects (integers, strings,
+tuples).  The structure is mutable while it is being built and is cheap to
+snapshot into induced subgraphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+from repro.errors import GraphError, UnknownAttributeError, UnknownVertexError
+
+Vertex = Hashable
+Attribute = Hashable
+Edge = Tuple[Vertex, Vertex]
+
+
+class AttributedGraph:
+    """Undirected graph whose vertices carry sets of attributes.
+
+    Parameters
+    ----------
+    vertices:
+        Optional iterable of vertices to add up front.
+    edges:
+        Optional iterable of ``(u, v)`` pairs.  Endpoints that are not yet
+        vertices are added automatically.
+    attributes:
+        Optional mapping ``vertex -> iterable of attributes``.
+
+    Examples
+    --------
+    >>> graph = AttributedGraph()
+    >>> graph.add_edge(1, 2)
+    >>> graph.add_attributes(1, ["a", "b"])
+    >>> graph.degree(1)
+    1
+    >>> sorted(graph.attributes_of(1))
+    ['a', 'b']
+    """
+
+    def __init__(
+        self,
+        vertices: Optional[Iterable[Vertex]] = None,
+        edges: Optional[Iterable[Edge]] = None,
+        attributes: Optional[Mapping[Vertex, Iterable[Attribute]]] = None,
+    ) -> None:
+        self._adjacency: Dict[Vertex, Set[Vertex]] = {}
+        self._vertex_attributes: Dict[Vertex, Set[Attribute]] = {}
+        self._attribute_vertices: Dict[Attribute, Set[Vertex]] = {}
+        self._edge_count = 0
+
+        if vertices is not None:
+            for vertex in vertices:
+                self.add_vertex(vertex)
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+        if attributes is not None:
+            for vertex, attrs in attributes.items():
+                self.add_attributes(vertex, attrs)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Add ``vertex`` to the graph (no effect if it already exists)."""
+        if vertex not in self._adjacency:
+            self._adjacency[vertex] = set()
+            self._vertex_attributes[vertex] = set()
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the undirected edge ``(u, v)``, creating endpoints as needed.
+
+        Self-loops are rejected because quasi-clique degrees are defined on
+        simple graphs.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on vertex {u!r} is not allowed")
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v not in self._adjacency[u]:
+            self._adjacency[u].add(v)
+            self._adjacency[v].add(u)
+            self._edge_count += 1
+
+    def add_attribute(self, vertex: Vertex, attribute: Attribute) -> None:
+        """Attach ``attribute`` to ``vertex``, creating the vertex if needed."""
+        self.add_vertex(vertex)
+        if attribute not in self._vertex_attributes[vertex]:
+            self._vertex_attributes[vertex].add(attribute)
+            self._attribute_vertices.setdefault(attribute, set()).add(vertex)
+
+    def add_attributes(self, vertex: Vertex, attributes: Iterable[Attribute]) -> None:
+        """Attach every attribute in ``attributes`` to ``vertex``."""
+        for attribute in attributes:
+            self.add_attribute(vertex, attribute)
+
+    def remove_vertex(self, vertex: Vertex) -> None:
+        """Remove ``vertex``, its incident edges and its attribute links."""
+        if vertex not in self._adjacency:
+            raise UnknownVertexError(vertex)
+        for neighbor in self._adjacency[vertex]:
+            self._adjacency[neighbor].discard(vertex)
+            self._edge_count -= 1
+        del self._adjacency[vertex]
+        for attribute in self._vertex_attributes[vertex]:
+            holders = self._attribute_vertices[attribute]
+            holders.discard(vertex)
+            if not holders:
+                del self._attribute_vertices[attribute]
+        del self._vertex_attributes[vertex]
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return self._edge_count
+
+    @property
+    def num_attributes(self) -> int:
+        """Number of distinct attributes ``|A|`` that appear on some vertex."""
+        return len(self._attribute_vertices)
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over the vertices."""
+        return iter(self._adjacency)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each undirected edge exactly once."""
+        seen: Set[Vertex] = set()
+        for u, neighbors in self._adjacency.items():
+            for v in neighbors:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def attributes(self) -> Iterator[Attribute]:
+        """Iterate over the attribute universe (attributes on ≥ 1 vertex)."""
+        return iter(self._attribute_vertices)
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Return ``True`` if ``vertex`` is in the graph."""
+        return vertex in self._adjacency
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return ``True`` if the undirected edge ``(u, v)`` exists."""
+        return u in self._adjacency and v in self._adjacency[u]
+
+    def neighbors(self, vertex: Vertex) -> FrozenSet[Vertex]:
+        """Return the neighbor set of ``vertex`` as a frozen set."""
+        try:
+            return frozenset(self._adjacency[vertex])
+        except KeyError:
+            raise UnknownVertexError(vertex) from None
+
+    def neighbor_set(self, vertex: Vertex) -> Set[Vertex]:
+        """Return the *internal* neighbor set (not a copy).
+
+        This is the hot path used by the quasi-clique engine; callers must
+        not mutate the returned set.
+        """
+        try:
+            return self._adjacency[vertex]
+        except KeyError:
+            raise UnknownVertexError(vertex) from None
+
+    def degree(self, vertex: Vertex) -> int:
+        """Return the degree of ``vertex``."""
+        try:
+            return len(self._adjacency[vertex])
+        except KeyError:
+            raise UnknownVertexError(vertex) from None
+
+    def attributes_of(self, vertex: Vertex) -> FrozenSet[Attribute]:
+        """Return ``F(vertex)``, the attribute set of a vertex."""
+        try:
+            return frozenset(self._vertex_attributes[vertex])
+        except KeyError:
+            raise UnknownVertexError(vertex) from None
+
+    def vertices_with(self, attribute: Attribute) -> FrozenSet[Vertex]:
+        """Return the set of vertices carrying ``attribute``.
+
+        Unknown attributes raise :class:`UnknownAttributeError`; use
+        :meth:`support` for a forgiving count.
+        """
+        try:
+            return frozenset(self._attribute_vertices[attribute])
+        except KeyError:
+            raise UnknownAttributeError(attribute) from None
+
+    def vertices_with_all(self, attributes: Iterable[Attribute]) -> FrozenSet[Vertex]:
+        """Return ``V(S)``: vertices carrying *every* attribute in ``attributes``.
+
+        An empty attribute set induces the whole vertex set, mirroring the
+        paper's convention that the empty set is carried by every vertex.
+        """
+        attrs = list(attributes)
+        if not attrs:
+            return frozenset(self._adjacency)
+        holder_sets = []
+        for attribute in attrs:
+            holders = self._attribute_vertices.get(attribute)
+            if not holders:
+                return frozenset()
+            holder_sets.append(holders)
+        holder_sets.sort(key=len)
+        result = set(holder_sets[0])
+        for holders in holder_sets[1:]:
+            result &= holders
+            if not result:
+                break
+        return frozenset(result)
+
+    def support(self, attributes: Iterable[Attribute]) -> int:
+        """Return ``σ(S) = |V(S)|`` for the attribute set ``attributes``."""
+        return len(self.vertices_with_all(attributes))
+
+    def attribute_support_index(self) -> Dict[Attribute, FrozenSet[Vertex]]:
+        """Return a copy of the inverted index ``attribute -> vertex set``."""
+        return {a: frozenset(vs) for a, vs in self._attribute_vertices.items()}
+
+    # ------------------------------------------------------------------
+    # subgraphs
+    # ------------------------------------------------------------------
+    def subgraph(self, vertices: Iterable[Vertex]) -> "AttributedGraph":
+        """Return the vertex-induced subgraph on ``vertices``.
+
+        Vertex attributes are preserved.  Unknown vertices raise
+        :class:`UnknownVertexError`.
+        """
+        keep = set(vertices)
+        for vertex in keep:
+            if vertex not in self._adjacency:
+                raise UnknownVertexError(vertex)
+        sub = AttributedGraph()
+        for vertex in keep:
+            sub.add_vertex(vertex)
+            sub.add_attributes(vertex, self._vertex_attributes[vertex])
+        for vertex in keep:
+            for neighbor in self._adjacency[vertex]:
+                if neighbor in keep and not sub.has_edge(vertex, neighbor):
+                    sub.add_edge(vertex, neighbor)
+        return sub
+
+    def induced_by(self, attributes: Iterable[Attribute]) -> "AttributedGraph":
+        """Return ``G(S)``, the subgraph induced by the attribute set."""
+        return self.subgraph(self.vertices_with_all(attributes))
+
+    def copy(self) -> "AttributedGraph":
+        """Return a deep copy of the graph."""
+        return self.subgraph(self._adjacency)
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._adjacency
+
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._adjacency)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AttributedGraph):
+            return NotImplemented
+        return (
+            self._adjacency == other._adjacency
+            and self._vertex_attributes == other._vertex_attributes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"AttributedGraph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges}, num_attributes={self.num_attributes})"
+        )

@@ -1,0 +1,58 @@
+"""Converters between :class:`AttributedGraph` and :mod:`networkx` graphs.
+
+networkx is used only at the boundary (dataset generation and optional
+visualisation); the mining algorithms operate on the native structure.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Optional
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.graph.attributed_graph import AttributedGraph
+
+ATTRIBUTE_KEY = "attributes"
+
+
+def to_networkx(graph: AttributedGraph) -> nx.Graph:
+    """Convert to an undirected :class:`networkx.Graph`.
+
+    Vertex attribute sets are stored under the node-data key
+    ``"attributes"`` as sorted tuples so the result is hashable and stable.
+    """
+    result = nx.Graph()
+    for vertex in graph.vertices():
+        result.add_node(vertex, **{ATTRIBUTE_KEY: tuple(sorted(map(str, graph.attributes_of(vertex))))})
+    result.add_edges_from(graph.edges())
+    return result
+
+
+def from_networkx(
+    source: nx.Graph,
+    attributes: Optional[Mapping[Hashable, Iterable[Hashable]]] = None,
+    attribute_key: str = ATTRIBUTE_KEY,
+) -> AttributedGraph:
+    """Convert a networkx graph into an :class:`AttributedGraph`.
+
+    Attribute sets are taken from ``attributes`` when given, otherwise from
+    the node-data entry ``attribute_key`` (missing entries mean "no
+    attributes").  Directed and multi-graphs are rejected to avoid silently
+    collapsing edge multiplicities.
+    """
+    if source.is_directed():
+        raise GraphError("directed graphs are not supported; convert to undirected first")
+    if source.is_multigraph():
+        raise GraphError("multigraphs are not supported; collapse parallel edges first")
+    graph = AttributedGraph()
+    for node, data in source.nodes(data=True):
+        graph.add_vertex(node)
+        if attributes is not None:
+            graph.add_attributes(node, attributes.get(node, ()))
+        else:
+            graph.add_attributes(node, data.get(attribute_key, ()))
+    for u, v in source.edges():
+        if u != v:
+            graph.add_edge(u, v)
+    return graph

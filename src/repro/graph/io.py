@@ -1,0 +1,145 @@
+"""Reading and writing attributed graphs.
+
+Two plain-text formats are supported, matching the layout used by the
+original SCPM release (one edge file plus one attribute file), and a
+single-file JSON format convenient for snapshots.
+
+Edge-list format (``.edges``)
+    One edge per line: ``u v`` separated by whitespace.  Lines starting with
+    ``#`` are comments.
+
+Attribute format (``.attrs``)
+    One vertex per line: ``vertex attr1 attr2 ...``.  A vertex listed with no
+    attributes is still added to the graph.
+
+JSON format
+    ``{"vertices": {...}, "edges": [[u, v], ...]}`` where ``vertices`` maps
+    each vertex id to its attribute list.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import FormatError
+from repro.graph.attributed_graph import AttributedGraph
+
+PathLike = Union[str, Path]
+
+
+def _parse_vertex(token: str) -> object:
+    """Interpret a vertex token as an int when possible, else a string."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def read_edge_list(path: PathLike, graph: AttributedGraph = None) -> AttributedGraph:
+    """Read an edge-list file into ``graph`` (a new graph when omitted)."""
+    if graph is None:
+        graph = AttributedGraph()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            if len(parts) < 2:
+                raise FormatError(
+                    f"{path}:{line_number}: expected 'u v', got {stripped!r}"
+                )
+            u, v = _parse_vertex(parts[0]), _parse_vertex(parts[1])
+            if u == v:
+                continue
+            graph.add_edge(u, v)
+    return graph
+
+
+def read_attributes(path: PathLike, graph: AttributedGraph = None) -> AttributedGraph:
+    """Read an attribute file into ``graph`` (a new graph when omitted)."""
+    if graph is None:
+        graph = AttributedGraph()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            parts = stripped.split()
+            vertex = _parse_vertex(parts[0])
+            graph.add_vertex(vertex)
+            graph.add_attributes(vertex, parts[1:])
+    return graph
+
+
+def read_attributed_graph(edge_path: PathLike, attribute_path: PathLike) -> AttributedGraph:
+    """Read an attributed graph from an edge file plus an attribute file."""
+    graph = read_edge_list(edge_path)
+    return read_attributes(attribute_path, graph)
+
+
+def write_edge_list(graph: AttributedGraph, path: PathLike) -> None:
+    """Write the edges of ``graph`` in edge-list format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# u v\n")
+        for u, v in sorted(graph.edges(), key=lambda edge: (str(edge[0]), str(edge[1]))):
+            handle.write(f"{u} {v}\n")
+
+
+def write_attributes(graph: AttributedGraph, path: PathLike) -> None:
+    """Write the vertex attributes of ``graph`` in attribute format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# vertex attr1 attr2 ...\n")
+        for vertex in sorted(graph.vertices(), key=str):
+            attrs = " ".join(sorted(map(str, graph.attributes_of(vertex))))
+            handle.write(f"{vertex} {attrs}\n".rstrip() + "\n")
+
+
+def write_attributed_graph(
+    graph: AttributedGraph, edge_path: PathLike, attribute_path: PathLike
+) -> None:
+    """Write ``graph`` as an edge file plus an attribute file."""
+    write_edge_list(graph, edge_path)
+    write_attributes(graph, attribute_path)
+
+
+def to_json(graph: AttributedGraph) -> str:
+    """Serialise ``graph`` to a JSON string (vertex ids become strings)."""
+    payload = {
+        "vertices": {
+            str(v): sorted(map(str, graph.attributes_of(v))) for v in graph.vertices()
+        },
+        "edges": [[str(u), str(v)] for u, v in graph.edges()],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def from_json(text: str) -> AttributedGraph:
+    """Parse a graph serialised by :func:`to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"invalid JSON graph: {exc}") from exc
+    if "vertices" not in payload or "edges" not in payload:
+        raise FormatError("JSON graph must have 'vertices' and 'edges' keys")
+    graph = AttributedGraph()
+    for vertex, attrs in payload["vertices"].items():
+        graph.add_vertex(_parse_vertex(vertex))
+        graph.add_attributes(_parse_vertex(vertex), attrs)
+    for edge in payload["edges"]:
+        if len(edge) != 2:
+            raise FormatError(f"edge {edge!r} must have exactly two endpoints")
+        graph.add_edge(_parse_vertex(edge[0]), _parse_vertex(edge[1]))
+    return graph
+
+
+def write_json(graph: AttributedGraph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` in the JSON format."""
+    Path(path).write_text(to_json(graph), encoding="utf-8")
+
+
+def read_json(path: PathLike) -> AttributedGraph:
+    """Read a JSON graph from ``path``."""
+    return from_json(Path(path).read_text(encoding="utf-8"))

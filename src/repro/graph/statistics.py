@@ -1,0 +1,155 @@
+"""Graph-level statistics used by the null models and the analysis layer.
+
+The analytical null model of the paper (Theorem 2) needs the empirical
+degree distribution of the population graph; the dataset reports in
+EXPERIMENTS.md additionally use density, attribute-support histograms and
+component structure.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Set, Tuple
+
+import numpy as np
+
+from repro.graph.attributed_graph import AttributedGraph, Vertex
+
+
+@dataclass(frozen=True)
+class DegreeDistribution:
+    """Empirical degree distribution ``p(α)`` of a graph.
+
+    Attributes
+    ----------
+    degrees:
+        Sorted array of distinct degrees that occur in the graph.
+    probabilities:
+        ``probabilities[i]`` is the fraction of vertices with degree
+        ``degrees[i]``.  The probabilities sum to 1 for a non-empty graph.
+    max_degree:
+        Largest degree ``m`` in the graph (0 for an empty graph).
+    """
+
+    degrees: np.ndarray
+    probabilities: np.ndarray
+    max_degree: int
+
+    def probability(self, degree: int) -> float:
+        """Return ``p(degree)``, the fraction of vertices with that degree."""
+        index = np.searchsorted(self.degrees, degree)
+        if index < len(self.degrees) and self.degrees[index] == degree:
+            return float(self.probabilities[index])
+        return 0.0
+
+    def mean(self) -> float:
+        """Return the mean degree of the graph."""
+        if len(self.degrees) == 0:
+            return 0.0
+        return float(np.dot(self.degrees, self.probabilities))
+
+
+def degree_distribution(graph: AttributedGraph) -> DegreeDistribution:
+    """Compute the empirical degree distribution of ``graph``."""
+    if graph.num_vertices == 0:
+        return DegreeDistribution(
+            degrees=np.array([], dtype=np.int64),
+            probabilities=np.array([], dtype=np.float64),
+            max_degree=0,
+        )
+    counts = Counter(graph.degree(v) for v in graph.vertices())
+    degrees = np.array(sorted(counts), dtype=np.int64)
+    probabilities = np.array(
+        [counts[d] / graph.num_vertices for d in degrees], dtype=np.float64
+    )
+    return DegreeDistribution(
+        degrees=degrees,
+        probabilities=probabilities,
+        max_degree=int(degrees[-1]),
+    )
+
+
+def edge_density(graph: AttributedGraph) -> float:
+    """Return ``|E| / (|V| choose 2)``; 0 for graphs with < 2 vertices."""
+    n = graph.num_vertices
+    if n < 2:
+        return 0.0
+    return 2.0 * graph.num_edges / (n * (n - 1))
+
+
+def minimum_degree_ratio(graph: AttributedGraph, vertex_set: Set[Vertex]) -> float:
+    """Return the quasi-clique γ of ``vertex_set`` inside ``graph``.
+
+    This is ``min_v deg_Q(v) / (|Q| - 1)``, the largest γ for which the set
+    satisfies the quasi-clique degree condition.  Sets with fewer than two
+    vertices have ratio 0.
+    """
+    members = set(vertex_set)
+    if len(members) < 2:
+        return 0.0
+    min_degree = min(len(graph.neighbor_set(v) & members) for v in members)
+    return min_degree / (len(members) - 1)
+
+
+def attribute_support_histogram(graph: AttributedGraph) -> Dict[Hashable, int]:
+    """Return ``attribute -> σ({attribute})`` for every attribute."""
+    return {a: len(graph.vertices_with(a)) for a in graph.attributes()}
+
+
+def connected_components(graph: AttributedGraph) -> List[Set[Vertex]]:
+    """Return the connected components as a list of vertex sets."""
+    remaining = set(graph.vertices())
+    components: List[Set[Vertex]] = []
+    while remaining:
+        seed = next(iter(remaining))
+        component = {seed}
+        frontier = [seed]
+        while frontier:
+            vertex = frontier.pop()
+            for neighbor in graph.neighbor_set(vertex):
+                if neighbor not in component:
+                    component.add(neighbor)
+                    frontier.append(neighbor)
+        components.append(component)
+        remaining -= component
+    return components
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Compact description of an attributed graph for reports and logging."""
+
+    num_vertices: int
+    num_edges: int
+    num_attributes: int
+    mean_degree: float
+    max_degree: int
+    edge_density: float
+    num_components: int
+
+    def as_row(self) -> Tuple[int, int, int, float, int, float, int]:
+        """Return the summary as a plain tuple (for table rendering)."""
+        return (
+            self.num_vertices,
+            self.num_edges,
+            self.num_attributes,
+            self.mean_degree,
+            self.max_degree,
+            self.edge_density,
+            self.num_components,
+        )
+
+
+def summarize(graph: AttributedGraph) -> GraphSummary:
+    """Build a :class:`GraphSummary` for ``graph``."""
+    distribution = degree_distribution(graph)
+    return GraphSummary(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        num_attributes=graph.num_attributes,
+        mean_degree=distribution.mean(),
+        max_degree=distribution.max_degree,
+        edge_density=edge_density(graph),
+        num_components=len(connected_components(graph)),
+    )

@@ -1,0 +1,83 @@
+"""Structural validation helpers for attributed graphs.
+
+These checks are used by the dataset generators and by the CLI to fail fast
+on malformed inputs before a long mining run starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.graph.attributed_graph import AttributedGraph
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_graph`.
+
+    ``issues`` lists human-readable problems; an empty list means the graph
+    passed every check.
+    """
+
+    issues: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when no issues were found."""
+        return not self.issues
+
+    def add(self, message: str) -> None:
+        """Record an issue."""
+        self.issues.append(message)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def validate_graph(
+    graph: AttributedGraph,
+    require_attributes: bool = False,
+    require_edges: bool = False,
+) -> ValidationReport:
+    """Check internal consistency of ``graph``.
+
+    Verifies adjacency symmetry, the inverted attribute index, and —
+    optionally — that the graph has at least one edge and that every vertex
+    has at least one attribute.
+    """
+    report = ValidationReport()
+    if graph.num_vertices == 0:
+        report.add("graph has no vertices")
+        return report
+
+    for vertex in graph.vertices():
+        for neighbor in graph.neighbor_set(vertex):
+            if vertex not in graph.neighbor_set(neighbor):
+                report.add(f"asymmetric adjacency between {vertex!r} and {neighbor!r}")
+            if neighbor == vertex:
+                report.add(f"self-loop on {vertex!r}")
+
+    index = graph.attribute_support_index()
+    for attribute, holders in index.items():
+        for vertex in holders:
+            if attribute not in graph.attributes_of(vertex):
+                report.add(
+                    f"attribute index lists {attribute!r} on {vertex!r} "
+                    "but the vertex does not carry it"
+                )
+    for vertex in graph.vertices():
+        for attribute in graph.attributes_of(vertex):
+            if vertex not in index.get(attribute, frozenset()):
+                report.add(
+                    f"vertex {vertex!r} carries {attribute!r} "
+                    "but the attribute index does not list it"
+                )
+
+    if require_edges and graph.num_edges == 0:
+        report.add("graph has no edges")
+    if require_attributes:
+        bare = [v for v in graph.vertices() if not graph.attributes_of(v)]
+        if bare:
+            report.add(f"{len(bare)} vertices have no attributes")
+    return report

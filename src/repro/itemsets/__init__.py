@@ -1,0 +1,32 @@
+"""Frequent itemset substrate: Eclat miner, Apriori baseline, transaction views."""
+
+from repro.itemsets.apriori import mine_frequent_itemsets_apriori
+from repro.itemsets.eclat import (
+    EclatConfig,
+    EclatMiner,
+    mine_frequent_itemsets,
+    support_of,
+)
+from repro.itemsets.itemset import FrequentItemset, canonical_itemset
+from repro.itemsets.transactions import (
+    frequent_items,
+    horizontal_database,
+    transactions_from_lists,
+    vertical_database,
+    vertical_from_transactions,
+)
+
+__all__ = [
+    "EclatConfig",
+    "EclatMiner",
+    "FrequentItemset",
+    "canonical_itemset",
+    "frequent_items",
+    "horizontal_database",
+    "mine_frequent_itemsets",
+    "mine_frequent_itemsets_apriori",
+    "support_of",
+    "transactions_from_lists",
+    "vertical_database",
+    "vertical_from_transactions",
+]

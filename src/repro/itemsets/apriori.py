@@ -1,0 +1,86 @@
+"""Apriori frequent itemset mining (Agrawal et al., SIGMOD 1993).
+
+Apriori is included as the classical level-wise baseline: it is used in the
+test suite as an independent oracle for the Eclat miner and is available to
+users who prefer breadth-first candidate generation.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import ParameterError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.itemsets.itemset import FrequentItemset, Item
+from repro.itemsets.transactions import vertical_database
+
+
+def _generate_candidates(
+    frequent_level: List[Tuple[Item, ...]],
+) -> Set[Tuple[Item, ...]]:
+    """Join step: combine size-k itemsets sharing a (k-1)-prefix.
+
+    The input tuples must be in canonical (sorted) order; the prune step
+    (all subsets frequent) is applied by the caller.
+    """
+    candidates: Set[Tuple[Item, ...]] = set()
+    frequent_set = set(frequent_level)
+    for first, second in combinations(frequent_level, 2):
+        if first[:-1] == second[:-1]:
+            last_pair = sorted((first[-1], second[-1]), key=repr)
+            candidate = first[:-1] + tuple(last_pair)
+            if all(
+                candidate[:i] + candidate[i + 1 :] in frequent_set
+                for i in range(len(candidate))
+            ):
+                candidates.add(candidate)
+    return candidates
+
+
+def mine_frequent_itemsets_apriori(
+    graph: AttributedGraph,
+    min_support: int,
+    min_size: int = 1,
+    max_size: Optional[int] = None,
+) -> List[FrequentItemset]:
+    """Mine all frequent attribute sets of ``graph`` level by level.
+
+    The result is identical (as a set of itemsets with supports) to
+    :func:`repro.itemsets.eclat.mine_frequent_itemsets`; ordering differs.
+    """
+    if min_support < 1:
+        raise ParameterError(f"min_support must be >= 1, got {min_support}")
+    if min_size < 1:
+        raise ParameterError(f"min_size must be >= 1, got {min_size}")
+
+    vertical = vertical_database(graph)
+    tidsets: Dict[Tuple[Item, ...], FrozenSet[Hashable]] = {}
+    level: List[Tuple[Item, ...]] = []
+    for item, tidset in vertical.items():
+        if len(tidset) >= min_support:
+            key = (item,)
+            tidsets[key] = tidset
+            level.append(key)
+    level.sort(key=lambda items: tuple(map(repr, items)))
+
+    results: List[FrequentItemset] = []
+    size = 1
+    while level:
+        if size >= min_size:
+            results.extend(
+                FrequentItemset(items=items, tidset=tidsets[items]) for items in level
+            )
+        if max_size is not None and size >= max_size:
+            break
+        candidates = _generate_candidates(level)
+        next_level: List[Tuple[Item, ...]] = []
+        for candidate in candidates:
+            tidset = tidsets[candidate[:-1]] & vertical[candidate[-1]]
+            if len(tidset) >= min_support:
+                tidsets[candidate] = tidset
+                next_level.append(candidate)
+        next_level.sort(key=lambda items: tuple(map(repr, items)))
+        level = next_level
+        size += 1
+    return results

@@ -1,0 +1,62 @@
+"""Itemset containers shared by the Eclat and Apriori miners.
+
+An *itemset* here is an attribute set ``S ⊆ A`` of the attributed graph and
+its *tidset* is ``V(S)``, the set of vertices that carry every attribute of
+``S``.  Support is measured in vertices, exactly as in the paper
+(``σ(S) = |V(S)|``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterable, Tuple
+
+Item = Hashable
+Transaction = FrozenSet[Item]
+
+
+def canonical_itemset(items: Iterable[Item]) -> Tuple[Item, ...]:
+    """Return the canonical (sorted, de-duplicated) tuple form of an itemset.
+
+    Items are sorted by ``(type name, repr)`` so heterogeneous item types can
+    coexist without ``TypeError`` from direct comparison.
+    """
+    return tuple(sorted(set(items), key=lambda item: (type(item).__name__, repr(item))))
+
+
+@dataclass(frozen=True)
+class FrequentItemset:
+    """A frequent attribute set together with its supporting vertices.
+
+    Attributes
+    ----------
+    items:
+        Canonical tuple of items (attributes).
+    tidset:
+        The supporting transactions (vertices) — ``V(S)``.
+    """
+
+    items: Tuple[Item, ...]
+    tidset: FrozenSet[Hashable]
+
+    @property
+    def support(self) -> int:
+        """Absolute support ``σ(S)``."""
+        return len(self.tidset)
+
+    @property
+    def size(self) -> int:
+        """Number of items in the set."""
+        return len(self.items)
+
+    def as_frozenset(self) -> FrozenSet[Item]:
+        """Return the items as a frozen set."""
+        return frozenset(self.items)
+
+    def contains(self, other: "FrequentItemset") -> bool:
+        """Return ``True`` when ``other.items ⊆ self.items``."""
+        return set(other.items) <= set(self.items)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(map(str, self.items))
+        return f"{{{rendered}}} (support={self.support})"

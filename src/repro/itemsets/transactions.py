@@ -1,0 +1,65 @@
+"""Building transaction databases from attributed graphs.
+
+The frequent-itemset view of an attributed graph treats every vertex as a
+transaction whose items are the vertex's attributes.  Both a horizontal
+(transaction → items) and a vertical (item → tidset) representation are
+provided; Eclat works on the vertical one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Tuple
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.itemsets.itemset import Item
+
+
+def horizontal_database(graph: AttributedGraph) -> Dict[Hashable, FrozenSet[Item]]:
+    """Return ``vertex -> attribute set`` for every vertex of ``graph``."""
+    return {vertex: graph.attributes_of(vertex) for vertex in graph.vertices()}
+
+
+def vertical_database(graph: AttributedGraph) -> Dict[Item, FrozenSet[Hashable]]:
+    """Return ``attribute -> vertex tidset`` for every attribute of ``graph``."""
+    return graph.attribute_support_index()
+
+
+def vertical_from_transactions(
+    transactions: Mapping[Hashable, Iterable[Item]],
+) -> Dict[Item, FrozenSet[Hashable]]:
+    """Invert a horizontal database into tidsets.
+
+    ``transactions`` maps a transaction id to its items; the result maps
+    each item to the frozen set of transaction ids that contain it.
+    """
+    index: Dict[Item, set] = {}
+    for tid, items in transactions.items():
+        for item in items:
+            index.setdefault(item, set()).add(tid)
+    return {item: frozenset(tids) for item, tids in index.items()}
+
+
+def transactions_from_lists(
+    transaction_lists: Iterable[Iterable[Item]],
+) -> Dict[int, FrozenSet[Item]]:
+    """Number a plain iterable of item lists into a horizontal database."""
+    return {
+        tid: frozenset(items) for tid, items in enumerate(transaction_lists)
+    }
+
+
+def frequent_items(
+    vertical: Mapping[Item, FrozenSet[Hashable]], min_support: int
+) -> List[Tuple[Item, FrozenSet[Hashable]]]:
+    """Return the 1-itemsets with support ≥ ``min_support``, sorted.
+
+    The sort is by ascending support then item representation — the standard
+    Eclat ordering that keeps equivalence classes small.
+    """
+    kept = [
+        (item, tidset)
+        for item, tidset in vertical.items()
+        if len(tidset) >= min_support
+    ]
+    kept.sort(key=lambda pair: (len(pair[1]), type(pair[0]).__name__, repr(pair[0])))
+    return kept

@@ -1,0 +1,55 @@
+"""Quasi-clique substrate: definitions, pruned search engine, reference miners."""
+
+from repro.quasiclique.definitions import (
+    QuasiCliqueParams,
+    gamma_of,
+    restricted_adjacency,
+    satisfies_degree_condition,
+)
+from repro.quasiclique.pruning import (
+    DistanceIndex,
+    filter_candidates_by_degree,
+    prune_low_degree_vertices,
+    restrict_candidates,
+    subtree_is_hopeless,
+)
+from repro.quasiclique.reference import (
+    brute_force_covered_vertices,
+    brute_force_maximal_quasi_cliques,
+    brute_force_satisfying_sets,
+    brute_force_structural_correlation,
+)
+from repro.quasiclique.search import (
+    BFS,
+    DFS,
+    QuasiCliqueSearch,
+    SearchBudgetExceeded,
+    SearchStats,
+    find_quasi_cliques,
+    top_k_quasi_cliques,
+    vertices_in_quasi_cliques,
+)
+
+__all__ = [
+    "BFS",
+    "DFS",
+    "DistanceIndex",
+    "QuasiCliqueParams",
+    "QuasiCliqueSearch",
+    "SearchBudgetExceeded",
+    "SearchStats",
+    "brute_force_covered_vertices",
+    "brute_force_maximal_quasi_cliques",
+    "brute_force_satisfying_sets",
+    "brute_force_structural_correlation",
+    "filter_candidates_by_degree",
+    "find_quasi_cliques",
+    "gamma_of",
+    "prune_low_degree_vertices",
+    "restrict_candidates",
+    "restricted_adjacency",
+    "satisfies_degree_condition",
+    "subtree_is_hopeless",
+    "top_k_quasi_cliques",
+    "vertices_in_quasi_cliques",
+]

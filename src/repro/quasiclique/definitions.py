@@ -1,0 +1,105 @@
+"""Quasi-clique definition and parameter objects (Definition 1 of the paper).
+
+A γ-quasi-clique of minimum size ``min_size`` is a maximal vertex set ``Q``
+such that every vertex of ``Q`` has at least ``ceil(γ · (|Q| - 1))``
+neighbours inside ``Q`` and ``|Q| ≥ min_size``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, Hashable, Iterable, Mapping, Set
+
+from repro.errors import ParameterError
+
+Vertex = Hashable
+Adjacency = Mapping[Vertex, AbstractSet[Vertex]]
+
+
+@dataclass(frozen=True)
+class QuasiCliqueParams:
+    """Quasi-clique parameters ``(γ_min, min_size)``.
+
+    Attributes
+    ----------
+    gamma:
+        Minimum density threshold ``γ_min`` with ``0 < γ ≤ 1``.  ``γ = 1``
+        corresponds to ordinary cliques.
+    min_size:
+        Minimum number of vertices in a quasi-clique (≥ 2).
+    """
+
+    gamma: float
+    min_size: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.gamma <= 1.0:
+            raise ParameterError(f"gamma must be in (0, 1], got {self.gamma}")
+        if self.min_size < 2:
+            raise ParameterError(f"min_size must be >= 2, got {self.min_size}")
+
+    def degree_threshold(self, size: int) -> int:
+        """Return ``ceil(γ · (size - 1))`` — the per-vertex degree requirement."""
+        if size <= 1:
+            return 0
+        # round to avoid float artefacts such as 0.6 * 5 = 2.9999999999999996
+        return int(math.ceil(round(self.gamma * (size - 1), 9)))
+
+    @property
+    def base_degree_threshold(self) -> int:
+        """Degree needed to belong to *any* quasi-clique: ``ceil(γ(min_size-1))``."""
+        return self.degree_threshold(self.min_size)
+
+    @property
+    def distance_bound(self) -> int:
+        """Upper bound on pairwise distance inside a quasi-clique.
+
+        ``1`` for cliques (γ = 1), ``2`` for γ ≥ 0.5 (a classical consequence
+        of the minimum-degree condition), ``0`` meaning "no usable bound"
+        otherwise.
+        """
+        if self.gamma >= 1.0:
+            return 1
+        if self.gamma >= 0.5:
+            return 2
+        return 0
+
+
+def restricted_adjacency(
+    adjacency: Adjacency, vertices: Iterable[Vertex]
+) -> Dict[Vertex, Set[Vertex]]:
+    """Restrict an adjacency mapping to a vertex subset (induced subgraph)."""
+    keep = set(vertices)
+    return {v: set(adjacency[v]) & keep for v in keep}
+
+
+def satisfies_degree_condition(
+    adjacency: Adjacency, vertex_set: AbstractSet[Vertex], params: QuasiCliqueParams
+) -> bool:
+    """Return ``True`` when ``vertex_set`` meets the γ degree condition.
+
+    The size constraint ``|Q| ≥ min_size`` is part of the check.  Maximality
+    is *not* checked here — see :func:`repro.quasiclique.search` for that.
+    """
+    size = len(vertex_set)
+    if size < params.min_size:
+        return False
+    threshold = params.degree_threshold(size)
+    for vertex in vertex_set:
+        if len(adjacency[vertex] & vertex_set) < threshold:
+            return False
+    return True
+
+
+def gamma_of(adjacency: Adjacency, vertex_set: AbstractSet[Vertex]) -> float:
+    """Return the largest γ for which ``vertex_set`` satisfies the condition.
+
+    This is ``min_v deg_Q(v) / (|Q| - 1)`` and is the "density" column (γ)
+    reported in the paper's Table 1.
+    """
+    size = len(vertex_set)
+    if size < 2:
+        return 0.0
+    min_degree = min(len(adjacency[v] & vertex_set) for v in vertex_set)
+    return min_degree / (size - 1)

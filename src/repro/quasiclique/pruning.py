@@ -1,0 +1,169 @@
+"""Pruning rules for the quasi-clique set-enumeration search.
+
+The rules follow Section 3.2.1/3.2.2 of the paper and the Quick algorithm
+(Liu & Wong, PKDD 2008) it builds on.  Every rule removes only vertices or
+subtrees that provably cannot contribute a vertex set satisfying the γ
+degree condition with size ≥ ``min_size``; soundness of each rule is covered
+by property-based tests against a brute-force reference miner.
+
+Two groups of rules are implemented (the paper's terminology):
+
+* **Vertex pruning** — iteratively drop vertices whose degree in the working
+  graph is below ``ceil(γ (min_size - 1))``; they cannot belong to any
+  quasi-clique (their degree inside any candidate set is even smaller).
+* **Candidate quasi-clique pruning** — at a search node ``(X, cand)``,
+  restrict ``cand`` and decide whether the whole subtree can be discarded,
+  based on degree bounds within ``X ∪ cand`` and on the diameter bound
+  implied by γ.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, Hashable, Iterable, List, Optional, Set
+
+from repro.quasiclique.definitions import QuasiCliqueParams
+
+Vertex = Hashable
+Adjacency = Dict[Vertex, Set[Vertex]]
+
+
+def prune_low_degree_vertices(
+    adjacency: Adjacency, params: QuasiCliqueParams
+) -> Adjacency:
+    """Iteratively remove vertices with degree < ``ceil(γ(min_size-1))``.
+
+    Returns a new adjacency mapping restricted to the surviving vertices.
+    No member of any vertex set that satisfies the degree condition is ever
+    removed: all its neighbours inside the set survive with it, so its
+    working degree never drops below the threshold.
+    """
+    threshold = params.base_degree_threshold
+    working: Adjacency = {v: set(neighbors) for v, neighbors in adjacency.items()}
+    queue: List[Vertex] = [v for v, neighbors in working.items() if len(neighbors) < threshold]
+    removed: Set[Vertex] = set(queue)
+    while queue:
+        vertex = queue.pop()
+        for neighbor in working[vertex]:
+            neighbors = working[neighbor]
+            neighbors.discard(vertex)
+            if neighbor not in removed and len(neighbors) < threshold:
+                removed.add(neighbor)
+                queue.append(neighbor)
+        working[vertex] = set()
+    return {v: neighbors for v, neighbors in working.items() if v not in removed}
+
+
+class DistanceIndex:
+    """Lazy distance-≤ 2 neighbourhood index over a working adjacency.
+
+    For γ ≥ 0.5 every pair of vertices of a quasi-clique is at distance at
+    most 2 (at most 1 for γ = 1), so a candidate extension must lie inside
+    the (closed) distance-bound neighbourhood of every vertex already in X.
+    """
+
+    def __init__(self, adjacency: Adjacency, distance_bound: int) -> None:
+        self._adjacency = adjacency
+        self._distance_bound = distance_bound
+        self._cache: Dict[Vertex, Set[Vertex]] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """``True`` when the γ value yields a usable distance bound."""
+        return self._distance_bound in (1, 2)
+
+    def reachable(self, vertex: Vertex) -> Set[Vertex]:
+        """Closed neighbourhood of ``vertex`` within the distance bound."""
+        cached = self._cache.get(vertex)
+        if cached is not None:
+            return cached
+        neighbors = self._adjacency[vertex]
+        if self._distance_bound == 1:
+            result = set(neighbors)
+        else:
+            result = set(neighbors)
+            for neighbor in neighbors:
+                result |= self._adjacency[neighbor]
+        result.add(vertex)
+        self._cache[vertex] = result
+        return result
+
+    def allowed_extensions(
+        self, members: Iterable[Vertex], candidates: AbstractSet[Vertex]
+    ) -> Set[Vertex]:
+        """Return the candidates within the distance bound of every member."""
+        allowed = set(candidates)
+        for member in members:
+            allowed &= self.reachable(member)
+            if not allowed:
+                break
+        return allowed
+
+
+def filter_candidates_by_degree(
+    adjacency: Adjacency,
+    members: AbstractSet[Vertex],
+    candidates: Set[Vertex],
+    params: QuasiCliqueParams,
+) -> Set[Vertex]:
+    """Drop candidate extensions that cannot reach the degree requirement.
+
+    A candidate ``u`` added to any set ``Q`` in this subtree gives
+    ``|Q| ≥ max(min_size, |X| + 1)`` and ``deg_Q(u) ≤ |N(u) ∩ (X ∪ cand)|``,
+    so the latter must reach ``ceil(γ (max(min_size, |X|+1) - 1))``.
+    The filter is applied to a fixpoint because removing one candidate can
+    invalidate another.
+    """
+    required = params.degree_threshold(max(params.min_size, len(members) + 1))
+    remaining = set(candidates)
+    changed = True
+    while changed:
+        changed = False
+        scope = members | remaining
+        for candidate in list(remaining):
+            if len(adjacency[candidate] & scope) < required:
+                remaining.discard(candidate)
+                changed = True
+    return remaining
+
+
+def subtree_is_hopeless(
+    adjacency: Adjacency,
+    members: AbstractSet[Vertex],
+    candidates: AbstractSet[Vertex],
+    params: QuasiCliqueParams,
+) -> bool:
+    """Return ``True`` when no satisfying set exists in the subtree.
+
+    Checks that the subtree can still reach ``min_size`` and that every
+    vertex already in X can reach the degree requirement of the *smallest*
+    feasible final size using only vertices of ``X ∪ cand``.  Both are
+    necessary conditions for any satisfying superset of X inside the
+    subtree, so returning ``True`` never discards a valid quasi-clique.
+    """
+    if not members:
+        return len(candidates) < params.min_size
+    total = len(members) + len(candidates)
+    if total < params.min_size:
+        return True
+    required = params.degree_threshold(max(params.min_size, len(members)))
+    scope = members | candidates
+    for member in members:
+        if len(adjacency[member] & scope) < required:
+            return True
+    return False
+
+
+def restrict_candidates(
+    adjacency: Adjacency,
+    members: AbstractSet[Vertex],
+    candidates: Set[Vertex],
+    params: QuasiCliqueParams,
+    distance_index: Optional[DistanceIndex] = None,
+) -> Set[Vertex]:
+    """Apply every candidate-level pruning rule and return the reduced set."""
+    reduced = set(candidates)
+    if distance_index is not None and distance_index.enabled and members:
+        reduced = distance_index.allowed_extensions(members, reduced)
+    if reduced:
+        reduced = filter_candidates_by_degree(adjacency, members, reduced, params)
+    return reduced

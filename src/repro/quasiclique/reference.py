@@ -1,0 +1,95 @@
+"""Brute-force reference implementations used as test oracles.
+
+These functions enumerate the full power set of the working vertices, so
+they are only suitable for very small graphs (≲ 18 vertices).  They provide
+the ground truth that the pruned search engine and the SCPM pipeline are
+checked against in the unit and property-based tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Set
+
+from repro.errors import ParameterError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.quasiclique.definitions import (
+    QuasiCliqueParams,
+    satisfies_degree_condition,
+)
+
+Vertex = Hashable
+
+_MAX_BRUTE_FORCE_VERTICES = 20
+
+
+def _working_adjacency(
+    graph: AttributedGraph, vertices: Optional[Iterable[Vertex]]
+) -> Dict[Vertex, Set[Vertex]]:
+    keep = set(graph.vertices()) if vertices is None else {
+        v for v in vertices if graph.has_vertex(v)
+    }
+    if len(keep) > _MAX_BRUTE_FORCE_VERTICES:
+        raise ParameterError(
+            f"brute-force reference limited to {_MAX_BRUTE_FORCE_VERTICES} vertices, "
+            f"got {len(keep)}"
+        )
+    return {v: set(graph.neighbor_set(v)) & keep for v in keep}
+
+
+def brute_force_satisfying_sets(
+    graph: AttributedGraph,
+    params: QuasiCliqueParams,
+    vertices: Optional[Iterable[Vertex]] = None,
+) -> List[FrozenSet[Vertex]]:
+    """Every vertex set meeting the γ degree condition with size ≥ min_size."""
+    adjacency = _working_adjacency(graph, vertices)
+    universe = sorted(adjacency, key=repr)
+    found: List[FrozenSet[Vertex]] = []
+    for size in range(params.min_size, len(universe) + 1):
+        for subset in combinations(universe, size):
+            candidate = frozenset(subset)
+            if satisfies_degree_condition(adjacency, candidate, params):
+                found.append(candidate)
+    return found
+
+
+def brute_force_maximal_quasi_cliques(
+    graph: AttributedGraph,
+    params: QuasiCliqueParams,
+    vertices: Optional[Iterable[Vertex]] = None,
+) -> List[FrozenSet[Vertex]]:
+    """Maximal quasi-cliques per Definition 1 (no satisfying proper superset)."""
+    satisfying = brute_force_satisfying_sets(graph, params, vertices)
+    maximal = [
+        candidate
+        for candidate in satisfying
+        if not any(candidate < other for other in satisfying)
+    ]
+    return sorted(maximal, key=lambda s: (-len(s), sorted(map(repr, s))))
+
+
+def brute_force_covered_vertices(
+    graph: AttributedGraph,
+    params: QuasiCliqueParams,
+    vertices: Optional[Iterable[Vertex]] = None,
+) -> FrozenSet[Vertex]:
+    """Vertices belonging to at least one satisfying set (the set ``K``)."""
+    covered: Set[Vertex] = set()
+    for satisfying in brute_force_satisfying_sets(graph, params, vertices):
+        covered |= satisfying
+    return frozenset(covered)
+
+
+def brute_force_structural_correlation(
+    graph: AttributedGraph,
+    attribute_set: Iterable[Hashable],
+    params: QuasiCliqueParams,
+) -> float:
+    """ε(S) computed entirely by brute force (oracle for the core layer)."""
+    members = graph.vertices_with_all(attribute_set)
+    if not members:
+        return 0.0
+    induced = graph.subgraph(members)
+    covered = brute_force_covered_vertices(induced, params)
+    return len(covered) / len(members)

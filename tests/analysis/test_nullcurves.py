@@ -1,0 +1,32 @@
+"""Tests for the expected-ε curve harness (Figures 4/7/9 machinery)."""
+
+import pytest
+
+from repro.analysis.nullcurves import expected_epsilon_curve, null_curve_table
+from repro.datasets.example import paper_example_graph
+from repro.quasiclique.definitions import QuasiCliqueParams
+
+
+class TestNullCurves:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        graph = paper_example_graph()
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        return expected_epsilon_curve(graph, params, supports=[4, 7, 11], runs=10, seed=3)
+
+    def test_curve_shape(self, curve):
+        assert [point.support for point in curve] == [4, 7, 11]
+        for point in curve:
+            assert 0.0 <= point.sim_exp_mean <= 1.0
+            assert point.sim_exp_std >= 0.0
+            assert 0.0 <= point.max_exp <= 1.0
+
+    def test_max_exp_is_monotone(self, curve):
+        values = [point.max_exp for point in curve]
+        assert values == sorted(values)
+
+    def test_table_rendering(self, curve):
+        text = null_curve_table(curve, title="figure 4")
+        assert text.startswith("figure 4")
+        assert "sim_exp_mean" in text
+        assert "max_exp" in text

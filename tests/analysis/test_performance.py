@@ -1,0 +1,78 @@
+"""Tests for the runtime-sweep harness (Figure 8 machinery)."""
+
+import pytest
+
+from repro.analysis.performance import (
+    ALGORITHMS,
+    run_algorithm,
+    run_parameter_sweep,
+    runtimes_by_algorithm,
+    sweep_table,
+    total_runtime,
+)
+from repro.correlation.parameters import SCPMParams
+from repro.datasets.example import paper_example_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return paper_example_graph()
+
+
+@pytest.fixture(scope="module")
+def base_params():
+    return SCPMParams(min_support=3, gamma=0.6, min_size=4, min_epsilon=0.5, top_k=5)
+
+
+class TestRunAlgorithm:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_every_algorithm_runs(self, graph, base_params, algorithm):
+        result = run_algorithm(graph, base_params, algorithm)
+        assert result.counters.attribute_sets_evaluated > 0
+
+    def test_unknown_algorithm(self, graph, base_params):
+        with pytest.raises(ValueError):
+            run_algorithm(graph, base_params, "quantum")
+
+
+class TestSweep:
+    def test_sweep_shape(self, graph, base_params):
+        points = run_parameter_sweep(
+            graph, base_params, "gamma", [0.6, 0.8], algorithms=("scpm-dfs", "naive")
+        )
+        assert len(points) == 4
+        assert {p.algorithm for p in points} == {"scpm-dfs", "naive"}
+        assert {p.value for p in points} == {0.6, 0.8}
+        assert all(p.runtime_seconds >= 0 for p in points)
+
+    def test_sweep_applies_integer_parameters(self, graph, base_params):
+        points = run_parameter_sweep(
+            graph, base_params, "min_size", [4, 5], algorithms=("scpm-dfs",)
+        )
+        # min_size = 5 excludes the size-4 patterns, so fewer patterns are found
+        by_value = {p.value: p.patterns_found for p in points}
+        assert by_value[5.0] <= by_value[4.0]
+
+    def test_unknown_parameter_rejected(self, graph, base_params):
+        with pytest.raises(ValueError):
+            run_parameter_sweep(graph, base_params, "speed", [1])
+
+    def test_grouping_and_totals(self, graph, base_params):
+        points = run_parameter_sweep(
+            graph, base_params, "top_k", [1, 2], algorithms=("scpm-dfs",)
+        )
+        grouped = runtimes_by_algorithm(points)
+        assert list(grouped) == ["scpm-dfs"]
+        assert len(grouped["scpm-dfs"]) == 2
+        assert total_runtime(points) == pytest.approx(
+            total_runtime(points, "scpm-dfs")
+        )
+
+    def test_sweep_table_rendering(self, graph, base_params):
+        points = run_parameter_sweep(
+            graph, base_params, "min_support", [3], algorithms=("naive",)
+        )
+        text = sweep_table(points, title="figure 8")
+        assert text.startswith("figure 8")
+        assert "naive" in text
+        assert "min_support" in text

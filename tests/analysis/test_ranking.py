@@ -1,0 +1,66 @@
+"""Tests for the case-study ranking tables."""
+
+import pytest
+
+from repro.analysis.ranking import (
+    pattern_rows,
+    render_case_study_table,
+    render_pattern_table,
+    top_delta_rows,
+    top_epsilon_rows,
+    top_support_rows,
+)
+from repro.correlation.scpm import SCPM
+from repro.datasets.example import paper_example_graph
+
+
+@pytest.fixture(scope="module")
+def example_result():
+    from repro.correlation.parameters import SCPMParams
+
+    params = SCPMParams(min_support=3, gamma=0.6, min_size=4, min_epsilon=0.5, top_k=10)
+    return SCPM(paper_example_graph(), params).mine()
+
+
+class TestRankingRows:
+    def test_top_support_rows(self, example_result):
+        rows = top_support_rows(example_result, n=3)
+        assert rows[0].attribute_set == "A"
+        assert rows[0].support == 11
+        assert rows[0].as_tuple()[0] == "A"
+
+    def test_top_epsilon_rows(self, example_result):
+        rows = top_epsilon_rows(example_result, n=2)
+        assert {row.attribute_set for row in rows} <= {"B", "A B"}
+        assert all(row.epsilon == 1.0 for row in rows)
+
+    def test_top_delta_rows_are_sorted(self, example_result):
+        rows = top_delta_rows(example_result, n=5)
+        deltas = [row.delta for row in rows]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_min_set_size_filter(self, example_result):
+        rows = top_support_rows(example_result, n=5, min_set_size=2)
+        assert all(len(row.attribute_set.split()) >= 2 for row in rows)
+
+
+class TestRendering:
+    def test_case_study_table_contains_three_groups(self, example_result):
+        text = render_case_study_table(example_result, "example", n=3)
+        assert "top-sigma" in text
+        assert "top-epsilon" in text
+        assert "top-delta" in text
+        assert "A B" in text
+
+    def test_pattern_rows_include_support_and_epsilon(self, example_result):
+        rows = pattern_rows(example_result.patterns, example_result)
+        assert len(rows) == 7  # Table 1 has seven patterns
+        prism_rows = [row for row in rows if row[2] == 6]
+        assert len(prism_rows) == 3
+        for row in prism_rows:
+            assert row[3] == pytest.approx(0.6)
+
+    def test_render_pattern_table(self, example_result):
+        text = render_pattern_table(example_result, title="Table 1")
+        assert text.startswith("Table 1")
+        assert "{10, 11, 6, 7, 8, 9}" in text or "{6, 7, 8, 9, 10, 11}" in text

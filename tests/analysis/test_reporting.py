@@ -1,0 +1,42 @@
+"""Tests for the plain-text table renderer."""
+
+from repro.analysis.reporting import format_number, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            headers=("name", "value"),
+            rows=[("alpha", 1), ("beta", 2)],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert lines[2].startswith("---")
+        assert "alpha" in lines[3]
+
+    def test_columns_are_aligned(self):
+        text = format_table(("a", "b"), [("x", 1), ("longer", 22)])
+        rows = text.splitlines()[2:]
+        positions = {row.index("1") if "1" in row else row.index("2") for row in rows[1:]}
+        assert len(positions) == 1  # values start at the same column
+
+    def test_float_rendering(self):
+        text = format_table(("v",), [(0.123456,), (1e-7,), (float("inf"),), (2.5e8,)])
+        assert "0.1235" in text
+        assert "1.000e-07" in text
+        assert "inf" in text
+        assert "2.500e+08" in text
+
+    def test_without_title(self):
+        text = format_table(("v",), [(1,)])
+        assert not text.startswith("\n")
+        assert text.splitlines()[0].startswith("v")
+
+
+class TestFormatNumber:
+    def test_small_and_large(self):
+        assert format_number(0.5) == "0.5"
+        assert format_number(1234567.0) == "1.235e+06"
+        assert format_number(0.0) == "0"

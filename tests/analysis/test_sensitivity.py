@@ -1,0 +1,41 @@
+"""Tests for the parameter-sensitivity harness (Figure 10 machinery)."""
+
+import pytest
+
+from repro.analysis.sensitivity import run_sensitivity_sweep, sensitivity_table
+from repro.correlation.parameters import SCPMParams
+from repro.datasets.example import paper_example_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return paper_example_graph()
+
+
+@pytest.fixture(scope="module")
+def base_params():
+    return SCPMParams(min_support=3, gamma=0.6, min_size=4)
+
+
+class TestSensitivity:
+    def test_sweep_shape(self, graph, base_params):
+        points = run_sensitivity_sweep(graph, base_params, "gamma", [0.6, 1.0])
+        assert [p.value for p in points] == [0.6, 1.0]
+        for point in points:
+            assert 0.0 <= point.average_epsilon <= 1.0
+            assert point.average_epsilon_top10 >= point.average_epsilon - 1e-12
+            assert point.attribute_sets > 0
+
+    def test_higher_gamma_lowers_average_epsilon(self, graph, base_params):
+        points = run_sensitivity_sweep(graph, base_params, "gamma", [0.6, 1.0])
+        assert points[-1].average_epsilon <= points[0].average_epsilon + 1e-12
+
+    def test_min_size_sweep(self, graph, base_params):
+        points = run_sensitivity_sweep(graph, base_params, "min_size", [4, 6, 7])
+        assert points[-1].average_epsilon <= points[0].average_epsilon + 1e-12
+
+    def test_table_rendering(self, graph, base_params):
+        points = run_sensitivity_sweep(graph, base_params, "gamma", [0.6])
+        text = sensitivity_table(points, title="figure 10")
+        assert text.startswith("figure 10")
+        assert "avg_epsilon" in text

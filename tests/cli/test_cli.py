@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli.main import build_parser, main
+from repro.datasets.example import paper_example_graph
+from repro.graph.io import write_attributed_graph
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.profile == "small-dblp"
+        assert args.algorithm == "scpm"
+
+    def test_mine_requires_files(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mine", "--edges", "x"])
+
+
+class TestMainMine:
+    @pytest.fixture
+    def graph_files(self, tmp_path):
+        edges = tmp_path / "g.edges"
+        attrs = tmp_path / "g.attrs"
+        write_attributed_graph(paper_example_graph(), edges, attrs)
+        return str(edges), str(attrs)
+
+    def test_mine_example_graph(self, graph_files, capsys):
+        edges, attrs = graph_files
+        code = main(
+            [
+                "mine",
+                "--edges", edges,
+                "--attributes", attrs,
+                "--min-support", "3",
+                "--gamma", "0.6",
+                "--min-size", "4",
+                "--min-epsilon", "0.5",
+                "--show-patterns",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "11 vertices" in output
+        assert "top-sigma" in output
+        assert "patterns" in output
+
+    def test_mine_with_naive_algorithm(self, graph_files, capsys):
+        edges, attrs = graph_files
+        code = main(
+            [
+                "mine",
+                "--edges", edges,
+                "--attributes", attrs,
+                "--min-support", "3",
+                "--gamma", "0.6",
+                "--min-size", "4",
+                "--algorithm", "naive",
+            ]
+        )
+        assert code == 0
+        assert "naive" in capsys.readouterr().out
+
+
+class TestMainDemo:
+    def test_demo_small_profile(self, capsys):
+        code = main(["demo", "--profile", "small-dblp", "--scale", "0.4", "--rows", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "small-dblp-like" in output
+        assert "top-delta" in output

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.correlation.parameters import SCPMParams
+from repro.datasets.example import paper_example_graph
+from repro.datasets.synthetic import random_attributed_graph
+from repro.graph.attributed_graph import AttributedGraph
+from repro.quasiclique.definitions import QuasiCliqueParams
+
+
+@pytest.fixture
+def example_graph() -> AttributedGraph:
+    """The 11-vertex running example of the paper (Figure 1)."""
+    return paper_example_graph()
+
+
+@pytest.fixture
+def example_qc_params() -> QuasiCliqueParams:
+    """Quasi-clique parameters used for Table 1 (γ = 0.6, min_size = 4)."""
+    return QuasiCliqueParams(gamma=0.6, min_size=4)
+
+
+@pytest.fixture
+def example_scpm_params() -> SCPMParams:
+    """Full SCPM parameters used for Table 1."""
+    return SCPMParams(
+        min_support=3, gamma=0.6, min_size=4, min_epsilon=0.5, top_k=10
+    )
+
+
+@pytest.fixture
+def triangle_graph() -> AttributedGraph:
+    """A triangle with one pendant vertex; all vertices carry attribute 'x'."""
+    graph = AttributedGraph()
+    for vertex in (1, 2, 3, 4):
+        graph.add_vertex(vertex)
+        graph.add_attribute(vertex, "x")
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 3)
+    graph.add_edge(1, 3)
+    graph.add_edge(3, 4)
+    return graph
+
+
+@pytest.fixture
+def small_random_graph() -> AttributedGraph:
+    """A deterministic 12-vertex random attributed graph."""
+    return random_attributed_graph(
+        num_vertices=12,
+        edge_probability=0.35,
+        attributes=["a", "b", "c"],
+        attribute_probability=0.5,
+        seed=3,
+    )

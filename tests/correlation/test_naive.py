@@ -1,0 +1,65 @@
+"""Unit tests specific to the naive baseline."""
+
+import pytest
+
+from repro.correlation.naive import NaiveMiner, mine_naive
+from repro.correlation.parameters import SCPMParams
+from repro.datasets.example import paper_example_graph
+
+
+@pytest.fixture
+def graph():
+    return paper_example_graph()
+
+
+class TestNaive:
+    def test_evaluates_every_frequent_attribute_set(self, graph):
+        params = SCPMParams(min_support=3, gamma=0.6, min_size=4)
+        result = NaiveMiner(graph, params).mine()
+        labels = {r.attributes for r in result.evaluated}
+        assert labels == {
+            ("A",),
+            ("B",),
+            ("C",),
+            ("D",),
+            ("A", "B"),
+            ("A", "C"),
+            ("A", "D"),
+        }
+
+    def test_reports_all_patterns_up_to_top_k(self, graph):
+        params = SCPMParams(
+            min_support=3, gamma=0.6, min_size=4, min_epsilon=0.5, top_k=2
+        )
+        result = NaiveMiner(graph, params).mine()
+        record = result.find(["A"])
+        assert len(record.patterns) == 2
+        assert record.patterns[0].size >= record.patterns[1].size
+
+    def test_epsilon_and_delta_fields(self, graph):
+        params = SCPMParams(min_support=3, gamma=0.6, min_size=4)
+        result = NaiveMiner(graph, params).mine()
+        record = result.find(["A", "B"])
+        assert record.epsilon == 1.0
+        assert record.expected_epsilon > 0.0
+        assert record.delta == pytest.approx(1.0 / record.expected_epsilon)
+
+    def test_algorithm_label_and_wrapper(self, graph):
+        params = SCPMParams(min_support=3, gamma=0.6, min_size=4)
+        assert NaiveMiner(graph, params).mine().algorithm == "naive"
+        assert mine_naive(graph, params).algorithm == "naive"
+
+    def test_delta_threshold_filters_output_only(self, graph):
+        params = SCPMParams(
+            min_support=3, gamma=0.6, min_size=4, min_epsilon=0.5, min_delta=10.0
+        )
+        result = NaiveMiner(graph, params).mine()
+        # everything is still evaluated, but fewer sets qualify
+        assert len(result.evaluated) == 7
+        assert all(r.delta >= 10.0 for r in result.qualified)
+
+    def test_counts_elapsed_time(self, graph):
+        params = SCPMParams(min_support=3, gamma=0.6, min_size=4)
+        result = NaiveMiner(graph, params).mine()
+        assert result.counters.elapsed_seconds >= 0.0
+        assert result.counters.attribute_sets_evaluated == 7

@@ -1,0 +1,147 @@
+"""Unit tests for the null models (sim-exp, max-exp) and δ."""
+
+import math
+
+import pytest
+
+from repro.correlation.null_models import (
+    AnalyticalNullModel,
+    SimulationNullModel,
+    binomial_degree_probability,
+    inclusion_probability,
+    max_expected_epsilon,
+    normalized_structural_correlation,
+)
+from repro.errors import ParameterError
+from repro.graph.statistics import degree_distribution
+from repro.quasiclique.definitions import QuasiCliqueParams
+
+
+class TestTheorem1:
+    def test_binomial_probability_matches_formula(self):
+        # F(4, 2, 0.5) = C(4,2) 0.5^2 0.5^2 = 6/16
+        assert binomial_degree_probability(4, 2, 0.5) == pytest.approx(6 / 16)
+
+    def test_binomial_probability_out_of_range(self):
+        assert binomial_degree_probability(3, 5, 0.5) == 0.0
+        assert binomial_degree_probability(3, -1, 0.5) == 0.0
+
+    def test_probabilities_sum_to_one(self):
+        total = sum(binomial_degree_probability(5, beta, 0.3) for beta in range(6))
+        assert total == pytest.approx(1.0)
+
+    def test_inclusion_probability(self):
+        assert inclusion_probability(5, 11) == pytest.approx(0.4)
+        assert inclusion_probability(1, 11) == 0.0
+        assert inclusion_probability(0, 11) == 0.0
+        assert inclusion_probability(12, 11) == 1.0
+        assert inclusion_probability(5, 1) == 0.0
+
+
+class TestTheorem2:
+    def test_zero_for_tiny_supports(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        distribution = degree_distribution(example_graph)
+        assert max_expected_epsilon(distribution, 11, 0, params) == 0.0
+        assert max_expected_epsilon(distribution, 11, 1, params) == 0.0
+
+    def test_full_support_close_to_degree_mass(self, example_graph):
+        # with sigma = |V| every vertex is kept, so the bound equals the
+        # fraction of vertices with degree >= z
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        distribution = degree_distribution(example_graph)
+        value = max_expected_epsilon(distribution, 11, 11, params)
+        z = params.base_degree_threshold
+        expected = sum(
+            p for d, p in zip(distribution.degrees, distribution.probabilities) if d >= z
+        )
+        assert value == pytest.approx(expected)
+
+    def test_monotone_in_support(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        model = AnalyticalNullModel(example_graph, params)
+        values = [model.expected_epsilon(s) for s in range(2, 12)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_negative_support_rejected(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        distribution = degree_distribution(example_graph)
+        with pytest.raises(ParameterError):
+            max_expected_epsilon(distribution, 11, -1, params)
+
+    def test_higher_min_size_lowers_the_bound(self, example_graph):
+        distribution = degree_distribution(example_graph)
+        loose = max_expected_epsilon(
+            distribution, 11, 8, QuasiCliqueParams(gamma=0.5, min_size=3)
+        )
+        strict = max_expected_epsilon(
+            distribution, 11, 8, QuasiCliqueParams(gamma=0.5, min_size=6)
+        )
+        assert strict <= loose
+
+    def test_analytical_model_caches(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        model = AnalyticalNullModel(example_graph, params)
+        assert model.expected_epsilon(6) == model.expected_epsilon(6)
+        assert model.curve([3, 6]) == [(3, model.expected_epsilon(3)), (6, model.expected_epsilon(6))]
+
+
+class TestSimulationModel:
+    def test_invalid_runs(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        with pytest.raises(ParameterError):
+            SimulationNullModel(example_graph, params, runs=0)
+
+    def test_estimate_is_deterministic_for_fixed_seed(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        first = SimulationNullModel(example_graph, params, runs=10, seed=5).estimate(8)
+        second = SimulationNullModel(example_graph, params, runs=10, seed=5).estimate(8)
+        assert first == second
+
+    def test_estimate_bounds(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        model = SimulationNullModel(example_graph, params, runs=20, seed=1)
+        estimate = model.estimate(8)
+        assert 0.0 <= estimate.mean <= 1.0
+        assert estimate.std >= 0.0
+        assert estimate.runs == 20
+
+    def test_support_below_min_size_gives_zero(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        model = SimulationNullModel(example_graph, params, runs=5, seed=1)
+        assert model.expected_epsilon(2) == 0.0
+
+    def test_full_support_sample_equals_true_epsilon(self, example_graph):
+        # sampling |V| vertices always selects the whole graph
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        model = SimulationNullModel(example_graph, params, runs=3, seed=1)
+        assert model.expected_epsilon(11) == pytest.approx(9 / 11)
+
+    def test_max_exp_upper_bounds_sim_exp(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        analytical = AnalyticalNullModel(example_graph, params)
+        simulation = SimulationNullModel(example_graph, params, runs=30, seed=3)
+        # supports well below |V| (where the binomial bound is loose) plus the
+        # degenerate full-graph case; intermediate supports are exercised on
+        # larger graphs by the Figure 4/7/9 benchmarks.
+        for support in (4, 6, 11):
+            assert analytical.expected_epsilon(support) >= simulation.expected_epsilon(
+                support
+            ) - 1e-9
+
+    def test_curve(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        model = SimulationNullModel(example_graph, params, runs=5, seed=1)
+        curve = model.curve([4, 8])
+        assert [point.support for point in curve] == [4, 8]
+
+
+class TestDelta:
+    def test_normalized_value(self):
+        assert normalized_structural_correlation(0.4, 0.1) == pytest.approx(4.0)
+
+    def test_zero_expectation_positive_epsilon(self):
+        assert math.isinf(normalized_structural_correlation(0.2, 0.0))
+
+    def test_zero_expectation_zero_epsilon(self):
+        assert normalized_structural_correlation(0.0, 0.0) == 0.0

@@ -1,0 +1,97 @@
+"""End-to-end reproduction of the paper's running example (Table 1).
+
+With σ_min = 3, γ_min = 0.6, min_size = 4 and ε_min = 0.5 the complete set
+of structural correlation patterns of the Figure-1 graph is the seven rows
+of Table 1.  Both the SCPM algorithm and the naive baseline must reproduce
+them exactly, along with the ε values quoted in the text (ε(A) ≈ 0.82,
+ε(C) = 0, ε({A,B}) = 1).
+"""
+
+import pytest
+
+from repro.correlation.naive import NaiveMiner
+from repro.correlation.scpm import SCPM
+from repro.datasets.example import TABLE1_PATTERNS, paper_example_graph
+
+
+def normalized_patterns(result):
+    """Return {(attribute tuple, vertex frozenset)} for comparison."""
+    return {
+        (pattern.attributes, frozenset(pattern.vertices))
+        for pattern in result.patterns
+    }
+
+
+EXPECTED = {
+    (tuple(sorted(attrs)), frozenset(vertices)) for attrs, vertices in TABLE1_PATTERNS
+}
+
+
+class TestTable1:
+    @pytest.fixture
+    def graph(self):
+        return paper_example_graph()
+
+    def test_scpm_reproduces_table1(self, graph, example_scpm_params):
+        result = SCPM(graph, example_scpm_params).mine()
+        assert normalized_patterns(result) == EXPECTED
+
+    def test_naive_reproduces_table1(self, graph, example_scpm_params):
+        result = NaiveMiner(graph, example_scpm_params).mine()
+        assert normalized_patterns(result) == EXPECTED
+
+    def test_scpm_and_naive_agree_on_attribute_statistics(self, graph, example_scpm_params):
+        scpm = SCPM(graph, example_scpm_params).mine()
+        naive = NaiveMiner(graph, example_scpm_params).mine()
+        scpm_stats = {r.attributes: (r.support, r.epsilon) for r in scpm.evaluated}
+        naive_stats = {r.attributes: (r.support, r.epsilon) for r in naive.evaluated}
+        # SCPM prunes attribute sets that provably cannot qualify (Theorem 4),
+        # so it may evaluate a subset of what the naive baseline evaluates —
+        # but everything it does evaluate must agree, and the qualifying sets
+        # must be identical.
+        assert set(scpm_stats) <= set(naive_stats)
+        for key, (support, epsilon) in scpm_stats.items():
+            assert naive_stats[key][0] == support
+            assert naive_stats[key][1] == pytest.approx(epsilon)
+        assert {r.attributes for r in scpm.qualified} == {
+            r.attributes for r in naive.qualified
+        }
+
+    def test_epsilon_values_from_the_text(self, graph, example_scpm_params):
+        result = SCPM(graph, example_scpm_params).mine()
+        assert result.find(["A"]).epsilon == pytest.approx(9 / 11)
+        assert result.find(["C"]).epsilon == 0.0
+        assert result.find(["A", "B"]).epsilon == 1.0
+        assert result.find(["B"]).epsilon == 1.0
+
+    def test_supports_match_table1(self, graph, example_scpm_params):
+        result = SCPM(graph, example_scpm_params).mine()
+        assert result.find(["A"]).support == 11
+        assert result.find(["B"]).support == 6
+        assert result.find(["A", "B"]).support == 6
+
+    def test_pattern_sizes_and_densities(self, graph, example_scpm_params):
+        result = SCPM(graph, example_scpm_params).mine()
+        rows = {
+            (pattern.attributes, frozenset(pattern.vertices)): (
+                pattern.size,
+                round(pattern.gamma, 2),
+            )
+            for pattern in result.patterns
+        }
+        assert rows[(("A",), frozenset({6, 7, 8, 9, 10, 11}))] == (6, 0.6)
+        assert rows[(("A",), frozenset({3, 4, 5, 6}))] == (4, 1.0)
+        assert rows[(("A", "B"), frozenset({6, 7, 8, 9, 10, 11}))] == (6, 0.6)
+
+    def test_qualified_attribute_sets(self, graph, example_scpm_params):
+        result = SCPM(graph, example_scpm_params).mine()
+        qualified = {r.attributes for r in result.qualified}
+        assert qualified == {("A",), ("B",), ("A", "B")}
+
+    def test_min_epsilon_excludes_low_correlation_sets(self, graph, example_scpm_params):
+        result = SCPM(graph, example_scpm_params).mine()
+        # C and D are frequent (support 3) but have epsilon 0 < 0.5
+        for attrs in (("C",), ("D",)):
+            record = result.find(attrs)
+            assert record is not None
+            assert not record.qualified

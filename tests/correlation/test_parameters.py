@@ -1,0 +1,56 @@
+"""Unit tests for the SCPMParams bundle."""
+
+import pytest
+
+from repro.correlation.parameters import SCPMParams
+from repro.errors import ParameterError
+from repro.quasiclique.search import BFS, DFS
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        params = SCPMParams(min_support=10, gamma=0.5, min_size=5)
+        assert params.min_epsilon == 0.0
+        assert params.min_delta == 0.0
+        assert params.top_k == 5
+        assert params.order == DFS
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_support": 0},
+            {"gamma": 0.0},
+            {"gamma": 1.2},
+            {"min_size": 1},
+            {"min_epsilon": -0.1},
+            {"min_epsilon": 1.5},
+            {"min_delta": -1},
+            {"top_k": 0},
+            {"min_attribute_set_size": 0},
+            {"max_attribute_set_size": 1, "min_attribute_set_size": 2},
+            {"order": "sideways"},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        base = dict(min_support=10, gamma=0.5, min_size=5)
+        base.update(kwargs)
+        with pytest.raises(ParameterError):
+            SCPMParams(**base)
+
+    def test_quasi_clique_params(self):
+        params = SCPMParams(min_support=10, gamma=0.7, min_size=6)
+        qc = params.quasi_clique_params()
+        assert qc.gamma == 0.7
+        assert qc.min_size == 6
+
+    def test_with_changes(self):
+        params = SCPMParams(min_support=10, gamma=0.5, min_size=5)
+        changed = params.with_changes(gamma=0.8, order=BFS)
+        assert changed.gamma == 0.8
+        assert changed.order == BFS
+        assert params.gamma == 0.5  # original untouched
+
+    def test_with_changes_validates(self):
+        params = SCPMParams(min_support=10, gamma=0.5, min_size=5)
+        with pytest.raises(ParameterError):
+            params.with_changes(gamma=2.0)

@@ -1,0 +1,113 @@
+"""Property-based tests for the structural-correlation layer.
+
+These check the paper's theorems on random attributed graphs:
+
+* Theorem 3 — monotonicity of coverage: ``K_{S_j} ⊆ K_{S_i}`` for
+  ``S_i ⊆ S_j``;
+* Theorem 4 — the ε upper bound used for attribute-set pruning;
+* monotonicity of the analytical null model (needed by Theorem 5);
+* SCPM (pruned) and the naive baseline (exhaustive) find the same
+  qualifying attribute sets with identical ε values.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.correlation.naive import NaiveMiner
+from repro.correlation.null_models import AnalyticalNullModel
+from repro.correlation.parameters import SCPMParams
+from repro.correlation.scpm import SCPM
+from repro.correlation.structural import structural_correlation
+from repro.graph.attributed_graph import AttributedGraph
+from repro.quasiclique.definitions import QuasiCliqueParams
+
+ATTRIBUTES = ["a", "b", "c"]
+
+
+@st.composite
+def attributed_graphs(draw):
+    """Random graphs of up to 10 vertices with up to 3 attributes per vertex."""
+    num_vertices = draw(st.integers(min_value=4, max_value=10))
+    possible_edges = [
+        (u, v) for u in range(num_vertices) for v in range(u + 1, num_vertices)
+    ]
+    edge_flags = draw(
+        st.lists(st.booleans(), min_size=len(possible_edges), max_size=len(possible_edges))
+    )
+    attribute_choices = draw(
+        st.lists(
+            st.sets(st.sampled_from(ATTRIBUTES)),
+            min_size=num_vertices,
+            max_size=num_vertices,
+        )
+    )
+    graph = AttributedGraph()
+    for vertex in range(num_vertices):
+        graph.add_vertex(vertex)
+        graph.add_attributes(vertex, attribute_choices[vertex])
+        graph.add_attribute(vertex, "base")  # shared attribute so supersets exist
+    for include, (u, v) in zip(edge_flags, possible_edges):
+        if include:
+            graph.add_edge(u, v)
+    return graph
+
+
+QC_PARAMS = QuasiCliqueParams(gamma=0.5, min_size=3)
+
+
+@given(attributed_graphs(), st.sampled_from(ATTRIBUTES))
+@settings(max_examples=60, deadline=None)
+def test_theorem3_coverage_is_antitone_in_attributes(graph, extra):
+    """Adding attributes to a set can only shrink the covered vertex set."""
+    _, covered_small = structural_correlation(graph, ["base"], QC_PARAMS)
+    _, covered_large = structural_correlation(graph, ["base", extra], QC_PARAMS)
+    assert covered_large <= covered_small
+
+
+@given(attributed_graphs(), st.sampled_from(ATTRIBUTES))
+@settings(max_examples=60, deadline=None)
+def test_theorem4_epsilon_upper_bound(graph, extra):
+    """ε(S_j)·σ(S_j) ≤ ε(S_i)·σ(S_i) whenever S_i ⊆ S_j."""
+    eps_small, _ = structural_correlation(graph, ["base"], QC_PARAMS)
+    eps_large, _ = structural_correlation(graph, ["base", extra], QC_PARAMS)
+    sigma_small = graph.support(["base"])
+    sigma_large = graph.support(["base", extra])
+    assert eps_large * sigma_large <= eps_small * sigma_small + 1e-9
+
+
+@given(attributed_graphs())
+@settings(max_examples=40, deadline=None)
+def test_analytical_null_model_is_monotone(graph):
+    model = AnalyticalNullModel(graph, QC_PARAMS)
+    values = [model.expected_epsilon(s) for s in range(0, graph.num_vertices + 1)]
+    assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+    assert all(0.0 <= v <= 1.0 + 1e-12 for v in values)
+
+
+@given(attributed_graphs())
+@settings(max_examples=40, deadline=None)
+def test_scpm_agrees_with_naive_baseline(graph):
+    params = SCPMParams(
+        min_support=2,
+        gamma=0.5,
+        min_size=3,
+        min_epsilon=0.2,
+        min_delta=0.0,
+        top_k=3,
+        max_attribute_set_size=2,
+    )
+    scpm = SCPM(graph, params).mine()
+    naive = NaiveMiner(graph, params).mine()
+    scpm_qualified = {r.attributes: r.epsilon for r in scpm.qualified}
+    naive_qualified = {r.attributes: r.epsilon for r in naive.qualified}
+    assert set(scpm_qualified) == set(naive_qualified)
+    for key, epsilon in naive_qualified.items():
+        assert abs(scpm_qualified[key] - epsilon) < 1e-9
+
+
+@given(attributed_graphs())
+@settings(max_examples=40, deadline=None)
+def test_epsilon_is_a_probability(graph):
+    for attributes in (["base"], ["a"], ["a", "b"]):
+        epsilon, covered = structural_correlation(graph, attributes, QC_PARAMS)
+        assert 0.0 <= epsilon <= 1.0
+        assert covered <= graph.vertices_with_all(attributes)

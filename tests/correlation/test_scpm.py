@@ -1,0 +1,159 @@
+"""Unit tests for the SCPM algorithm beyond the paper example."""
+
+import pytest
+
+from repro.correlation.naive import NaiveMiner
+from repro.correlation.null_models import SimulationNullModel
+from repro.correlation.parameters import SCPMParams
+from repro.correlation.scpm import SCPM, mine_scpm
+from repro.datasets.synthetic import CommunitySpec, SyntheticSpec, generate
+from repro.quasiclique.search import BFS, DFS
+
+
+@pytest.fixture(scope="module")
+def planted_graph():
+    """A small synthetic graph with one strong planted community."""
+    spec = SyntheticSpec(
+        num_vertices=120,
+        background_degree=2.0,
+        vocabulary_size=20,
+        zipf_exponent=1.0,
+        attributes_per_vertex=2.0,
+        communities=(
+            CommunitySpec(("topic", "hot"), size=8, density=0.95, noise_carriers=10),
+        ),
+        popular_attributes=("generic",),
+        popular_fraction=0.4,
+        seed=5,
+    )
+    return generate(spec)
+
+
+@pytest.fixture
+def planted_params():
+    return SCPMParams(
+        min_support=8,
+        gamma=0.5,
+        min_size=4,
+        min_epsilon=0.1,
+        min_delta=1.0,
+        top_k=3,
+        max_attribute_set_size=2,
+    )
+
+
+class TestSCPMOnPlantedData:
+    def test_planted_topic_is_found(self, planted_graph, planted_params):
+        result = SCPM(planted_graph, planted_params).mine()
+        record = result.find(["hot", "topic"])
+        assert record is not None
+        assert record.qualified
+        assert record.epsilon >= 8 / 18 - 1e-9
+        assert record.delta > 1.0
+        assert record.patterns  # at least one pattern extracted
+
+    def test_planted_pattern_contains_community(self, planted_graph, planted_params):
+        result = SCPM(planted_graph, planted_params).mine()
+        record = result.find(["hot", "topic"])
+        biggest = max(record.patterns, key=lambda p: p.size)
+        assert biggest.size >= planted_params.min_size
+        assert biggest.vertices <= record.covered_vertices
+
+    def test_generic_attribute_has_low_delta(self, planted_graph, planted_params):
+        result = SCPM(
+            planted_graph, planted_params.with_changes(min_epsilon=0.0, min_delta=0.0)
+        ).mine()
+        generic = result.find(["generic"])
+        topic = result.find(["hot", "topic"])
+        assert generic is not None and topic is not None
+        assert topic.delta > generic.delta
+
+    def test_bfs_and_dfs_agree(self, planted_graph, planted_params):
+        dfs = SCPM(planted_graph, planted_params.with_changes(order=DFS)).mine()
+        bfs = SCPM(planted_graph, planted_params.with_changes(order=BFS)).mine()
+        dfs_stats = {r.attributes: (r.support, pytest.approx(r.epsilon)) for r in dfs.evaluated}
+        bfs_stats = {r.attributes: (r.support, r.epsilon) for r in bfs.evaluated}
+        assert set(dfs_stats) == set(bfs_stats)
+        for key, value in bfs_stats.items():
+            assert dfs_stats[key][1] == value[1]
+
+    def test_agrees_with_naive_on_qualified_sets(self, planted_graph, planted_params):
+        scpm = SCPM(planted_graph, planted_params).mine()
+        naive = NaiveMiner(planted_graph, planted_params).mine()
+        scpm_qualified = {r.attributes: r.epsilon for r in scpm.qualified}
+        naive_qualified = {r.attributes: r.epsilon for r in naive.qualified}
+        assert set(scpm_qualified) == set(naive_qualified)
+        for key, epsilon in naive_qualified.items():
+            assert scpm_qualified[key] == pytest.approx(epsilon)
+
+    def test_collect_patterns_false_skips_patterns(self, planted_graph, planted_params):
+        result = SCPM(planted_graph, planted_params, collect_patterns=False).mine()
+        assert result.patterns == []
+        assert result.counters.attribute_sets_evaluated > 0
+
+    def test_simulation_null_model_can_be_plugged_in(self, planted_graph, planted_params):
+        model = SimulationNullModel(
+            planted_graph, planted_params.quasi_clique_params(), runs=3, seed=1
+        )
+        result = SCPM(planted_graph, planted_params, null_model=model).mine()
+        assert result.find(["hot", "topic"]) is not None
+
+    def test_mine_scpm_wrapper(self, planted_graph, planted_params):
+        result = mine_scpm(planted_graph, planted_params)
+        assert result.algorithm == "scpm-dfs"
+
+
+class TestPruningBehaviour:
+    def test_min_support_limits_evaluations(self, planted_graph, planted_params):
+        low = SCPM(planted_graph, planted_params.with_changes(min_support=8)).mine()
+        high = SCPM(planted_graph, planted_params.with_changes(min_support=40)).mine()
+        assert (
+            high.counters.attribute_sets_evaluated
+            <= low.counters.attribute_sets_evaluated
+        )
+
+    def test_higher_epsilon_threshold_prunes_more(self, planted_graph, planted_params):
+        lenient = SCPM(
+            planted_graph, planted_params.with_changes(min_epsilon=0.0)
+        ).mine()
+        strict = SCPM(
+            planted_graph, planted_params.with_changes(min_epsilon=0.4)
+        ).mine()
+        assert (
+            strict.counters.attribute_sets_evaluated
+            <= lenient.counters.attribute_sets_evaluated
+        )
+        assert len(strict.qualified) <= len(lenient.qualified)
+
+    def test_counters_are_consistent(self, planted_graph, planted_params):
+        result = SCPM(planted_graph, planted_params).mine()
+        counters = result.counters
+        assert counters.attribute_sets_evaluated == len(result.evaluated)
+        assert counters.attribute_sets_qualified == len(result.qualified)
+        assert (
+            counters.attribute_sets_extended + counters.attribute_sets_pruned
+            == counters.attribute_sets_evaluated
+        )
+        assert counters.elapsed_seconds >= 0.0
+
+    def test_max_attribute_set_size_respected(self, planted_graph, planted_params):
+        result = SCPM(
+            planted_graph, planted_params.with_changes(max_attribute_set_size=1)
+        ).mine()
+        assert all(r.size == 1 for r in result.evaluated)
+
+    def test_theorem4_pruning_never_loses_qualifying_sets(self, planted_graph):
+        """With and without ε-pruning the qualifying attribute sets coincide."""
+        strict = SCPMParams(
+            min_support=8,
+            gamma=0.5,
+            min_size=4,
+            min_epsilon=0.3,
+            min_delta=0.0,
+            max_attribute_set_size=2,
+        )
+        pruned = SCPM(planted_graph, strict).mine()
+        exhaustive = NaiveMiner(planted_graph, strict).mine()
+        assert {r.attributes for r in pruned.qualified} == {
+            r.attributes for r in exhaustive.qualified
+        }

@@ -1,0 +1,110 @@
+"""Unit tests for structural correlation (ε) and pattern extraction."""
+
+import pytest
+
+from repro.correlation.structural import (
+    all_patterns,
+    coverage_search,
+    structural_correlation,
+    top_k_patterns,
+)
+from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.reference import brute_force_structural_correlation
+
+
+class TestStructuralCorrelation:
+    def test_epsilon_of_A(self, example_graph, example_qc_params):
+        epsilon, covered = structural_correlation(example_graph, ["A"], example_qc_params)
+        assert epsilon == pytest.approx(9 / 11)
+        assert covered == frozenset(range(3, 12))
+
+    def test_epsilon_of_C_is_zero(self, example_graph, example_qc_params):
+        epsilon, covered = structural_correlation(example_graph, ["C"], example_qc_params)
+        assert epsilon == 0.0
+        assert covered == frozenset()
+
+    def test_epsilon_of_AB_is_one(self, example_graph, example_qc_params):
+        epsilon, covered = structural_correlation(
+            example_graph, ["A", "B"], example_qc_params
+        )
+        assert epsilon == 1.0
+        assert covered == frozenset({6, 7, 8, 9, 10, 11})
+
+    def test_unknown_attribute_gives_zero(self, example_graph, example_qc_params):
+        epsilon, covered = structural_correlation(
+            example_graph, ["missing"], example_qc_params
+        )
+        assert epsilon == 0.0 and covered == frozenset()
+
+    def test_matches_brute_force(self, example_graph, example_qc_params):
+        for attributes in (["A"], ["B"], ["C"], ["D"], ["A", "B"], ["A", "C"]):
+            expected = brute_force_structural_correlation(
+                example_graph, attributes, example_qc_params
+            )
+            epsilon, _ = structural_correlation(
+                example_graph, attributes, example_qc_params
+            )
+            assert epsilon == pytest.approx(expected)
+
+    def test_candidate_restriction_theorem3(self, example_graph, example_qc_params):
+        # restricting to the parents' covered set must not change epsilon when
+        # the restriction is a superset of the true coverage
+        epsilon_full, covered = structural_correlation(
+            example_graph, ["A", "B"], example_qc_params
+        )
+        epsilon_restricted, _ = structural_correlation(
+            example_graph,
+            ["A", "B"],
+            example_qc_params,
+            candidate_vertices=frozenset(range(3, 12)),
+        )
+        assert epsilon_restricted == pytest.approx(epsilon_full)
+
+    def test_candidate_restriction_can_zero_out(self, example_graph, example_qc_params):
+        epsilon, covered = structural_correlation(
+            example_graph, ["A"], example_qc_params, candidate_vertices=[1, 2]
+        )
+        assert epsilon == 0.0
+
+    def test_coverage_search_exposes_stats(self, example_graph, example_qc_params):
+        search = coverage_search(example_graph, ["A"], example_qc_params)
+        search.covered_vertices()
+        assert search.stats.satisfying_sets_found > 0
+
+
+class TestPatternExtraction:
+    def test_top_k_patterns_for_A(self, example_graph, example_qc_params):
+        patterns = top_k_patterns(example_graph, ["A"], example_qc_params, k=10)
+        assert len(patterns) == 5
+        assert patterns[0].vertices == frozenset({6, 7, 8, 9, 10, 11})
+        assert patterns[0].gamma == pytest.approx(0.6)
+        assert patterns[1].vertices == frozenset({3, 4, 5, 6})
+        assert patterns[1].gamma == pytest.approx(1.0)
+        assert all(p.attributes == ("A",) for p in patterns)
+
+    def test_top_k_limits_output(self, example_graph, example_qc_params):
+        patterns = top_k_patterns(example_graph, ["A"], example_qc_params, k=2)
+        assert len(patterns) == 2
+
+    def test_top_k_patterns_empty_for_small_support(self, example_graph, example_qc_params):
+        assert top_k_patterns(example_graph, ["E"], example_qc_params, k=3) == []
+
+    def test_all_patterns_matches_table1_for_A(self, example_graph, example_qc_params):
+        patterns = all_patterns(example_graph, ["A"], example_qc_params)
+        vertex_sets = {p.vertices for p in patterns}
+        assert vertex_sets == {
+            frozenset({6, 7, 8, 9, 10, 11}),
+            frozenset({3, 4, 5, 6}),
+            frozenset({3, 4, 6, 7}),
+            frozenset({3, 5, 6, 7}),
+            frozenset({3, 6, 7, 8}),
+        }
+
+    def test_all_patterns_small_support(self, example_graph, example_qc_params):
+        assert all_patterns(example_graph, ["C"], example_qc_params) == []
+
+    def test_pattern_gamma_values(self, example_graph, example_qc_params):
+        patterns = all_patterns(example_graph, ["A"], example_qc_params)
+        by_vertices = {p.vertices: p.gamma for p in patterns}
+        assert by_vertices[frozenset({3, 4, 6, 7})] == pytest.approx(2 / 3)
+        assert by_vertices[frozenset({6, 7, 8, 9, 10, 11})] == pytest.approx(0.6)

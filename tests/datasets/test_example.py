@@ -1,0 +1,78 @@
+"""Tests for the reconstructed paper example dataset."""
+
+import pytest
+
+from repro.datasets.example import (
+    EXAMPLE_ATTRIBUTES,
+    EXAMPLE_EDGES,
+    TABLE1_PARAMETERS,
+    TABLE1_PATTERNS,
+    paper_example_graph,
+)
+from repro.graph.validation import validate_graph
+from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.reference import brute_force_maximal_quasi_cliques
+
+
+class TestExampleData:
+    def test_graph_matches_declared_constants(self):
+        graph = paper_example_graph()
+        assert graph.num_vertices == len(EXAMPLE_ATTRIBUTES)
+        assert graph.num_edges == len(EXAMPLE_EDGES)
+        for vertex, attributes in EXAMPLE_ATTRIBUTES.items():
+            assert graph.attributes_of(vertex) == frozenset(attributes)
+
+    def test_graph_is_valid(self):
+        report = validate_graph(
+            paper_example_graph(), require_attributes=True, require_edges=True
+        )
+        assert report.ok
+
+    def test_figure_1c_clique(self):
+        graph = paper_example_graph()
+        for u in (3, 4, 5, 6):
+            for v in (3, 4, 5, 6):
+                if u != v:
+                    assert graph.has_edge(u, v)
+
+    def test_figure_1d_prism_degrees(self):
+        graph = paper_example_graph()
+        prism = {6, 7, 8, 9, 10, 11}
+        for vertex in prism:
+            assert len(graph.neighbor_set(vertex) & prism) == 3
+
+    def test_vertices_1_and_2_are_not_covered(self):
+        # the text states epsilon(A) = 0.82 = 9/11: exactly vertices 1 and 2
+        # are outside every quasi-clique
+        graph = paper_example_graph()
+        params = QuasiCliqueParams(
+            gamma=TABLE1_PARAMETERS["gamma"], min_size=TABLE1_PARAMETERS["min_size"]
+        )
+        covered = set()
+        for quasi_clique in brute_force_maximal_quasi_cliques(graph, params):
+            covered |= quasi_clique
+        assert covered == set(range(3, 12))
+
+    def test_table1_patterns_are_the_exact_maximal_quasi_cliques(self):
+        graph = paper_example_graph()
+        params = QuasiCliqueParams(
+            gamma=TABLE1_PARAMETERS["gamma"], min_size=TABLE1_PARAMETERS["min_size"]
+        )
+        expected_for_a = {
+            frozenset(vertices)
+            for attrs, vertices in TABLE1_PATTERNS
+            if attrs == ("A",)
+        }
+        found = set(brute_force_maximal_quasi_cliques(graph, params))
+        assert found == expected_for_a
+
+    def test_each_call_returns_a_fresh_graph(self):
+        first = paper_example_graph()
+        second = paper_example_graph()
+        first.add_edge(1, 11)
+        assert not second.has_edge(1, 11)
+
+    def test_table1_pattern_list_has_seven_rows(self):
+        assert len(TABLE1_PATTERNS) == 7
+        supports = {attrs for attrs, _ in TABLE1_PATTERNS}
+        assert supports == {("A",), ("B",), ("A", "B")}

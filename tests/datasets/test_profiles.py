@@ -1,0 +1,73 @@
+"""Tests for the scaled dataset profiles (DBLP / LastFm / CiteSeer / SmallDBLP)."""
+
+import pytest
+
+from repro.datasets.profiles import (
+    PROFILES,
+    citeseer_like,
+    dblp_like,
+    lastfm_like,
+    load_profile,
+    small_dblp_like,
+)
+from repro.graph.validation import validate_graph
+
+
+class TestRegistry:
+    def test_all_profiles_registered(self):
+        assert set(PROFILES) == {"dblp", "lastfm", "citeseer", "small-dblp"}
+
+    def test_load_profile(self):
+        profile = load_profile("small-dblp")
+        assert profile.name == "small-dblp-like"
+
+    def test_load_unknown_profile(self):
+        with pytest.raises(KeyError):
+            load_profile("imdb")
+
+
+@pytest.mark.parametrize(
+    "factory", [dblp_like, lastfm_like, citeseer_like, small_dblp_like]
+)
+class TestEveryProfile:
+    def test_spec_is_consistent(self, factory):
+        profile = factory(scale=0.5)
+        total_planted = sum(
+            c.size + c.noise_carriers for c in profile.spec.communities
+        )
+        assert total_planted <= profile.spec.num_vertices
+        assert profile.params.min_support >= 1
+        assert profile.description
+
+    def test_build_produces_valid_graph(self, factory):
+        profile = factory(scale=0.4)
+        graph = profile.build()
+        assert validate_graph(graph).ok
+        assert graph.num_vertices == profile.spec.num_vertices
+
+    def test_build_is_deterministic(self, factory):
+        profile = factory(scale=0.4)
+        assert profile.build() == profile.build()
+
+    def test_scale_changes_size(self, factory):
+        small = factory(scale=0.4).spec.num_vertices
+        large = factory(scale=1.0).spec.num_vertices
+        assert small < large
+
+
+class TestProfileSemantics:
+    def test_dblp_planted_topics_are_frequent(self):
+        profile = dblp_like()
+        graph = profile.build()
+        for community in profile.spec.communities:
+            assert graph.support(community.attributes) >= profile.params.min_support
+
+    def test_lastfm_popular_artists_have_huge_support(self):
+        profile = lastfm_like()
+        graph = profile.build()
+        radiohead = graph.support(["Radiohead"])
+        niche = graph.support(["SStevens", "Wilco"])
+        assert radiohead > 2 * niche
+
+    def test_profiles_have_distinct_seeds(self):
+        assert dblp_like().spec.seed != citeseer_like().spec.seed

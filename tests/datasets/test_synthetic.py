@@ -1,0 +1,133 @@
+"""Tests for the synthetic attributed-graph generators."""
+
+import pytest
+
+from repro.datasets.synthetic import (
+    CommunitySpec,
+    SyntheticSpec,
+    community_supports,
+    generate,
+    random_attributed_graph,
+)
+from repro.errors import DatasetError, ParameterError
+from repro.graph.validation import validate_graph
+from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.search import vertices_in_quasi_cliques
+
+
+class TestSpecs:
+    def test_community_spec_validation(self):
+        with pytest.raises(ParameterError):
+            CommunitySpec(("x",), size=1)
+        with pytest.raises(ParameterError):
+            CommunitySpec(("x",), size=5, density=0.0)
+        with pytest.raises(ParameterError):
+            CommunitySpec(("x",), size=5, noise_carriers=-1)
+        with pytest.raises(ParameterError):
+            CommunitySpec((), size=5, noise_carriers=3)
+
+    def test_synthetic_spec_validation(self):
+        with pytest.raises(ParameterError):
+            SyntheticSpec(num_vertices=1)
+        with pytest.raises(ParameterError):
+            SyntheticSpec(num_vertices=10, background_degree=-1)
+        with pytest.raises(ParameterError):
+            SyntheticSpec(num_vertices=10, popular_fraction=2.0)
+
+    def test_communities_must_fit(self):
+        with pytest.raises(DatasetError):
+            SyntheticSpec(
+                num_vertices=10,
+                communities=(CommunitySpec(("x",), size=8, noise_carriers=8),),
+            )
+
+    def test_community_supports_helper(self):
+        spec = SyntheticSpec(
+            num_vertices=100,
+            communities=(CommunitySpec(("x", "y"), size=10, noise_carriers=5),),
+        )
+        assert community_supports(spec) == {("x", "y"): 15}
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def spec(self):
+        return SyntheticSpec(
+            num_vertices=200,
+            background_degree=3.0,
+            vocabulary_size=30,
+            zipf_exponent=1.1,
+            attributes_per_vertex=2.0,
+            communities=(
+                CommunitySpec(("topic", "hot"), size=10, density=0.9, noise_carriers=15),
+                CommunitySpec((), size=8, density=0.9),
+            ),
+            popular_attributes=("popular",),
+            popular_fraction=0.3,
+            seed=13,
+        )
+
+    def test_graph_shape(self, spec):
+        graph = generate(spec)
+        assert graph.num_vertices == 200
+        assert graph.num_edges > 0
+        assert validate_graph(graph).ok
+
+    def test_determinism(self, spec):
+        assert generate(spec) == generate(spec)
+
+    def test_different_seed_changes_graph(self, spec):
+        import dataclasses
+
+        other = dataclasses.replace(spec, seed=99)
+        assert generate(spec) != generate(other)
+
+    def test_planted_attribute_support(self, spec):
+        graph = generate(spec)
+        assert graph.support(["topic", "hot"]) == 25  # members + carriers
+
+    def test_popular_attribute_support(self, spec):
+        graph = generate(spec)
+        assert graph.support(["popular"]) == 60  # 30% of 200
+
+    def test_planted_community_is_dense(self, spec):
+        graph = generate(spec)
+        covered = vertices_in_quasi_cliques(
+            graph.induced_by(["topic", "hot"]),
+            gamma=0.5,
+            min_size=4,
+        )
+        # most of the 10 planted members sit inside a quasi-clique
+        assert len(covered) >= 8
+
+    def test_structural_community_has_no_attributes(self, spec):
+        # purely structural communities add edges but no attribute support
+        graph = generate(spec)
+        assert "topic" in set(graph.attributes())
+        # the attribute universe contains only background terms, the planted
+        # topic, and the popular attribute
+        for attribute in graph.attributes():
+            assert attribute == "popular" or attribute in ("topic", "hot") or str(
+                attribute
+            ).startswith("term")
+
+
+class TestRandomAttributedGraph:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            random_attributed_graph(5, 1.5, ["a"], 0.5)
+        with pytest.raises(ParameterError):
+            random_attributed_graph(5, 0.5, ["a"], -0.1)
+
+    def test_determinism_and_shape(self):
+        first = random_attributed_graph(15, 0.3, ["a", "b"], 0.5, seed=2)
+        second = random_attributed_graph(15, 0.3, ["a", "b"], 0.5, seed=2)
+        assert first == second
+        assert first.num_vertices == 15
+
+    def test_extreme_probabilities(self):
+        empty = random_attributed_graph(6, 0.0, ["a"], 0.0, seed=1)
+        full = random_attributed_graph(6, 1.0, ["a"], 1.0, seed=1)
+        assert empty.num_edges == 0
+        assert full.num_edges == 15
+        assert full.support(["a"]) == 6

@@ -1,0 +1,186 @@
+"""Unit tests for the core AttributedGraph structure."""
+
+import pytest
+
+from repro.errors import GraphError, UnknownAttributeError, UnknownVertexError
+from repro.graph.attributed_graph import AttributedGraph
+
+
+def build_small():
+    graph = AttributedGraph()
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 3)
+    graph.add_attributes(1, ["a", "b"])
+    graph.add_attributes(2, ["a"])
+    graph.add_attributes(3, ["b"])
+    return graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = AttributedGraph()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert graph.num_attributes == 0
+
+    def test_constructor_arguments(self):
+        graph = AttributedGraph(
+            vertices=[1, 2, 3],
+            edges=[(1, 2)],
+            attributes={1: ["a"], 2: ["a", "b"]},
+        )
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 1
+        assert graph.attributes_of(2) == frozenset({"a", "b"})
+
+    def test_add_vertex_idempotent(self):
+        graph = AttributedGraph()
+        graph.add_vertex(1)
+        graph.add_vertex(1)
+        assert graph.num_vertices == 1
+
+    def test_add_edge_creates_vertices(self):
+        graph = AttributedGraph()
+        graph.add_edge("u", "v")
+        assert graph.has_vertex("u") and graph.has_vertex("v")
+        assert graph.has_edge("u", "v") and graph.has_edge("v", "u")
+
+    def test_duplicate_edge_not_counted_twice(self):
+        graph = AttributedGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 1)
+        assert graph.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        graph = AttributedGraph()
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1)
+
+    def test_add_attribute_creates_vertex(self):
+        graph = AttributedGraph()
+        graph.add_attribute(5, "z")
+        assert graph.has_vertex(5)
+        assert graph.attributes_of(5) == frozenset({"z"})
+
+    def test_remove_vertex(self):
+        graph = build_small()
+        graph.remove_vertex(2)
+        assert not graph.has_vertex(2)
+        assert graph.num_edges == 0
+        assert graph.vertices_with("a") == frozenset({1})
+
+    def test_remove_vertex_drops_empty_attribute(self):
+        graph = AttributedGraph()
+        graph.add_attribute(1, "only")
+        graph.remove_vertex(1)
+        assert graph.num_attributes == 0
+
+    def test_remove_unknown_vertex_raises(self):
+        with pytest.raises(UnknownVertexError):
+            AttributedGraph().remove_vertex(1)
+
+
+class TestQueries:
+    def test_counts(self):
+        graph = build_small()
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+        assert graph.num_attributes == 2
+
+    def test_degree_and_neighbors(self):
+        graph = build_small()
+        assert graph.degree(2) == 2
+        assert graph.neighbors(2) == frozenset({1, 3})
+
+    def test_unknown_vertex_queries_raise(self):
+        graph = build_small()
+        with pytest.raises(UnknownVertexError):
+            graph.degree(99)
+        with pytest.raises(UnknownVertexError):
+            graph.neighbors(99)
+        with pytest.raises(UnknownVertexError):
+            graph.attributes_of(99)
+
+    def test_unknown_attribute_raises(self):
+        graph = build_small()
+        with pytest.raises(UnknownAttributeError):
+            graph.vertices_with("zzz")
+
+    def test_edges_iterated_once(self):
+        graph = build_small()
+        edges = {frozenset(edge) for edge in graph.edges()}
+        assert edges == {frozenset({1, 2}), frozenset({2, 3})}
+        assert sum(1 for _ in graph.edges()) == 2
+
+    def test_contains_len_iter(self):
+        graph = build_small()
+        assert 1 in graph
+        assert 99 not in graph
+        assert len(graph) == 3
+        assert set(iter(graph)) == {1, 2, 3}
+
+    def test_repr(self):
+        assert "num_vertices=3" in repr(build_small())
+
+
+class TestInducedSets:
+    def test_vertices_with_all_single(self):
+        graph = build_small()
+        assert graph.vertices_with_all(["a"]) == frozenset({1, 2})
+
+    def test_vertices_with_all_intersection(self):
+        graph = build_small()
+        assert graph.vertices_with_all(["a", "b"]) == frozenset({1})
+
+    def test_vertices_with_all_unknown_attribute(self):
+        graph = build_small()
+        assert graph.vertices_with_all(["a", "nope"]) == frozenset()
+
+    def test_vertices_with_all_empty_set_is_all_vertices(self):
+        graph = build_small()
+        assert graph.vertices_with_all([]) == frozenset({1, 2, 3})
+
+    def test_support(self):
+        graph = build_small()
+        assert graph.support(["a"]) == 2
+        assert graph.support(["a", "b"]) == 1
+
+    def test_subgraph_preserves_attributes_and_edges(self):
+        graph = build_small()
+        sub = graph.subgraph([1, 2])
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1
+        assert sub.attributes_of(1) == frozenset({"a", "b"})
+
+    def test_subgraph_unknown_vertex_raises(self):
+        with pytest.raises(UnknownVertexError):
+            build_small().subgraph([1, 42])
+
+    def test_induced_by(self):
+        graph = build_small()
+        induced = graph.induced_by(["a"])
+        assert set(induced.vertices()) == {1, 2}
+        assert induced.has_edge(1, 2)
+
+    def test_copy_is_equal_but_independent(self):
+        graph = build_small()
+        clone = graph.copy()
+        assert clone == graph
+        clone.add_edge(1, 3)
+        assert clone != graph
+
+    def test_equality_against_other_types(self):
+        assert AttributedGraph() != 3
+
+
+class TestExampleGraph:
+    def test_example_dimensions(self, example_graph):
+        assert example_graph.num_vertices == 11
+        assert example_graph.num_edges == 19
+        assert example_graph.num_attributes == 5
+
+    def test_example_supports_match_paper(self, example_graph):
+        assert example_graph.support(["A"]) == 11
+        assert example_graph.support(["B"]) == 6
+        assert example_graph.support(["C"]) == 3
+        assert example_graph.support(["A", "B"]) == 6

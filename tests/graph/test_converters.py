@@ -1,0 +1,47 @@
+"""Unit tests for the networkx converters."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.converters import from_networkx, to_networkx
+
+
+class TestToNetworkx:
+    def test_preserves_structure(self, example_graph):
+        nxg = to_networkx(example_graph)
+        assert nxg.number_of_nodes() == 11
+        assert nxg.number_of_edges() == 19
+
+    def test_stores_attributes_on_nodes(self, example_graph):
+        nxg = to_networkx(example_graph)
+        assert nxg.nodes[6]["attributes"] == ("A", "B", "C")
+
+
+class TestFromNetworkx:
+    def test_round_trip(self, example_graph):
+        back = from_networkx(to_networkx(example_graph))
+        assert back.num_vertices == example_graph.num_vertices
+        assert back.num_edges == example_graph.num_edges
+        assert back.support(["A", "B"]) == 6
+
+    def test_explicit_attribute_mapping(self):
+        nxg = nx.path_graph(3)
+        graph = from_networkx(nxg, attributes={0: ["x"], 2: ["x", "y"]})
+        assert graph.support(["x"]) == 2
+        assert graph.attributes_of(1) == frozenset()
+
+    def test_directed_rejected(self):
+        with pytest.raises(GraphError):
+            from_networkx(nx.DiGraph([(1, 2)]))
+
+    def test_multigraph_rejected(self):
+        with pytest.raises(GraphError):
+            from_networkx(nx.MultiGraph([(1, 2), (1, 2)]))
+
+    def test_self_loops_dropped(self):
+        nxg = nx.Graph()
+        nxg.add_edge(1, 1)
+        nxg.add_edge(1, 2)
+        graph = from_networkx(nxg)
+        assert graph.num_edges == 1

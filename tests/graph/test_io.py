@@ -1,0 +1,99 @@
+"""Unit tests for graph reading/writing."""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.graph.io import (
+    from_json,
+    read_attributed_graph,
+    read_attributes,
+    read_edge_list,
+    read_json,
+    to_json,
+    write_attributed_graph,
+    write_json,
+)
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    path = tmp_path / "g.edges"
+    path.write_text("# comment\n1 2\n2 3\n\n3 1\n")
+    return path
+
+
+@pytest.fixture
+def attr_file(tmp_path):
+    path = tmp_path / "g.attrs"
+    path.write_text("# vertex attrs\n1 a b\n2 a\n3\n4 c\n")
+    return path
+
+
+class TestReading:
+    def test_read_edge_list(self, edge_file):
+        graph = read_edge_list(edge_file)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 3
+
+    def test_read_edge_list_bad_line(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("justone\n")
+        with pytest.raises(FormatError):
+            read_edge_list(path)
+
+    def test_read_edge_list_skips_self_loops(self, tmp_path):
+        path = tmp_path / "loops.edges"
+        path.write_text("1 1\n1 2\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 1
+
+    def test_read_attributes(self, attr_file):
+        graph = read_attributes(attr_file)
+        assert graph.attributes_of(1) == frozenset({"a", "b"})
+        assert graph.attributes_of(3) == frozenset()
+        assert graph.has_vertex(4)
+
+    def test_read_attributed_graph(self, edge_file, attr_file):
+        graph = read_attributed_graph(edge_file, attr_file)
+        assert graph.num_vertices == 4  # vertex 4 only appears in the attribute file
+        assert graph.num_edges == 3
+        assert graph.support(["a"]) == 2
+
+    def test_vertex_tokens_parsed_as_int_when_possible(self, tmp_path):
+        path = tmp_path / "mixed.edges"
+        path.write_text("1 alice\n")
+        graph = read_edge_list(path)
+        assert graph.has_vertex(1)
+        assert graph.has_vertex("alice")
+
+
+class TestWriting:
+    def test_round_trip_files(self, tmp_path, example_graph):
+        edges = tmp_path / "out.edges"
+        attrs = tmp_path / "out.attrs"
+        write_attributed_graph(example_graph, edges, attrs)
+        loaded = read_attributed_graph(edges, attrs)
+        assert loaded.num_vertices == example_graph.num_vertices
+        assert loaded.num_edges == example_graph.num_edges
+        assert loaded.support(["A", "B"]) == 6
+
+    def test_json_round_trip(self, example_graph):
+        text = to_json(example_graph)
+        loaded = from_json(text)
+        assert loaded.num_vertices == example_graph.num_vertices
+        assert loaded.num_edges == example_graph.num_edges
+        assert loaded.support(["A"]) == 11
+
+    def test_json_file_round_trip(self, tmp_path, example_graph):
+        path = tmp_path / "g.json"
+        write_json(example_graph, path)
+        loaded = read_json(path)
+        assert loaded.num_edges == example_graph.num_edges
+
+    def test_from_json_errors(self):
+        with pytest.raises(FormatError):
+            from_json("not json at all {")
+        with pytest.raises(FormatError):
+            from_json("{}")
+        with pytest.raises(FormatError):
+            from_json('{"vertices": {}, "edges": [[1, 2, 3]]}')

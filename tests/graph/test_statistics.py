@@ -1,0 +1,101 @@
+"""Unit tests for graph statistics."""
+
+import pytest
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.statistics import (
+    attribute_support_histogram,
+    connected_components,
+    degree_distribution,
+    edge_density,
+    minimum_degree_ratio,
+    summarize,
+)
+
+
+def path_graph(n: int) -> AttributedGraph:
+    graph = AttributedGraph()
+    for i in range(n - 1):
+        graph.add_edge(i, i + 1)
+    return graph
+
+
+class TestDegreeDistribution:
+    def test_empty_graph(self):
+        dist = degree_distribution(AttributedGraph())
+        assert dist.max_degree == 0
+        assert dist.mean() == 0.0
+        assert dist.probability(3) == 0.0
+
+    def test_path_graph(self):
+        dist = degree_distribution(path_graph(4))
+        assert dist.max_degree == 2
+        assert dist.probability(1) == pytest.approx(0.5)
+        assert dist.probability(2) == pytest.approx(0.5)
+        assert dist.probability(7) == 0.0
+
+    def test_probabilities_sum_to_one(self, example_graph):
+        dist = degree_distribution(example_graph)
+        assert dist.probabilities.sum() == pytest.approx(1.0)
+
+    def test_mean_degree_matches_handshake_lemma(self, example_graph):
+        dist = degree_distribution(example_graph)
+        assert dist.mean() == pytest.approx(
+            2 * example_graph.num_edges / example_graph.num_vertices
+        )
+
+
+class TestDensityAndRatio:
+    def test_edge_density_complete_graph(self):
+        graph = AttributedGraph()
+        for u in range(4):
+            for v in range(u + 1, 4):
+                graph.add_edge(u, v)
+        assert edge_density(graph) == pytest.approx(1.0)
+
+    def test_edge_density_small_graphs(self):
+        assert edge_density(AttributedGraph()) == 0.0
+        single = AttributedGraph(vertices=[1])
+        assert edge_density(single) == 0.0
+
+    def test_minimum_degree_ratio_clique(self, example_graph):
+        assert minimum_degree_ratio(example_graph, {3, 4, 5, 6}) == pytest.approx(1.0)
+
+    def test_minimum_degree_ratio_prism(self, example_graph):
+        assert minimum_degree_ratio(
+            example_graph, {6, 7, 8, 9, 10, 11}
+        ) == pytest.approx(0.6)
+
+    def test_minimum_degree_ratio_tiny_sets(self, example_graph):
+        assert minimum_degree_ratio(example_graph, set()) == 0.0
+        assert minimum_degree_ratio(example_graph, {1}) == 0.0
+
+
+class TestComponentsAndSummary:
+    def test_attribute_support_histogram(self, example_graph):
+        histogram = attribute_support_histogram(example_graph)
+        assert histogram["A"] == 11
+        assert histogram["B"] == 6
+        assert histogram["E"] == 2
+
+    def test_connected_components_single(self, example_graph):
+        components = connected_components(example_graph)
+        assert len(components) == 1
+        assert components[0] == set(range(1, 12))
+
+    def test_connected_components_two_parts(self):
+        graph = AttributedGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 4)
+        graph.add_vertex(5)
+        components = connected_components(graph)
+        assert sorted(len(c) for c in components) == [1, 2, 2]
+
+    def test_summarize(self, example_graph):
+        summary = summarize(example_graph)
+        assert summary.num_vertices == 11
+        assert summary.num_edges == 19
+        assert summary.num_components == 1
+        assert summary.max_degree == 6  # vertex 3 and 6 have degree 6
+        row = summary.as_row()
+        assert row[0] == 11 and row[1] == 19

@@ -1,0 +1,41 @@
+"""Unit tests for graph validation."""
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.validation import validate_graph
+
+
+class TestValidateGraph:
+    def test_valid_graph_passes(self, example_graph):
+        report = validate_graph(example_graph, require_attributes=True, require_edges=True)
+        assert report.ok
+        assert bool(report)
+        assert report.issues == []
+
+    def test_empty_graph_fails(self):
+        report = validate_graph(AttributedGraph())
+        assert not report.ok
+        assert "no vertices" in report.issues[0]
+
+    def test_require_edges(self):
+        graph = AttributedGraph(vertices=[1, 2])
+        report = validate_graph(graph, require_edges=True)
+        assert any("no edges" in issue for issue in report.issues)
+
+    def test_require_attributes(self):
+        graph = AttributedGraph(vertices=[1, 2], edges=[(1, 2)])
+        graph.add_attribute(1, "a")
+        report = validate_graph(graph, require_attributes=True)
+        assert any("no attributes" in issue for issue in report.issues)
+
+    def test_detects_corrupted_adjacency(self):
+        graph = AttributedGraph(edges=[(1, 2)])
+        # break the invariant on purpose through the private structure
+        graph._adjacency[1].discard(2)
+        report = validate_graph(graph)
+        assert any("asymmetric" in issue for issue in report.issues)
+
+    def test_detects_corrupted_attribute_index(self):
+        graph = AttributedGraph(edges=[(1, 2)], attributes={1: ["a"]})
+        graph._attribute_vertices["a"].add(2)
+        report = validate_graph(graph)
+        assert not report.ok

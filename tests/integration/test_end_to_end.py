@@ -1,0 +1,106 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These exercise the path a user of the library follows: generate (or load) an
+attributed graph, mine it with SCPM, inspect the ranking tables and the
+patterns, and round-trip everything through the I/O layer.
+"""
+
+import pytest
+
+from repro import (
+    SCPM,
+    AttributedGraph,
+    NaiveMiner,
+    SCPMParams,
+    load_profile,
+    structural_correlation,
+)
+from repro.analysis.ranking import render_case_study_table
+from repro.correlation.null_models import AnalyticalNullModel
+from repro.graph.io import read_attributed_graph, write_attributed_graph
+from repro.quasiclique.definitions import QuasiCliqueParams
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return load_profile("small-dblp", scale=0.6)
+
+
+@pytest.fixture(scope="module")
+def graph(profile):
+    return profile.build()
+
+
+@pytest.fixture(scope="module")
+def result(profile, graph):
+    return SCPM(graph, profile.params).mine()
+
+
+class TestEndToEnd:
+    def test_planted_topics_rank_high_by_delta(self, profile, graph, result):
+        top_delta_labels = {
+            frozenset(r.attributes) for r in result.top_by_delta(10, min_set_size=2)
+        }
+        planted = {
+            frozenset(c.attributes)
+            for c in profile.spec.communities
+            if c.attributes and graph.support(c.attributes) >= profile.params.min_support
+        }
+        assert planted & top_delta_labels, "no planted topic reached the top-delta table"
+
+    def test_patterns_live_inside_their_induced_graphs(self, profile, graph, result):
+        for pattern in result.patterns:
+            members = graph.vertices_with_all(pattern.attributes)
+            assert pattern.vertices <= members
+            assert pattern.size >= profile.params.min_size
+
+    def test_epsilon_consistency_between_api_layers(self, profile, graph, result):
+        qc_params = profile.params.quasi_clique_params()
+        for record in result.qualified[:5]:
+            epsilon, _ = structural_correlation(graph, record.attributes, qc_params)
+            assert epsilon == pytest.approx(record.epsilon)
+
+    def test_delta_consistency_with_null_model(self, profile, graph, result):
+        model = AnalyticalNullModel(graph, profile.params.quasi_clique_params())
+        for record in result.evaluated[:10]:
+            expected = model.expected_epsilon(record.support)
+            assert record.expected_epsilon == pytest.approx(expected)
+
+    def test_naive_and_scpm_qualified_sets_agree(self, profile, graph, result):
+        naive = NaiveMiner(graph, profile.params).mine()
+        assert {r.attributes for r in result.qualified} == {
+            r.attributes for r in naive.qualified
+        }
+
+    def test_render_tables(self, result):
+        text = render_case_study_table(result, "small-dblp", n=5, min_set_size=1)
+        assert "top-delta" in text and "sigma" in text
+
+    def test_io_round_trip_preserves_mining_output(self, tmp_path, graph, profile):
+        edges = tmp_path / "graph.edges"
+        attrs = tmp_path / "graph.attrs"
+        write_attributed_graph(graph, edges, attrs)
+        reloaded = read_attributed_graph(edges, attrs)
+        original = SCPM(graph, profile.params, collect_patterns=False).mine()
+        round_tripped = SCPM(reloaded, profile.params, collect_patterns=False).mine()
+        original_stats = {r.attributes: (r.support, pytest.approx(r.epsilon)) for r in original.evaluated}
+        reloaded_stats = {r.attributes: (r.support, r.epsilon) for r in round_tripped.evaluated}
+        assert set(original_stats) == set(reloaded_stats)
+
+    def test_building_a_graph_by_hand(self):
+        graph = AttributedGraph()
+        for member in range(5):
+            graph.add_attributes(member, ["go", "club"])
+        for u in range(5):
+            for v in range(u + 1, 5):
+                graph.add_edge(u, v)
+        for outsider in range(5, 30):
+            graph.add_attribute(outsider, "go")
+            graph.add_edge(outsider, (outsider + 1) % 30)
+        params = SCPMParams(min_support=5, gamma=0.8, min_size=4, min_epsilon=0.1)
+        result = SCPM(graph, params).mine()
+        club = result.find(["club", "go"])
+        assert club.qualified
+        assert club.epsilon == 1.0
+        go = result.find(["go"])
+        assert go.epsilon == pytest.approx(5 / 30)

@@ -1,0 +1,51 @@
+"""Unit tests for the Apriori baseline and its agreement with Eclat."""
+
+import pytest
+
+from repro.datasets.synthetic import random_attributed_graph
+from repro.errors import ParameterError
+from repro.itemsets.apriori import mine_frequent_itemsets_apriori
+from repro.itemsets.eclat import mine_frequent_itemsets
+
+
+def as_map(itemsets):
+    return {frozenset(f.items): f.support for f in itemsets}
+
+
+class TestApriori:
+    def test_example_graph_support_3(self, example_graph):
+        found = as_map(mine_frequent_itemsets_apriori(example_graph, min_support=3))
+        assert found[frozenset({"A"})] == 11
+        assert found[frozenset({"A", "B"})] == 6
+        assert frozenset({"B", "C"}) not in found
+
+    def test_invalid_parameters(self, example_graph):
+        with pytest.raises(ParameterError):
+            mine_frequent_itemsets_apriori(example_graph, min_support=0)
+        with pytest.raises(ParameterError):
+            mine_frequent_itemsets_apriori(example_graph, min_support=1, min_size=0)
+
+    def test_min_and_max_size(self, example_graph):
+        found = mine_frequent_itemsets_apriori(
+            example_graph, min_support=1, min_size=2, max_size=2
+        )
+        assert found and all(f.size == 2 for f in found)
+
+    @pytest.mark.parametrize("min_support", [1, 2, 3, 5])
+    def test_agrees_with_eclat_on_example(self, example_graph, min_support):
+        apriori = as_map(mine_frequent_itemsets_apriori(example_graph, min_support))
+        eclat = as_map(mine_frequent_itemsets(example_graph, min_support))
+        assert apriori == eclat
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_agrees_with_eclat_on_random_graphs(self, seed):
+        graph = random_attributed_graph(
+            num_vertices=25,
+            edge_probability=0.1,
+            attributes=["a", "b", "c", "d", "e"],
+            attribute_probability=0.4,
+            seed=seed,
+        )
+        apriori = as_map(mine_frequent_itemsets_apriori(graph, min_support=3))
+        eclat = as_map(mine_frequent_itemsets(graph, min_support=3))
+        assert apriori == eclat

@@ -1,0 +1,111 @@
+"""Unit tests for the Eclat frequent itemset miner."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.itemsets.eclat import EclatConfig, EclatMiner, mine_frequent_itemsets, support_of
+from repro.itemsets.itemset import FrequentItemset
+
+
+def itemset_map(itemsets):
+    """Map frozenset(items) -> support for easy comparison."""
+    return {frozenset(f.items): f.support for f in itemsets}
+
+
+class TestEclatConfig:
+    def test_invalid_min_support(self):
+        with pytest.raises(ParameterError):
+            EclatConfig(min_support=0)
+
+    def test_invalid_min_size(self):
+        with pytest.raises(ParameterError):
+            EclatConfig(min_support=1, min_size=0)
+
+    def test_invalid_max_size(self):
+        with pytest.raises(ParameterError):
+            EclatConfig(min_support=1, min_size=3, max_size=2)
+
+
+class TestEclatOnExample:
+    def test_frequent_itemsets_at_support_3(self, example_graph):
+        found = itemset_map(mine_frequent_itemsets(example_graph, min_support=3))
+        expected = {
+            frozenset({"A"}): 11,
+            frozenset({"B"}): 6,
+            frozenset({"C"}): 3,
+            frozenset({"D"}): 3,
+            frozenset({"A", "B"}): 6,
+            frozenset({"A", "C"}): 3,
+            frozenset({"A", "D"}): 3,
+        }
+        assert found == expected
+
+    def test_frequent_itemsets_at_support_6(self, example_graph):
+        found = itemset_map(mine_frequent_itemsets(example_graph, min_support=6))
+        assert found == {
+            frozenset({"A"}): 11,
+            frozenset({"B"}): 6,
+            frozenset({"A", "B"}): 6,
+        }
+
+    def test_min_size_filter(self, example_graph):
+        found = mine_frequent_itemsets(example_graph, min_support=3, min_size=2)
+        assert all(f.size >= 2 for f in found)
+        assert frozenset({"A", "B"}) in itemset_map(found)
+
+    def test_max_size_cap(self, example_graph):
+        found = mine_frequent_itemsets(example_graph, min_support=1, max_size=1)
+        assert all(f.size == 1 for f in found)
+        assert len(found) == 5
+
+    def test_tidsets_are_correct(self, example_graph):
+        found = {frozenset(f.items): f.tidset for f in
+                 mine_frequent_itemsets(example_graph, min_support=3)}
+        assert found[frozenset({"A", "B"})] == frozenset({6, 7, 8, 9, 10, 11})
+        assert found[frozenset({"C"})] == frozenset({1, 3, 6})
+
+    def test_support_of_helper(self, example_graph):
+        assert support_of(example_graph, ("A", "B")) == 6
+        assert support_of(example_graph, ("E", "B")) == 1
+
+    def test_generator_is_lazy(self, example_graph):
+        miner = EclatMiner(EclatConfig(min_support=1))
+        iterator = miner.mine_graph(example_graph)
+        first = next(iterator)
+        assert isinstance(first, FrequentItemset)
+
+
+class TestEclatOnTransactions:
+    def test_mine_transactions(self):
+        transactions = {
+            "t1": frozenset({"bread", "milk"}),
+            "t2": frozenset({"bread", "butter"}),
+            "t3": frozenset({"bread", "milk", "butter"}),
+            "t4": frozenset({"milk"}),
+        }
+        miner = EclatMiner(EclatConfig(min_support=2))
+        found = itemset_map(miner.mine_transactions(transactions))
+        assert found[frozenset({"bread"})] == 3
+        assert found[frozenset({"milk"})] == 3
+        assert found[frozenset({"bread", "milk"})] == 2
+        assert frozenset({"bread", "milk", "butter"}) not in found
+
+    def test_extension_filter_blocks_growth(self, example_graph):
+        # forbid extending anything: only 1-itemsets are produced
+        miner = EclatMiner(
+            EclatConfig(min_support=1), extension_filter=lambda itemset: False
+        )
+        found = list(miner.mine_graph(example_graph))
+        assert all(f.size == 1 for f in found)
+
+    def test_extension_filter_selective(self, example_graph):
+        # itemsets containing 'C' may not be extended (mirrors SCPM pruning:
+        # both parents must survive for a union to be generated)
+        miner = EclatMiner(
+            EclatConfig(min_support=1),
+            extension_filter=lambda itemset: "C" not in itemset.items,
+        )
+        found = itemset_map(miner.mine_graph(example_graph))
+        assert frozenset({"A", "B"}) in found
+        assert frozenset({"C"}) in found  # still reported, just not extended
+        assert not any("C" in items and len(items) > 1 for items in found)

@@ -1,0 +1,67 @@
+"""Unit tests for transaction-database helpers and itemset containers."""
+
+from repro.itemsets.itemset import FrequentItemset, canonical_itemset
+from repro.itemsets.transactions import (
+    frequent_items,
+    horizontal_database,
+    transactions_from_lists,
+    vertical_database,
+    vertical_from_transactions,
+)
+
+
+class TestItemsetContainer:
+    def test_canonical_itemset_sorts_and_dedupes(self):
+        assert canonical_itemset(["b", "a", "b"]) == ("a", "b")
+
+    def test_canonical_itemset_mixed_types(self):
+        # must not raise even though ints and strs are not comparable
+        result = canonical_itemset([2, "a", 1])
+        assert set(result) == {1, 2, "a"}
+
+    def test_frequent_itemset_properties(self):
+        itemset = FrequentItemset(items=("a", "b"), tidset=frozenset({1, 2, 3}))
+        assert itemset.support == 3
+        assert itemset.size == 2
+        assert itemset.as_frozenset() == frozenset({"a", "b"})
+        assert "support=3" in str(itemset)
+
+    def test_contains(self):
+        big = FrequentItemset(items=("a", "b"), tidset=frozenset({1}))
+        small = FrequentItemset(items=("a",), tidset=frozenset({1, 2}))
+        assert big.contains(small)
+        assert not small.contains(big)
+
+
+class TestTransactionViews:
+    def test_horizontal_database(self, example_graph):
+        database = horizontal_database(example_graph)
+        assert database[6] == frozenset({"A", "B", "C"})
+        assert len(database) == 11
+
+    def test_vertical_database(self, example_graph):
+        vertical = vertical_database(example_graph)
+        assert vertical["B"] == frozenset({6, 7, 8, 9, 10, 11})
+
+    def test_vertical_from_transactions(self):
+        transactions = {"t1": ["a", "b"], "t2": ["a"]}
+        vertical = vertical_from_transactions(transactions)
+        assert vertical["a"] == frozenset({"t1", "t2"})
+        assert vertical["b"] == frozenset({"t1"})
+
+    def test_transactions_from_lists(self):
+        database = transactions_from_lists([["a"], ["a", "b"]])
+        assert database == {0: frozenset({"a"}), 1: frozenset({"a", "b"})}
+
+    def test_frequent_items_sorted_by_support(self):
+        vertical = {
+            "rare": frozenset({1}),
+            "common": frozenset({1, 2, 3}),
+            "mid": frozenset({1, 2}),
+        }
+        kept = frequent_items(vertical, min_support=2)
+        assert [item for item, _ in kept] == ["mid", "common"]
+
+    def test_frequent_items_filters(self):
+        vertical = {"x": frozenset({1})}
+        assert frequent_items(vertical, min_support=2) == []

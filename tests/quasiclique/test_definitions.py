@@ -1,0 +1,82 @@
+"""Unit tests for quasi-clique definitions and parameter objects."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.quasiclique.definitions import (
+    QuasiCliqueParams,
+    gamma_of,
+    restricted_adjacency,
+    satisfies_degree_condition,
+)
+
+
+def adjacency_of(graph):
+    return {v: set(graph.neighbor_set(v)) for v in graph.vertices()}
+
+
+class TestParams:
+    def test_invalid_gamma(self):
+        with pytest.raises(ParameterError):
+            QuasiCliqueParams(gamma=0.0, min_size=3)
+        with pytest.raises(ParameterError):
+            QuasiCliqueParams(gamma=1.5, min_size=3)
+
+    def test_invalid_min_size(self):
+        with pytest.raises(ParameterError):
+            QuasiCliqueParams(gamma=0.5, min_size=1)
+
+    def test_degree_threshold_values(self):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        assert params.degree_threshold(4) == 2  # ceil(0.6 * 3)
+        assert params.degree_threshold(6) == 3  # ceil(0.6 * 5)
+        assert params.degree_threshold(1) == 0
+        assert params.base_degree_threshold == 2
+
+    def test_degree_threshold_avoids_float_artifacts(self):
+        # 0.6 * 5 is 2.9999999999999996 in floating point; the threshold must be 3
+        params = QuasiCliqueParams(gamma=0.6, min_size=6)
+        assert params.degree_threshold(6) == 3
+        # 0.7 * 10 = 6.999999999999999; must be 7, not 8
+        params = QuasiCliqueParams(gamma=0.7, min_size=11)
+        assert params.degree_threshold(11) == 7
+
+    def test_distance_bound(self):
+        assert QuasiCliqueParams(gamma=1.0, min_size=3).distance_bound == 1
+        assert QuasiCliqueParams(gamma=0.6, min_size=3).distance_bound == 2
+        assert QuasiCliqueParams(gamma=0.4, min_size=3).distance_bound == 0
+
+
+class TestDegreeCondition:
+    def test_clique_satisfies(self, example_graph):
+        adjacency = adjacency_of(example_graph)
+        params = QuasiCliqueParams(gamma=1.0, min_size=4)
+        assert satisfies_degree_condition(adjacency, {3, 4, 5, 6}, params)
+
+    def test_prism_satisfies_at_060(self, example_graph):
+        adjacency = adjacency_of(example_graph)
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        assert satisfies_degree_condition(adjacency, {6, 7, 8, 9, 10, 11}, params)
+
+    def test_prism_fails_at_higher_gamma(self, example_graph):
+        adjacency = adjacency_of(example_graph)
+        params = QuasiCliqueParams(gamma=0.7, min_size=4)
+        assert not satisfies_degree_condition(adjacency, {6, 7, 8, 9, 10, 11}, params)
+
+    def test_size_constraint(self, example_graph):
+        adjacency = adjacency_of(example_graph)
+        params = QuasiCliqueParams(gamma=0.5, min_size=5)
+        assert not satisfies_degree_condition(adjacency, {3, 4, 5, 6}, params)
+
+    def test_gamma_of(self, example_graph):
+        adjacency = adjacency_of(example_graph)
+        assert gamma_of(adjacency, {3, 4, 5, 6}) == pytest.approx(1.0)
+        assert gamma_of(adjacency, {6, 7, 8, 9, 10, 11}) == pytest.approx(0.6)
+        assert gamma_of(adjacency, {1}) == 0.0
+        assert gamma_of(adjacency, set()) == 0.0
+
+    def test_restricted_adjacency(self, example_graph):
+        adjacency = adjacency_of(example_graph)
+        restricted = restricted_adjacency(adjacency, {3, 4, 5})
+        assert restricted[3] == {4, 5}
+        assert 6 not in restricted

@@ -1,0 +1,155 @@
+"""Unit tests for the quasi-clique search engine (all three modes)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.search import (
+    BFS,
+    DFS,
+    QuasiCliqueSearch,
+    SearchBudgetExceeded,
+    find_quasi_cliques,
+    top_k_quasi_cliques,
+    vertices_in_quasi_cliques,
+)
+
+EXAMPLE_MAXIMAL = {
+    frozenset({3, 4, 5, 6}),
+    frozenset({3, 4, 6, 7}),
+    frozenset({3, 5, 6, 7}),
+    frozenset({3, 6, 7, 8}),
+    frozenset({6, 7, 8, 9, 10, 11}),
+}
+
+
+class TestEnumeration:
+    def test_example_maximal_quasi_cliques(self, example_graph):
+        found = set(find_quasi_cliques(example_graph, gamma=0.6, min_size=4))
+        assert found == EXAMPLE_MAXIMAL
+
+    def test_bfs_and_dfs_agree(self, example_graph):
+        dfs = set(find_quasi_cliques(example_graph, 0.6, 4, order=DFS))
+        bfs = set(find_quasi_cliques(example_graph, 0.6, 4, order=BFS))
+        assert dfs == bfs
+
+    def test_cliques_at_gamma_one(self, example_graph):
+        found = set(find_quasi_cliques(example_graph, gamma=1.0, min_size=3))
+        assert frozenset({3, 4, 5, 6}) in found
+        # every returned set is a clique
+        for clique in found:
+            for u in clique:
+                assert clique - {u} <= set(example_graph.neighbor_set(u))
+
+    def test_min_size_filters_small_cliques(self, example_graph):
+        found = find_quasi_cliques(example_graph, gamma=1.0, min_size=5)
+        assert found == []
+
+    def test_vertex_restriction(self, example_graph):
+        found = set(
+            find_quasi_cliques(
+                example_graph, 0.6, 4, vertices=[6, 7, 8, 9, 10, 11]
+            )
+        )
+        assert found == {frozenset({6, 7, 8, 9, 10, 11})}
+
+    def test_results_are_maximal(self, example_graph):
+        found = find_quasi_cliques(example_graph, 0.6, 4)
+        for first in found:
+            for second in found:
+                assert not first < second
+
+    def test_triangle_with_pendant(self, triangle_graph):
+        found = set(find_quasi_cliques(triangle_graph, gamma=1.0, min_size=3))
+        assert found == {frozenset({1, 2, 3})}
+
+    def test_empty_graph_like_restriction(self, example_graph):
+        assert find_quasi_cliques(example_graph, 0.6, 4, vertices=[]) == []
+
+    def test_invalid_order_rejected(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.5, min_size=3)
+        with pytest.raises(ParameterError):
+            QuasiCliqueSearch(example_graph, params, order="random")
+
+
+class TestCoverage:
+    def test_example_coverage(self, example_graph):
+        covered = vertices_in_quasi_cliques(example_graph, 0.6, 4)
+        assert covered == frozenset(range(3, 12))
+
+    def test_coverage_orders_agree(self, example_graph):
+        dfs = vertices_in_quasi_cliques(example_graph, 0.6, 4, order=DFS)
+        bfs = vertices_in_quasi_cliques(example_graph, 0.6, 4, order=BFS)
+        assert dfs == bfs
+
+    def test_coverage_equals_union_of_maximal(self, example_graph, small_random_graph):
+        for graph in (example_graph, small_random_graph):
+            maximal = find_quasi_cliques(graph, 0.5, 3)
+            union = frozenset().union(*maximal) if maximal else frozenset()
+            assert vertices_in_quasi_cliques(graph, 0.5, 3) == union
+
+    def test_targets_limit_the_answer(self, example_graph):
+        covered = vertices_in_quasi_cliques(example_graph, 0.6, 4, targets=[1, 3, 9])
+        assert covered == frozenset({3, 9})
+
+    def test_targets_outside_working_set(self, example_graph):
+        covered = vertices_in_quasi_cliques(example_graph, 0.6, 4, targets=[1, 2])
+        assert covered == frozenset()
+
+    def test_restriction_propagates(self, example_graph):
+        covered = vertices_in_quasi_cliques(
+            example_graph, 0.6, 4, vertices=[3, 4, 5, 6, 7]
+        )
+        assert covered == frozenset({3, 4, 5, 6, 7})
+
+
+class TestTopK:
+    def test_top_1_is_largest(self, example_graph):
+        top = top_k_quasi_cliques(example_graph, 0.6, 4, k=1)
+        assert len(top) == 1
+        assert top[0][0] == frozenset({6, 7, 8, 9, 10, 11})
+        assert top[0][1] == pytest.approx(0.6)
+
+    def test_top_k_ordering(self, example_graph):
+        top = top_k_quasi_cliques(example_graph, 0.6, 4, k=3)
+        sizes = [len(vertex_set) for vertex_set, _ in top]
+        assert sizes == sorted(sizes, reverse=True)
+        # secondary criterion: among the size-4 patterns the clique comes first
+        assert top[1][0] == frozenset({3, 4, 5, 6})
+
+    def test_top_k_larger_than_available(self, example_graph):
+        top = top_k_quasi_cliques(example_graph, 0.6, 4, k=50)
+        assert {vertex_set for vertex_set, _ in top} == EXAMPLE_MAXIMAL
+
+    def test_invalid_k(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        with pytest.raises(ParameterError):
+            QuasiCliqueSearch(example_graph, params).top_k(0)
+
+
+class TestEngineDetails:
+    def test_stats_are_recorded(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        search = QuasiCliqueSearch(example_graph, params)
+        search.enumerate_maximal()
+        assert search.stats.nodes_expanded > 0
+        assert search.stats.satisfying_sets_found >= len(EXAMPLE_MAXIMAL)
+
+    def test_node_budget_enforced(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.5, min_size=3)
+        search = QuasiCliqueSearch(example_graph, params, node_budget=2)
+        with pytest.raises(SearchBudgetExceeded):
+            search.enumerate_maximal()
+
+    def test_disable_distance_pruning_same_result(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        with_pruning = QuasiCliqueSearch(example_graph, params).enumerate_maximal()
+        without_pruning = QuasiCliqueSearch(
+            example_graph, params, use_distance_pruning=False
+        ).enumerate_maximal()
+        assert set(with_pruning) == set(without_pruning)
+
+    def test_working_vertices_after_global_pruning(self, triangle_graph):
+        params = QuasiCliqueParams(gamma=1.0, min_size=3)
+        search = QuasiCliqueSearch(triangle_graph, params)
+        assert search.working_vertices == frozenset({1, 2, 3})
