@@ -22,6 +22,7 @@ from repro.correlation.structural import (
     all_patterns,
     coverage_search,
     structural_correlation,
+    structural_correlation_bitset,
     top_k_patterns,
 )
 
@@ -45,5 +46,6 @@ __all__ = [
     "mine_scpm",
     "normalized_structural_correlation",
     "structural_correlation",
+    "structural_correlation_bitset",
     "top_k_patterns",
 ]

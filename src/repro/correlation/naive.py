@@ -6,6 +6,12 @@ Eclat, then the *complete* set of maximal quasi-cliques of each induced
 graph is enumerated (the role the Quick algorithm plays in the paper), and
 only afterwards are the structural correlation and the thresholds applied.
 It is the comparison baseline of the performance study (Figure 8).
+
+The tidsets flow through as bitsets (``EclatMiner(use_bitsets=True)``) and
+each per-attribute-set quasi-clique enumeration runs as a vertex-restricted
+search on the original graph, so no induced subgraph is materialised — but
+the *algorithmic* naivety (no Theorem 3/4/5 pruning, full enumeration) is
+untouched, keeping it an honest baseline.
 """
 
 from __future__ import annotations
@@ -68,15 +74,15 @@ class NaiveMiner:
                 min_support=params.min_support,
                 min_size=1,
                 max_size=params.max_attribute_set_size,
-            )
+            ),
+            use_bitsets=True,
         )
         for itemset in eclat.mine_graph(self.graph):
             counters.attribute_sets_evaluated += 1
             members = itemset.tidset
             support = len(members)
-            induced = self.graph.subgraph(members)
             search = QuasiCliqueSearch(
-                induced, self.qc_params, order=params.order
+                self.graph, self.qc_params, vertices=members, order=params.order
             )
             quasi_cliques = search.enumerate_maximal()
             counters.coverage_nodes_expanded += search.stats.nodes_expanded
@@ -89,8 +95,9 @@ class NaiveMiner:
 
             patterns = ()
             if qualified and len(itemset.items) >= params.min_attribute_set_size:
+                member_set = members.to_frozenset()
                 adjacency = {
-                    v: set(induced.neighbor_set(v)) for v in induced.vertices()
+                    v: self.graph.neighbor_set(v) & member_set for v in member_set
                 }
                 ranked = sorted(
                     quasi_cliques,

@@ -43,6 +43,11 @@ class SCPMParams:
     order:
         ``"dfs"`` or ``"bfs"`` — traversal strategy of the quasi-clique search
         (the SCPM-DFS / SCPM-BFS variants of the paper).
+    n_jobs:
+        Number of worker processes for the first-level attribute-branch
+        fan-out of SCPM.  ``1`` (default) mines sequentially, ``-1`` uses
+        every available CPU.  The merged result is identical to the
+        sequential run for any worker count (deterministic null models).
     """
 
     min_support: int
@@ -54,6 +59,7 @@ class SCPMParams:
     min_attribute_set_size: int = 1
     max_attribute_set_size: Optional[int] = None
     order: str = field(default=DFS)
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.min_support < 1:
@@ -83,6 +89,18 @@ class SCPMParams:
             )
         if self.order not in (BFS, DFS):
             raise ParameterError(f"order must be 'bfs' or 'dfs', got {self.order!r}")
+        if self.n_jobs < 1 and self.n_jobs != -1:
+            raise ParameterError(
+                f"n_jobs must be >= 1 or -1 (all CPUs), got {self.n_jobs}"
+            )
+
+    def resolved_jobs(self) -> int:
+        """Return the effective worker count (``-1`` → CPU count)."""
+        if self.n_jobs == -1:
+            import os
+
+            return os.cpu_count() or 1
+        return self.n_jobs
 
     def quasi_clique_params(self) -> QuasiCliqueParams:
         """Return the quasi-clique sub-parameters ``(γ, min_size)``."""

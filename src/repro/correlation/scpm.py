@@ -15,17 +15,35 @@ quasi-clique search.  Three ideas distinguish it from the naive baseline:
 * **Top-k patterns (Section 3.2.3)** — for qualifying attribute sets only the
   k largest/densest patterns are extracted, with the dynamically raised size
   threshold.
+
+The enumeration state lives on the bitset vertex-set engine
+(:mod:`repro.graph.vertexset`): tidsets and covered sets are
+:class:`~repro.graph.vertexset.VertexBitset` masks, so the Eclat join and the
+Theorem-3 intersection are single integer ``&`` operations.  Results are
+converted to plain ``frozenset`` objects at the :class:`MiningResult`
+boundary, keeping the public API identical to the frozenset implementation.
+
+With ``SCPMParams.n_jobs > 1`` the independent first-level attribute
+branches (the subtrees rooted at each frequent 1-attribute set, Algorithm 3)
+are fanned out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+Branches are striped over the workers and the per-branch results are merged
+back in root order, so the output — record order included — is identical to
+the sequential run for any worker count (assuming a deterministic null model
+such as the default :class:`AnalyticalNullModel`; the Monte-Carlo
+:class:`~repro.correlation.null_models.SimulationNullModel` draws its samples
+in a different order under parallel scheduling).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import FrozenSet, Hashable, List, Optional, Tuple
+from dataclasses import dataclass, fields
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.vertexset import VertexBitset
 from repro.itemsets.itemset import canonical_itemset
-from repro.itemsets.transactions import frequent_items, vertical_database
+from repro.itemsets.transactions import bitset_vertical_database, frequent_items
 from repro.correlation.null_models import (
     AnalyticalNullModel,
     normalized_structural_correlation,
@@ -37,7 +55,10 @@ from repro.correlation.patterns import (
     MiningResult,
     StructuralCorrelationPattern,
 )
-from repro.correlation.structural import structural_correlation, top_k_patterns
+from repro.correlation.structural import (
+    structural_correlation_bitset,
+    top_k_patterns,
+)
 from repro.quasiclique.definitions import QuasiCliqueParams
 
 Attribute = Hashable
@@ -46,11 +67,15 @@ Vertex = Hashable
 
 @dataclass
 class _Candidate:
-    """Internal per-attribute-set state carried through the enumeration."""
+    """Internal per-attribute-set state carried through the enumeration.
+
+    ``tidset`` (``V(S)``) and ``covered`` (``K_S``) are bitsets over the
+    graph's dense vertex ids.
+    """
 
     items: Tuple[Attribute, ...]
-    tidset: FrozenSet[Vertex]
-    covered: FrozenSet[Vertex]
+    tidset: VertexBitset
+    covered: VertexBitset
 
 
 class SCPM:
@@ -62,11 +87,14 @@ class SCPM:
         The attributed graph to mine.
     params:
         The :class:`SCPMParams` bundle (σ_min, γ, min_size, ε_min, δ_min, k,
-        search order, attribute-set size limits).
+        search order, attribute-set size limits, ``n_jobs``).
     null_model:
         Object with an ``expected_epsilon(support)`` method.  Defaults to the
         analytical :class:`AnalyticalNullModel` (δ_lb); pass a
         :class:`~repro.correlation.null_models.SimulationNullModel` for δ_sim.
+        With ``n_jobs > 1`` the null model must be picklable, and results are
+        reproducible across worker counts only when ``expected_epsilon`` is a
+        pure function of the support (true for the analytical model).
     collect_patterns:
         When ``False`` the top-k pattern extraction is skipped and only the
         attribute-set statistics (σ, ε, δ) are produced.  Useful for the
@@ -111,7 +139,7 @@ class SCPM:
         started = time.perf_counter()
 
         # Algorithm 2, line 3: frequent size-1 attribute sets.
-        vertical = vertical_database(self.graph)
+        vertical = bitset_vertical_database(self.graph)
         base = frequent_items(vertical, params.min_support)
 
         extendable: List[_Candidate] = []
@@ -126,7 +154,10 @@ class SCPM:
                 extendable.append(candidate)
 
         # Algorithm 3: recursive extension of the surviving attribute sets.
-        self._extend(extendable, result)
+        if params.n_jobs != 1 and len(extendable) > 1:
+            self._extend_parallel(extendable, result)
+        else:
+            self._extend(extendable, result)
 
         counters.elapsed_seconds = time.perf_counter() - started
         return result
@@ -136,36 +167,105 @@ class SCPM:
     # ------------------------------------------------------------------
     def _extend(self, candidates: List[_Candidate], result: MiningResult) -> None:
         """Recursive prefix-class extension (Algorithm 3)."""
+        for index in range(len(candidates)):
+            self._extend_branch(candidates, index, result)
+
+    def _extend_branch(
+        self, candidates: Sequence[_Candidate], index: int, result: MiningResult
+    ) -> None:
+        """Explore the subtree rooted at ``candidates[index]``.
+
+        Branches are independent given the (already evaluated) prefix class,
+        which is what the ``n_jobs`` fan-out exploits.
+        """
         params = self.params
         max_size = params.max_attribute_set_size
-        for index, first in enumerate(candidates):
-            if max_size is not None and len(first.items) >= max_size:
+        first = candidates[index]
+        if max_size is not None and len(first.items) >= max_size:
+            return
+        extensions: List[_Candidate] = []
+        for second in candidates[index + 1 :]:
+            tidset = first.tidset & second.tidset
+            if len(tidset) < params.min_support:
                 continue
-            extensions: List[_Candidate] = []
-            for second in candidates[index + 1 :]:
-                tidset = first.tidset & second.tidset
-                if len(tidset) < params.min_support:
-                    continue
-                items = first.items + (second.items[-1],)
-                # Theorem 3: quasi-cliques of the union live inside both
-                # parents' covered sets.
-                candidate_vertices = first.covered & second.covered & tidset
-                candidate = self._evaluate(
-                    items=items,
-                    tidset=tidset,
-                    candidate_vertices=candidate_vertices,
-                    result=result,
+            items = first.items + (second.items[-1],)
+            # Theorem 3: quasi-cliques of the union live inside both
+            # parents' covered sets.
+            candidate_vertices = first.covered & second.covered & tidset
+            candidate = self._evaluate(
+                items=items,
+                tidset=tidset,
+                candidate_vertices=candidate_vertices,
+                result=result,
+            )
+            if candidate is not None:
+                extensions.append(candidate)
+        if extensions:
+            self._extend(extensions, result)
+
+    def _extend_parallel(
+        self, candidates: List[_Candidate], result: MiningResult
+    ) -> None:
+        """Fan the first-level branches out over a process pool.
+
+        Each worker receives the full prefix class (branch ``i`` joins
+        against ``candidates[i+1:]``) and a stripe of root indices; the
+        evaluation records come back per root and are merged in root order,
+        reproducing the sequential output exactly.
+        """
+        jobs = self.params.resolved_jobs()
+        jobs = min(jobs, len(candidates))
+        if jobs <= 1:
+            self._extend(candidates, result)
+            return
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            pool = ProcessPoolExecutor(max_workers=jobs)
+        except (ImportError, NotImplementedError, OSError):
+            # No usable multiprocessing on this platform — mine sequentially.
+            self._extend(candidates, result)
+            return
+        stripes = [
+            list(range(worker, len(candidates), jobs)) for worker in range(jobs)
+        ]
+        merged = {}
+        try:
+            # INVARIANT: graph and candidates must travel in the SAME submit()
+            # args tuple.  Pickle's memo then keeps the graph's cached
+            # GraphBitsetIndex.indexer and every candidate bitset's indexer as
+            # one object in the worker; splitting them into separate transfers
+            # (or rebuilding the index worker-side) would make
+            # `first.covered & second.covered` raise the mixed-indexer
+            # ValueError at extension depth >= 2.
+            futures = [
+                pool.submit(
+                    _mine_branches_worker,
+                    self.graph,
+                    self.params,
+                    self.null_model,
+                    self.collect_patterns,
+                    candidates,
+                    stripe,
                 )
-                if candidate is not None:
-                    extensions.append(candidate)
-            if extensions:
-                self._extend(extensions, result)
+                for stripe in stripes
+                if stripe
+            ]
+            for future in futures:
+                for root, evaluated, counters in future.result():
+                    merged[root] = (evaluated, counters)
+        finally:
+            pool.shutdown()
+        for root in sorted(merged):
+            evaluated, counters = merged[root]
+            result.evaluated.extend(evaluated)
+            _accumulate_counters(result.counters, counters)
 
     def _evaluate(
         self,
         items: Tuple[Attribute, ...],
-        tidset: FrozenSet[Vertex],
-        candidate_vertices: Optional[FrozenSet[Vertex]],
+        tidset: VertexBitset,
+        candidate_vertices: Optional[VertexBitset],
         result: MiningResult,
     ) -> Optional[_Candidate]:
         """Measure one attribute set; return it if it may still be extended."""
@@ -174,7 +274,7 @@ class SCPM:
         counters.attribute_sets_evaluated += 1
 
         support = len(tidset)
-        epsilon, covered = structural_correlation(
+        epsilon, covered = structural_correlation_bitset(
             self.graph,
             items,
             self.qc_params,
@@ -208,7 +308,7 @@ class SCPM:
             epsilon=epsilon,
             expected_epsilon=expected,
             delta=delta,
-            covered_vertices=covered,
+            covered_vertices=covered.to_frozenset(),
             patterns=patterns,
             qualified=qualified,
         )
@@ -232,6 +332,40 @@ class SCPM:
         if mass < params.min_delta * expected_at_min * params.min_support:
             return False
         return True
+
+
+def _accumulate_counters(target: MiningCounters, source: MiningCounters) -> None:
+    """Add every work counter of ``source`` into ``target`` (not the wall time)."""
+    for field in fields(MiningCounters):
+        if field.name == "elapsed_seconds":
+            continue
+        setattr(target, field.name, getattr(target, field.name) + getattr(source, field.name))
+
+
+def _mine_branches_worker(
+    graph: AttributedGraph,
+    params: SCPMParams,
+    null_model: object,
+    collect_patterns: bool,
+    candidates: Sequence[_Candidate],
+    roots: Sequence[int],
+) -> List[Tuple[int, List[AttributeSetResult], MiningCounters]]:
+    """Process-pool entry point: mine a stripe of first-level branches.
+
+    Returns one ``(root_index, evaluation records, counters)`` triple per
+    branch so the parent can merge deterministically in root order.
+    """
+    miner = SCPM(
+        graph, params, null_model=null_model, collect_patterns=collect_patterns
+    )
+    output: List[Tuple[int, List[AttributeSetResult], MiningCounters]] = []
+    for root in roots:
+        branch = MiningResult(
+            algorithm=f"scpm-{params.order}", counters=MiningCounters()
+        )
+        miner._extend_branch(candidates, root, branch)
+        output.append((root, branch.evaluated, branch.counters))
+    return output
 
 
 def mine_scpm(

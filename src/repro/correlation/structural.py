@@ -4,13 +4,22 @@
 that belong to at least one γ-quasi-clique of ``G(S)``.  The functions here
 wrap the coverage and top-k modes of the quasi-clique search for a given
 attribute set and expose the Theorem-3 vertex restriction used by SCPM.
+
+Everything runs on the graph's cached bitset index
+(:meth:`~repro.graph.attributed_graph.AttributedGraph.bitset_index`):
+``V(S)`` is an ``&`` over attribute holder masks and the quasi-clique search
+is vertex-restricted to it, so no induced subgraph is ever materialised.
+The ``*_bitset`` variants keep the covered set as a
+:class:`~repro.graph.vertexset.VertexBitset` for the SCPM hot path; the
+classic entry points convert to ``frozenset`` at the boundary.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Hashable, Iterable, List, Optional, Tuple
+from typing import FrozenSet, Hashable, Iterable, List, Optional, Tuple, Union
 
 from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.vertexset import VertexBitset
 from repro.itemsets.itemset import canonical_itemset
 from repro.quasiclique.definitions import QuasiCliqueParams
 from repro.quasiclique.search import DFS, QuasiCliqueSearch
@@ -18,6 +27,37 @@ from repro.correlation.patterns import StructuralCorrelationPattern
 
 Attribute = Hashable
 Vertex = Hashable
+VertexRestriction = Union[Iterable[Vertex], VertexBitset, None]
+
+
+def structural_correlation_bitset(
+    graph: AttributedGraph,
+    attributes: Iterable[Attribute],
+    params: QuasiCliqueParams,
+    order: str = DFS,
+    candidate_vertices: VertexRestriction = None,
+) -> Tuple[float, VertexBitset]:
+    """Return ``(ε(S), K_S)`` with the covered set as a bitset.
+
+    This is the hot-path variant used inside SCPM: the covered set stays in
+    the graph's dense id space so the Theorem-3 intersection for extended
+    attribute sets is one integer ``&``.
+    """
+    index = graph.bitset_index()
+    members = index.members_mask(attributes)
+    if not members:
+        return 0.0, index.bitset(0)
+    if candidate_vertices is None:
+        working = members
+    else:
+        working = index.working_mask(candidate_vertices) & members
+    if working.bit_count() < params.min_size:
+        return 0.0, index.bitset(0)
+    search = QuasiCliqueSearch(
+        graph, params, vertices=index.bitset(working), order=order
+    )
+    covered = search.covered_to_global(search.covered_mask(), index)
+    return covered.bit_count() / members.bit_count(), index.bitset(covered)
 
 
 def structural_correlation(
@@ -25,7 +65,7 @@ def structural_correlation(
     attributes: Iterable[Attribute],
     params: QuasiCliqueParams,
     order: str = DFS,
-    candidate_vertices: Optional[Iterable[Vertex]] = None,
+    candidate_vertices: VertexRestriction = None,
 ) -> Tuple[float, FrozenSet[Vertex]]:
     """Return ``(ε(S), K_S)`` for the attribute set ``attributes``.
 
@@ -54,19 +94,10 @@ def structural_correlation(
     >>> round(epsilon, 2), len(covered)
     (0.82, 9)
     """
-    members = graph.vertices_with_all(attributes)
-    if not members:
-        return 0.0, frozenset()
-    if candidate_vertices is None:
-        working = members
-    else:
-        working = frozenset(candidate_vertices) & members
-    if len(working) < params.min_size:
-        return 0.0, frozenset()
-    induced = graph.subgraph(members)
-    search = QuasiCliqueSearch(induced, params, vertices=working, order=order)
-    covered = search.covered_vertices()
-    return len(covered) / len(members), covered
+    epsilon, covered = structural_correlation_bitset(
+        graph, attributes, params, order=order, candidate_vertices=candidate_vertices
+    )
+    return epsilon, covered.to_frozenset()
 
 
 def coverage_search(
@@ -74,21 +105,21 @@ def coverage_search(
     attributes: Iterable[Attribute],
     params: QuasiCliqueParams,
     order: str = DFS,
-    candidate_vertices: Optional[Iterable[Vertex]] = None,
+    candidate_vertices: VertexRestriction = None,
 ) -> QuasiCliqueSearch:
     """Build (without running) the coverage search object for ``G(S)``.
 
     Exposed so callers (benchmarks, tests) can inspect
     :class:`repro.quasiclique.search.SearchStats` after running a mode.
     """
-    members = graph.vertices_with_all(attributes)
+    index = graph.bitset_index()
+    members = index.members_mask(attributes)
     working = (
         members
         if candidate_vertices is None
-        else frozenset(candidate_vertices) & members
+        else index.working_mask(candidate_vertices) & members
     )
-    induced = graph.subgraph(members)
-    return QuasiCliqueSearch(induced, params, vertices=working, order=order)
+    return QuasiCliqueSearch(graph, params, vertices=index.bitset(working), order=order)
 
 
 def top_k_patterns(
@@ -97,7 +128,7 @@ def top_k_patterns(
     params: QuasiCliqueParams,
     k: int,
     order: str = DFS,
-    candidate_vertices: Optional[Iterable[Vertex]] = None,
+    candidate_vertices: VertexRestriction = None,
 ) -> List[StructuralCorrelationPattern]:
     """Return the top-``k`` structural correlation patterns induced by ``S``.
 
@@ -105,16 +136,16 @@ def top_k_patterns(
     as in Section 3.2.3 of the paper.
     """
     canonical = canonical_itemset(attributes)
-    members = graph.vertices_with_all(canonical)
-    if len(members) < params.min_size:
+    index = graph.bitset_index()
+    members = index.members_mask(canonical)
+    if members.bit_count() < params.min_size:
         return []
     working = (
         members
         if candidate_vertices is None
-        else frozenset(candidate_vertices) & members
+        else index.working_mask(candidate_vertices) & members
     )
-    induced = graph.subgraph(members)
-    search = QuasiCliqueSearch(induced, params, vertices=working, order=order)
+    search = QuasiCliqueSearch(graph, params, vertices=index.bitset(working), order=order)
     return [
         StructuralCorrelationPattern(
             attributes=canonical, vertices=vertex_set, gamma=gamma
@@ -131,12 +162,15 @@ def all_patterns(
 ) -> List[StructuralCorrelationPattern]:
     """Return *every* maximal pattern induced by ``S`` (naive enumeration)."""
     canonical = canonical_itemset(attributes)
-    members = graph.vertices_with_all(canonical)
-    if len(members) < params.min_size:
+    index = graph.bitset_index()
+    members = index.members_mask(canonical)
+    if members.bit_count() < params.min_size:
         return []
-    induced = graph.subgraph(members)
-    search = QuasiCliqueSearch(induced, params, order=order)
-    adjacency = {v: set(induced.neighbor_set(v)) for v in induced.vertices()}
+    search = QuasiCliqueSearch(
+        graph, params, vertices=index.bitset(members), order=order
+    )
+    member_set = index.indexer.vertices_of(members)
+    adjacency = {v: graph.neighbor_set(v) & member_set for v in member_set}
     patterns = []
     for vertex_set in search.enumerate_maximal():
         min_degree = min(len(adjacency[v] & vertex_set) for v in vertex_set)

@@ -25,9 +25,21 @@ from repro.graph.statistics import (
     summarize,
 )
 from repro.graph.validation import ValidationReport, validate_graph
+from repro.graph.vertexset import (
+    GraphBitsetIndex,
+    VertexBitset,
+    VertexIndexer,
+    iter_bits,
+    popcount,
+)
 
 __all__ = [
     "AttributedGraph",
+    "GraphBitsetIndex",
+    "VertexBitset",
+    "VertexIndexer",
+    "iter_bits",
+    "popcount",
     "DegreeDistribution",
     "GraphSummary",
     "ValidationReport",

@@ -60,6 +60,7 @@ class AttributedGraph:
         self._vertex_attributes: Dict[Vertex, Set[Attribute]] = {}
         self._attribute_vertices: Dict[Attribute, Set[Vertex]] = {}
         self._edge_count = 0
+        self._bitset_index: Optional[object] = None
 
         if vertices is not None:
             for vertex in vertices:
@@ -79,6 +80,7 @@ class AttributedGraph:
         if vertex not in self._adjacency:
             self._adjacency[vertex] = set()
             self._vertex_attributes[vertex] = set()
+            self._bitset_index = None
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the undirected edge ``(u, v)``, creating endpoints as needed.
@@ -94,6 +96,7 @@ class AttributedGraph:
             self._adjacency[u].add(v)
             self._adjacency[v].add(u)
             self._edge_count += 1
+            self._bitset_index = None
 
     def add_attribute(self, vertex: Vertex, attribute: Attribute) -> None:
         """Attach ``attribute`` to ``vertex``, creating the vertex if needed."""
@@ -101,6 +104,7 @@ class AttributedGraph:
         if attribute not in self._vertex_attributes[vertex]:
             self._vertex_attributes[vertex].add(attribute)
             self._attribute_vertices.setdefault(attribute, set()).add(vertex)
+            self._bitset_index = None
 
     def add_attributes(self, vertex: Vertex, attributes: Iterable[Attribute]) -> None:
         """Attach every attribute in ``attributes`` to ``vertex``."""
@@ -121,6 +125,7 @@ class AttributedGraph:
             if not holders:
                 del self._attribute_vertices[attribute]
         del self._vertex_attributes[vertex]
+        self._bitset_index = None
 
     # ------------------------------------------------------------------
     # basic queries
@@ -238,6 +243,21 @@ class AttributedGraph:
     def attribute_support_index(self) -> Dict[Attribute, FrozenSet[Vertex]]:
         """Return a copy of the inverted index ``attribute -> vertex set``."""
         return {a: frozenset(vs) for a, vs in self._attribute_vertices.items()}
+
+    def bitset_index(self):
+        """Return the cached bitset view of the graph (building it lazily).
+
+        The returned :class:`repro.graph.vertexset.GraphBitsetIndex` holds a
+        dense vertex indexer, per-vertex adjacency bitmasks and per-attribute
+        holder bitmasks; it is the engine the miners run on.  Any mutation of
+        the graph invalidates the cache, so callers must not hold on to an
+        index across mutations.
+        """
+        if self._bitset_index is None:
+            from repro.graph.vertexset import GraphBitsetIndex
+
+            self._bitset_index = GraphBitsetIndex.build(self)
+        return self._bitset_index
 
     # ------------------------------------------------------------------
     # subgraphs

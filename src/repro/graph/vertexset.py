@@ -1,0 +1,401 @@
+"""Bitset-backed vertex sets — the fast set engine under the mining stack.
+
+The innermost operation of every miner in this repository is a set
+intersection: Eclat joins tidsets, Theorem-3 vertex pruning intersects
+covered sets, and the quasi-clique search intersects adjacency lists with
+candidate sets thousands of times per attribute set.  Hashed ``frozenset``
+intersections pay a per-element cost; this module replaces them with dense
+bitsets over Python's arbitrary-precision integers, where ``&``, ``|`` and
+popcount run over machine words in C.
+
+Three pieces:
+
+* :class:`VertexIndexer` — a stable bijection between (hashable) vertices
+  and dense integer ids ``0..n-1``; the id of a vertex is its bit position.
+* :class:`VertexBitset` — an immutable, set-like wrapper around one mask
+  bound to an indexer.  It supports the operators the miners use
+  (``& | - ^``, subset tests, iteration, ``len``) so it can flow through
+  code written against ``frozenset`` unchanged; ``to_frozenset`` converts
+  back at public API boundaries.
+* :class:`GraphBitsetIndex` — the per-graph bundle of masks the engines
+  consume: the indexer, one adjacency mask per vertex and one holder mask
+  per attribute.  :meth:`repro.graph.attributed_graph.AttributedGraph.bitset_index`
+  builds and caches it (the cache is invalidated on mutation).
+
+Low-level helpers (:func:`popcount`, :func:`iter_bits`) work on raw ``int``
+masks and are what the quasi-clique inner loops call directly.
+
+Memory model: adjacency masks are *dense* — one ``|V|``-bit int per vertex,
+O(|V|²/8) bytes regardless of sparsity.  That is the right trade below
+~100k vertices (the scale of this repository's benchmarks); million-vertex
+graphs need the sharded/compressed adjacency planned in ROADMAP.md before
+they can use this index directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Tuple, Union
+
+from repro.errors import UnknownVertexError
+
+Vertex = Hashable
+Attribute = Hashable
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits of ``mask`` (``|S|`` for a bitset ``S``)."""
+    return mask.bit_count()
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class VertexIndexer:
+    """Bijection between vertices and dense integer ids (bit positions).
+
+    Ids are assigned in first-seen order and never change, so masks built
+    against one indexer stay comparable for the indexer's lifetime.
+
+    Examples
+    --------
+    >>> indexer = VertexIndexer(["u", "v", "w"])
+    >>> indexer.id_of("v")
+    1
+    >>> sorted(indexer.vertices_of(0b101))
+    ['u', 'w']
+    """
+
+    __slots__ = ("_ids", "_vertices")
+
+    def __init__(self, vertices: Iterable[Vertex] = ()) -> None:
+        self._ids: Dict[Vertex, int] = {}
+        self._vertices: List[Vertex] = []
+        for vertex in vertices:
+            self.add(vertex)
+
+    def add(self, vertex: Vertex) -> int:
+        """Register ``vertex`` (idempotent) and return its id."""
+        existing = self._ids.get(vertex)
+        if existing is not None:
+            return existing
+        index = len(self._vertices)
+        self._ids[vertex] = index
+        self._vertices.append(vertex)
+        return index
+
+    def id_of(self, vertex: Vertex) -> int:
+        """Return the dense id of ``vertex``."""
+        try:
+            return self._ids[vertex]
+        except KeyError:
+            raise UnknownVertexError(vertex) from None
+
+    def vertex_of(self, index: int) -> Vertex:
+        """Return the vertex with dense id ``index``."""
+        return self._vertices[index]
+
+    def mask_of(self, vertices: Iterable[Vertex]) -> int:
+        """Return the mask with the bit of every vertex in ``vertices`` set.
+
+        Unknown vertices raise :class:`UnknownVertexError`.
+        """
+        ids = self._ids
+        mask = 0
+        try:
+            for vertex in vertices:
+                mask |= 1 << ids[vertex]
+        except KeyError as exc:
+            raise UnknownVertexError(exc.args[0]) from None
+        return mask
+
+    def mask_of_known(self, vertices: Iterable[Vertex]) -> int:
+        """Like :meth:`mask_of` but silently skips unknown vertices."""
+        ids = self._ids
+        mask = 0
+        for vertex in vertices:
+            index = ids.get(vertex)
+            if index is not None:
+                mask |= 1 << index
+        return mask
+
+    def vertices_of(self, mask: int) -> FrozenSet[Vertex]:
+        """Return the frozen set of vertices whose bits are set in ``mask``."""
+        table = self._vertices
+        return frozenset(table[i] for i in iter_bits(mask))
+
+    def iter_vertices(self, mask: int) -> Iterator[Vertex]:
+        """Iterate the vertices of ``mask`` in ascending id order."""
+        table = self._vertices
+        return (table[i] for i in iter_bits(mask))
+
+    def bitset(self, vertices: Iterable[Vertex] = ()) -> "VertexBitset":
+        """Build a :class:`VertexBitset` over this indexer from vertices."""
+        return VertexBitset(self, self.mask_of(vertices))
+
+    @property
+    def full_mask(self) -> int:
+        """Mask with every registered vertex's bit set."""
+        return (1 << len(self._vertices)) - 1
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._ids
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._vertices)
+
+    def __repr__(self) -> str:
+        return f"VertexIndexer(num_vertices={len(self._vertices)})"
+
+
+class VertexBitset:
+    """An immutable vertex set stored as one integer mask.
+
+    Binary operators require both operands to share the *same* indexer
+    object — mixing universes would silently misalign bit positions, so it
+    is a :class:`ValueError` instead.
+
+    Examples
+    --------
+    >>> indexer = VertexIndexer([1, 2, 3, 4])
+    >>> a = indexer.bitset([1, 2, 3])
+    >>> b = indexer.bitset([2, 3, 4])
+    >>> sorted(a & b)
+    [2, 3]
+    >>> len(a | b)
+    4
+    """
+
+    __slots__ = ("indexer", "bits")
+
+    def __init__(self, indexer: VertexIndexer, bits: int = 0) -> None:
+        self.indexer = indexer
+        self.bits = bits
+
+    @classmethod
+    def from_vertices(
+        cls, indexer: VertexIndexer, vertices: Iterable[Vertex]
+    ) -> "VertexBitset":
+        """Build a bitset from an iterable of (known) vertices."""
+        return cls(indexer, indexer.mask_of(vertices))
+
+    # -- set protocol --------------------------------------------------
+    def __len__(self) -> int:
+        return self.bits.bit_count()
+
+    def __bool__(self) -> bool:
+        return self.bits != 0
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return self.indexer.iter_vertices(self.bits)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        ids = self.indexer._ids
+        index = ids.get(vertex)
+        return index is not None and (self.bits >> index) & 1 == 1
+
+    def _coerce(self, other: object) -> int:
+        if isinstance(other, VertexBitset):
+            if other.indexer is not self.indexer:
+                raise ValueError(
+                    "cannot combine VertexBitsets bound to different indexers"
+                )
+            return other.bits
+        if isinstance(other, int):
+            return other
+        return NotImplemented  # type: ignore[return-value]
+
+    def __and__(self, other: object) -> "VertexBitset":
+        bits = self._coerce(other)
+        if bits is NotImplemented:
+            return NotImplemented
+        return VertexBitset(self.indexer, self.bits & bits)
+
+    def __or__(self, other: object) -> "VertexBitset":
+        bits = self._coerce(other)
+        if bits is NotImplemented:
+            return NotImplemented
+        return VertexBitset(self.indexer, self.bits | bits)
+
+    def __sub__(self, other: object) -> "VertexBitset":
+        bits = self._coerce(other)
+        if bits is NotImplemented:
+            return NotImplemented
+        return VertexBitset(self.indexer, self.bits & ~bits)
+
+    def __xor__(self, other: object) -> "VertexBitset":
+        bits = self._coerce(other)
+        if bits is NotImplemented:
+            return NotImplemented
+        return VertexBitset(self.indexer, self.bits ^ bits)
+
+    __rand__ = __and__
+    __ror__ = __or__
+
+    def __le__(self, other: object) -> bool:
+        bits = self._coerce(other)
+        if bits is NotImplemented:
+            return NotImplemented
+        return self.bits & ~bits == 0
+
+    def __lt__(self, other: object) -> bool:
+        bits = self._coerce(other)
+        if bits is NotImplemented:
+            return NotImplemented
+        return self.bits != bits and self.bits & ~bits == 0
+
+    def __ge__(self, other: object) -> bool:
+        bits = self._coerce(other)
+        if bits is NotImplemented:
+            return NotImplemented
+        return bits & ~self.bits == 0
+
+    def __gt__(self, other: object) -> bool:
+        bits = self._coerce(other)
+        if bits is NotImplemented:
+            return NotImplemented
+        return self.bits != bits and bits & ~self.bits == 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, VertexBitset):
+            return self.indexer is other.indexer and self.bits == other.bits
+        if isinstance(other, (set, frozenset)):
+            return self.to_frozenset() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        # Content-based so a bitset hashes like the frozenset it equals
+        # (keeps the eq/hash contract when both appear as dict/set keys).
+        return hash(self.to_frozenset())
+
+    def _coerce_vertices(self, other) -> int:
+        """Coerce a bitset, mask, or iterable of vertices to a mask.
+
+        Vertices unknown to the indexer are dropped: they cannot be in
+        ``self``, so subset/disjointness answers are unaffected.
+        """
+        bits = self._coerce(other)
+        if bits is NotImplemented:
+            return self.indexer.mask_of_known(other)
+        return bits
+
+    def isdisjoint(self, other) -> bool:
+        """Return ``True`` when the two sets share no vertex.
+
+        Accepts another :class:`VertexBitset`, a raw mask, or any iterable
+        of vertices.
+        """
+        return self.bits & self._coerce_vertices(other) == 0
+
+    def issubset(self, other) -> bool:
+        """Return ``True`` when every vertex of ``self`` is in ``other``.
+
+        Accepts another :class:`VertexBitset`, a raw mask, or any iterable
+        of vertices.
+        """
+        return self.bits & ~self._coerce_vertices(other) == 0
+
+    # -- conversions ---------------------------------------------------
+    def to_frozenset(self) -> FrozenSet[Vertex]:
+        """Materialise the plain ``frozenset`` (public-API boundary)."""
+        return self.indexer.vertices_of(self.bits)
+
+    def __repr__(self) -> str:
+        preview = sorted(map(repr, self))
+        if len(preview) > 8:
+            preview = preview[:8] + ["..."]
+        return f"VertexBitset({{{', '.join(preview)}}})"
+
+
+class GraphBitsetIndex:
+    """Precomputed bitset view of an attributed graph.
+
+    Holds the :class:`VertexIndexer` over the graph's vertices plus
+
+    * ``adjacency_masks[i]`` — the neighbour mask of the vertex with id
+      ``i`` (the quasi-clique engine's degree checks are one ``&`` and one
+      popcount against these), and
+    * one holder mask per attribute — the vertical database of Eclat, so a
+      tidset join ``V(S_i) ∩ V(S_j)`` is a single integer ``&``.
+    """
+
+    __slots__ = ("indexer", "adjacency_masks", "attribute_masks")
+
+    def __init__(
+        self,
+        indexer: VertexIndexer,
+        adjacency_masks: List[int],
+        attribute_masks: Dict[Attribute, int],
+    ) -> None:
+        self.indexer = indexer
+        self.adjacency_masks = adjacency_masks
+        self.attribute_masks = attribute_masks
+
+    @classmethod
+    def build(cls, graph) -> "GraphBitsetIndex":
+        """Build the index from any graph exposing the AttributedGraph API."""
+        indexer = VertexIndexer(graph.vertices())
+        adjacency_masks = [
+            indexer.mask_of(graph.neighbor_set(vertex)) for vertex in indexer
+        ]
+        attribute_masks = {
+            attribute: indexer.mask_of(graph.vertices_with(attribute))
+            for attribute in graph.attributes()
+        }
+        return cls(indexer, adjacency_masks, attribute_masks)
+
+    @property
+    def full_mask(self) -> int:
+        """Mask of the whole vertex set ``V``."""
+        return self.indexer.full_mask
+
+    def adjacency_mask(self, vertex: Vertex) -> int:
+        """Neighbour mask of ``vertex``."""
+        return self.adjacency_masks[self.indexer.id_of(vertex)]
+
+    def attribute_mask(self, attribute: Attribute) -> int:
+        """Holder mask of ``attribute`` (0 when no vertex carries it)."""
+        return self.attribute_masks.get(attribute, 0)
+
+    def members_mask(self, attributes: Iterable[Attribute]) -> int:
+        """Mask of ``V(S)`` — vertices carrying *every* attribute of ``S``.
+
+        Mirrors :meth:`AttributedGraph.vertices_with_all`: the empty
+        attribute set induces the full vertex set.
+        """
+        masks = [self.attribute_masks.get(a, 0) for a in attributes]
+        if not masks:
+            return self.full_mask
+        result = masks[0]
+        for mask in masks[1:]:
+            result &= mask
+            if not result:
+                break
+        return result
+
+    def bitset(self, mask: int) -> VertexBitset:
+        """Wrap a raw mask into a :class:`VertexBitset` over this indexer."""
+        return VertexBitset(self.indexer, mask)
+
+    def working_mask(
+        self, vertices: Union[VertexBitset, Iterable[Vertex], None]
+    ) -> int:
+        """Normalise a vertex restriction to a mask over this index.
+
+        ``None`` means the whole graph; a :class:`VertexBitset` bound to the
+        same indexer is used verbatim; any other iterable is converted,
+        silently dropping vertices that are not in the graph (matching the
+        historical behaviour of the search engine's ``vertices=`` filter).
+        """
+        if vertices is None:
+            return self.full_mask
+        if isinstance(vertices, VertexBitset) and vertices.indexer is self.indexer:
+            return vertices.bits & self.full_mask
+        return self.indexer.mask_of_known(vertices)

@@ -9,6 +9,7 @@ from repro.itemsets.eclat import (
 )
 from repro.itemsets.itemset import FrequentItemset, canonical_itemset
 from repro.itemsets.transactions import (
+    bitset_vertical_database,
     frequent_items,
     horizontal_database,
     transactions_from_lists,
@@ -18,6 +19,7 @@ from repro.itemsets.transactions import (
 
 __all__ = [
     "EclatConfig",
+    "bitset_vertical_database",
     "EclatMiner",
     "FrequentItemset",
     "canonical_itemset",

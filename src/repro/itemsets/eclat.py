@@ -19,7 +19,11 @@ from typing import Callable, Dict, FrozenSet, Hashable, Iterator, List, Mapping,
 from repro.errors import ParameterError
 from repro.graph.attributed_graph import AttributedGraph
 from repro.itemsets.itemset import FrequentItemset, Item, canonical_itemset
-from repro.itemsets.transactions import frequent_items, vertical_database
+from repro.itemsets.transactions import (
+    bitset_vertical_database,
+    frequent_items,
+    vertical_database,
+)
 
 ExtensionFilter = Callable[[FrequentItemset], bool]
 
@@ -65,21 +69,33 @@ class EclatMiner:
         Optional predicate; when it returns ``False`` for a frequent itemset
         the itemset is still *reported* but never *extended*.  This is the
         hook SCPM uses for its ε/δ-based pruning (Theorems 4 and 5).
+    use_bitsets:
+        When ``True``, :meth:`mine_graph` runs on the graph's bitset vertical
+        database: tidset joins become single integer ``&`` operations and the
+        yielded :class:`FrequentItemset` objects carry
+        :class:`~repro.graph.vertexset.VertexBitset` tidsets (set-like;
+        convert with ``to_frozenset()`` at API boundaries).  The mined
+        itemsets, supports and tidset *contents* are identical to the
+        frozenset path.
     """
 
     def __init__(
         self,
         config: EclatConfig,
         extension_filter: Optional[ExtensionFilter] = None,
+        use_bitsets: bool = False,
     ) -> None:
         self.config = config
         self.extension_filter = extension_filter
+        self.use_bitsets = use_bitsets
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def mine_graph(self, graph: AttributedGraph) -> Iterator[FrequentItemset]:
         """Mine frequent attribute sets of ``graph`` (vertices = transactions)."""
+        if self.use_bitsets:
+            return self.mine_vertical(bitset_vertical_database(graph))
         return self.mine_vertical(vertical_database(graph))
 
     def mine_transactions(

@@ -8,9 +8,10 @@ provided; Eclat works on the vertical one.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Tuple
+from typing import AbstractSet, Dict, FrozenSet, Hashable, Iterable, List, Mapping, Tuple
 
 from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.vertexset import VertexBitset
 from repro.itemsets.itemset import Item
 
 
@@ -22,6 +23,23 @@ def horizontal_database(graph: AttributedGraph) -> Dict[Hashable, FrozenSet[Item
 def vertical_database(graph: AttributedGraph) -> Dict[Item, FrozenSet[Hashable]]:
     """Return ``attribute -> vertex tidset`` for every attribute of ``graph``."""
     return graph.attribute_support_index()
+
+
+def bitset_vertical_database(graph: AttributedGraph) -> Dict[Item, VertexBitset]:
+    """Return ``attribute -> vertex tidset`` with bitset-backed tidsets.
+
+    The tidsets are :class:`~repro.graph.vertexset.VertexBitset` views over
+    the graph's cached bitset index, so an Eclat tidset join is one integer
+    ``&`` instead of a hashed frozenset intersection.  They behave like
+    frozensets for the operations the miners use; call ``to_frozenset()`` at
+    public API boundaries.
+    """
+    index = graph.bitset_index()
+    indexer = index.indexer
+    return {
+        attribute: VertexBitset(indexer, mask)
+        for attribute, mask in index.attribute_masks.items()
+    }
 
 
 def vertical_from_transactions(
@@ -49,12 +67,14 @@ def transactions_from_lists(
 
 
 def frequent_items(
-    vertical: Mapping[Item, FrozenSet[Hashable]], min_support: int
-) -> List[Tuple[Item, FrozenSet[Hashable]]]:
+    vertical: Mapping[Item, AbstractSet[Hashable]], min_support: int
+) -> List[Tuple[Item, AbstractSet[Hashable]]]:
     """Return the 1-itemsets with support ≥ ``min_support``, sorted.
 
     The sort is by ascending support then item representation — the standard
-    Eclat ordering that keeps equivalence classes small.
+    Eclat ordering that keeps equivalence classes small.  Works on plain
+    frozenset tidsets and on the bitset tidsets of
+    :func:`bitset_vertical_database` alike.
     """
     kept = [
         (item, tidset)

@@ -9,9 +9,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import AbstractSet, Dict, Hashable, Iterable, Mapping, Set
+from typing import AbstractSet, Dict, Hashable, Iterable, Mapping, Sequence, Set
 
 from repro.errors import ParameterError
+from repro.graph.vertexset import iter_bits
 
 Vertex = Hashable
 Adjacency = Mapping[Vertex, AbstractSet[Vertex]]
@@ -90,6 +91,36 @@ def satisfies_degree_condition(
         if len(adjacency[vertex] & vertex_set) < threshold:
             return False
     return True
+
+
+def satisfies_degree_condition_mask(
+    adjacency_masks: Sequence[int], set_mask: int, params: QuasiCliqueParams
+) -> bool:
+    """Bitmask twin of :func:`satisfies_degree_condition`.
+
+    ``adjacency_masks`` is indexed by dense vertex id and ``set_mask`` is the
+    candidate vertex set; both live in the same id space (see
+    :mod:`repro.graph.vertexset`).
+    """
+    size = set_mask.bit_count()
+    if size < params.min_size:
+        return False
+    threshold = params.degree_threshold(size)
+    for vertex in iter_bits(set_mask):
+        if (adjacency_masks[vertex] & set_mask).bit_count() < threshold:
+            return False
+    return True
+
+
+def gamma_of_mask(adjacency_masks: Sequence[int], set_mask: int) -> float:
+    """Bitmask twin of :func:`gamma_of`."""
+    size = set_mask.bit_count()
+    if size < 2:
+        return 0.0
+    min_degree = min(
+        (adjacency_masks[v] & set_mask).bit_count() for v in iter_bits(set_mask)
+    )
+    return min_degree / (size - 1)
 
 
 def gamma_of(adjacency: Adjacency, vertex_set: AbstractSet[Vertex]) -> float:

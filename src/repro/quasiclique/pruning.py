@@ -19,12 +19,25 @@ Two groups of rules are implemented (the paper's terminology):
 
 from __future__ import annotations
 
-from typing import AbstractSet, Dict, Hashable, Iterable, List, Optional, Set
+from typing import (
+    AbstractSet,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
+from repro.graph.vertexset import iter_bits
 from repro.quasiclique.definitions import QuasiCliqueParams
 
 Vertex = Hashable
 Adjacency = Dict[Vertex, Set[Vertex]]
+# Bitmask adjacency: ``masks[i]`` is the neighbour mask of dense vertex id i.
+MaskAdjacency = Sequence[int]
 
 
 def prune_low_degree_vertices(
@@ -166,4 +179,144 @@ def restrict_candidates(
         reduced = distance_index.allowed_extensions(members, reduced)
     if reduced:
         reduced = filter_candidates_by_degree(adjacency, members, reduced, params)
+    return reduced
+
+
+# ----------------------------------------------------------------------
+# bitmask twins — same rules over dense-id adjacency masks
+# ----------------------------------------------------------------------
+# The set-based functions above remain the readable specification (and the
+# unit-test surface); the functions below are what the search engine's inner
+# loop actually runs.  Vertex sets are int masks and a degree check is one
+# ``&`` plus one popcount.
+
+
+def prune_low_degree_masks(
+    adjacency: Sequence[int], params: QuasiCliqueParams
+) -> Tuple[int, List[int]]:
+    """Bitmask twin of :func:`prune_low_degree_vertices`.
+
+    Returns ``(alive_mask, masks)`` where ``alive_mask`` marks the surviving
+    dense ids and ``masks`` is the adjacency restricted to the survivors
+    (pruned entries are zeroed, not removed, so indexing stays dense).
+    """
+    threshold = params.base_degree_threshold
+    working = list(adjacency)
+    n = len(working)
+    removed = 0
+    queue: List[int] = []
+    for vertex in range(n):
+        if working[vertex].bit_count() < threshold:
+            removed |= 1 << vertex
+            queue.append(vertex)
+    while queue:
+        vertex = queue.pop()
+        for neighbor in iter_bits(working[vertex]):
+            mask = working[neighbor] & ~(1 << vertex)
+            working[neighbor] = mask
+            if not (removed >> neighbor) & 1 and mask.bit_count() < threshold:
+                removed |= 1 << neighbor
+                queue.append(neighbor)
+        working[vertex] = 0
+    alive = ((1 << n) - 1) & ~removed
+    return alive, working
+
+
+class MaskDistanceIndex:
+    """Bitmask twin of :class:`DistanceIndex` (lazy, per-search cache)."""
+
+    __slots__ = ("_adjacency", "_distance_bound", "_cache")
+
+    def __init__(self, adjacency: Sequence[int], distance_bound: int) -> None:
+        self._adjacency = adjacency
+        self._distance_bound = distance_bound
+        self._cache: Dict[int, int] = {}
+
+    @property
+    def enabled(self) -> bool:
+        """``True`` when the γ value yields a usable distance bound."""
+        return self._distance_bound in (1, 2)
+
+    def reachable(self, vertex: int) -> int:
+        """Closed neighbourhood mask of ``vertex`` within the bound."""
+        cached = self._cache.get(vertex)
+        if cached is not None:
+            return cached
+        neighbors = self._adjacency[vertex]
+        result = neighbors
+        if self._distance_bound != 1:
+            for neighbor in iter_bits(neighbors):
+                result |= self._adjacency[neighbor]
+        result |= 1 << vertex
+        self._cache[vertex] = result
+        return result
+
+    def allowed_extensions(self, members: Iterable[int], candidates: int) -> int:
+        """Mask of candidates within the distance bound of every member."""
+        allowed = candidates
+        for member in members:
+            allowed &= self.reachable(member)
+            if not allowed:
+                break
+        return allowed
+
+
+def filter_candidates_by_degree_masks(
+    adjacency: Sequence[int],
+    members_mask: int,
+    candidates_mask: int,
+    params: QuasiCliqueParams,
+) -> int:
+    """Bitmask twin of :func:`filter_candidates_by_degree` (fixpoint)."""
+    required = params.degree_threshold(
+        max(params.min_size, members_mask.bit_count() + 1)
+    )
+    remaining = candidates_mask
+    changed = True
+    while changed:
+        changed = False
+        scope = members_mask | remaining
+        for candidate in iter_bits(remaining):
+            if (adjacency[candidate] & scope).bit_count() < required:
+                remaining &= ~(1 << candidate)
+                changed = True
+    return remaining
+
+
+def subtree_is_hopeless_masks(
+    adjacency: Sequence[int],
+    members_mask: int,
+    candidates_mask: int,
+    params: QuasiCliqueParams,
+) -> bool:
+    """Bitmask twin of :func:`subtree_is_hopeless`."""
+    member_count = members_mask.bit_count()
+    if not member_count:
+        return candidates_mask.bit_count() < params.min_size
+    if member_count + candidates_mask.bit_count() < params.min_size:
+        return True
+    required = params.degree_threshold(max(params.min_size, member_count))
+    scope = members_mask | candidates_mask
+    for member in iter_bits(members_mask):
+        if (adjacency[member] & scope).bit_count() < required:
+            return True
+    return False
+
+
+def restrict_candidates_masks(
+    adjacency: Sequence[int],
+    members: Sequence[int],
+    members_mask: int,
+    candidates_mask: int,
+    params: QuasiCliqueParams,
+    distance_index: Optional[MaskDistanceIndex] = None,
+) -> int:
+    """Bitmask twin of :func:`restrict_candidates`."""
+    reduced = candidates_mask
+    if distance_index is not None and distance_index.enabled and members:
+        reduced = distance_index.allowed_extensions(members, reduced)
+    if reduced:
+        reduced = filter_candidates_by_degree_masks(
+            adjacency, members_mask, reduced, params
+        )
     return reduced

@@ -13,14 +13,25 @@ One engine drives the three tasks the paper needs:
 Candidates ``(X, candExts(X))`` are explored over a set-enumeration tree
 (Figure 2 of the paper).  A deque gives the BFS strategy, a stack the DFS
 strategy.  The pruning rules live in :mod:`repro.quasiclique.pruning`.
+
+Internally the engine runs on the **bitset vertex-set engine**
+(:mod:`repro.graph.vertexset`): the working vertices are relabelled to dense
+local ids in ascending-degree order (the classical Eclat-style heuristic that
+keeps candidate sets small near the root), adjacency becomes one int mask per
+id, and every degree check of the inner loop is a single ``&`` plus a
+popcount instead of a hashed set intersection.  Local id order *is* the
+candidate-expansion rank, so iterating the set bits of a candidate mask in
+ascending position replaces the seed implementation's per-node sort.  All
+public entry points keep accepting and returning plain vertices and
+``frozenset`` objects; a :class:`repro.graph.vertexset.VertexBitset` bound to
+the graph's own index is accepted as a zero-copy ``vertices=`` restriction.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
-    AbstractSet,
     Dict,
     FrozenSet,
     Hashable,
@@ -28,27 +39,27 @@ from typing import (
     List,
     Optional,
     Sequence,
-    Set,
     Tuple,
+    Union,
 )
 
 from repro.errors import ParameterError
 from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.vertexset import VertexBitset, iter_bits
 from repro.quasiclique.definitions import (
     QuasiCliqueParams,
-    gamma_of,
-    restricted_adjacency,
-    satisfies_degree_condition,
+    gamma_of_mask,
+    satisfies_degree_condition_mask,
 )
 from repro.quasiclique.pruning import (
-    DistanceIndex,
-    prune_low_degree_vertices,
-    restrict_candidates,
-    subtree_is_hopeless,
+    MaskDistanceIndex,
+    prune_low_degree_masks,
+    restrict_candidates_masks,
+    subtree_is_hopeless_masks,
 )
 
 Vertex = Hashable
-Adjacency = Dict[Vertex, Set[Vertex]]
+VertexRestriction = Union[Iterable[Vertex], VertexBitset, None]
 
 BFS = "bfs"
 DFS = "dfs"
@@ -73,10 +84,16 @@ class SearchStats:
 
 @dataclass
 class _Node:
-    """A search-tree node: the growing set X and its candidate extensions."""
+    """A search-tree node: the growing set X and its candidate extensions.
 
-    members: Tuple[Vertex, ...]
-    candidates: Set[Vertex] = field(default_factory=set)
+    ``members`` keeps the extension path as a tuple of local ids (cheap
+    prefix sharing between siblings); ``members_mask`` and ``candidates``
+    are masks in the same local id space.
+    """
+
+    members: Tuple[int, ...]
+    members_mask: int
+    candidates: int
 
 
 class QuasiCliqueSearch:
@@ -85,13 +102,17 @@ class QuasiCliqueSearch:
     Parameters
     ----------
     graph:
-        The (induced) graph to search.  Only its adjacency is used.
+        The graph to search.  Only its adjacency is used; a vertex
+        restriction makes the search equivalent to running on the induced
+        subgraph without materialising it.
     params:
         Quasi-clique parameters ``(γ, min_size)``.
     vertices:
         Optional restriction of the working vertex set (used by SCPM's
         Theorem-3 vertex pruning: only vertices covered for every parent
-        attribute set need to be considered).
+        attribute set need to be considered).  Accepts any iterable of
+        vertices or a :class:`~repro.graph.vertexset.VertexBitset` bound to
+        ``graph.bitset_index()`` (zero-copy fast path).
     order:
         ``"dfs"`` (default) or ``"bfs"`` — the traversal strategy.
     use_distance_pruning:
@@ -106,7 +127,7 @@ class QuasiCliqueSearch:
         self,
         graph: AttributedGraph,
         params: QuasiCliqueParams,
-        vertices: Optional[Iterable[Vertex]] = None,
+        vertices: VertexRestriction = None,
         order: str = DFS,
         use_distance_pruning: bool = True,
         node_budget: Optional[int] = None,
@@ -118,30 +139,47 @@ class QuasiCliqueSearch:
         self.node_budget = node_budget
         self.stats = SearchStats()
 
-        if vertices is None:
-            working_vertices = list(graph.vertices())
-        else:
-            working_vertices = [v for v in vertices if graph.has_vertex(v)]
-        base_adjacency = {
-            v: set(graph.neighbor_set(v)) for v in working_vertices
+        index = graph.bitset_index()
+        working_mask = index.working_mask(vertices)
+        global_ids = list(iter_bits(working_mask))
+        position = {g: i for i, g in enumerate(global_ids)}
+
+        # Working adjacency in a provisional local id space (global order).
+        adjacency_masks = index.adjacency_masks
+        provisional: List[int] = []
+        for g in global_ids:
+            local = 0
+            for h in iter_bits(adjacency_masks[g] & working_mask):
+                local |= 1 << position[h]
+            provisional.append(local)
+
+        # Global vertex pruning (Section 3.2.1), then relabel the survivors
+        # so that ascending local id == ascending (degree, repr) rank.
+        alive, pruned = prune_low_degree_masks(provisional, params)
+        vertex_of_global = index.indexer.vertex_of
+        survivors = sorted(
+            iter_bits(alive),
+            key=lambda i: (pruned[i].bit_count(), repr(vertex_of_global(global_ids[i]))),
+        )
+        relabel = {old: new for new, old in enumerate(survivors)}
+        self._adjacency: List[int] = []
+        for old in survivors:
+            mask = 0
+            for neighbor in iter_bits(pruned[old]):
+                mask |= 1 << relabel[neighbor]
+            self._adjacency.append(mask)
+        self._vertex_of: List[Vertex] = [
+            vertex_of_global(global_ids[old]) for old in survivors
+        ]
+        self._id_of: Dict[Vertex, int] = {
+            v: i for i, v in enumerate(self._vertex_of)
         }
-        keep = set(working_vertices)
-        for vertex, neighbors in base_adjacency.items():
-            base_adjacency[vertex] = neighbors & keep
-        self._adjacency: Adjacency = prune_low_degree_vertices(base_adjacency, params)
+        self._universe: int = (1 << len(survivors)) - 1
         self._distance_index = (
-            DistanceIndex(self._adjacency, params.distance_bound)
+            MaskDistanceIndex(self._adjacency, params.distance_bound)
             if use_distance_pruning
             else None
         )
-        # Fixed total order over the working vertices: ascending degree is the
-        # classical heuristic (small candidate sets near the root).
-        ordered = sorted(
-            self._adjacency,
-            key=lambda v: (len(self._adjacency[v]), repr(v)),
-        )
-        self._rank: Dict[Vertex, int] = {v: i for i, v in enumerate(ordered)}
-        self._ordered_vertices: List[Vertex] = ordered
 
     # ------------------------------------------------------------------
     # public modes
@@ -149,7 +187,7 @@ class QuasiCliqueSearch:
     @property
     def working_vertices(self) -> FrozenSet[Vertex]:
         """Vertices that survived the global minimum-degree pruning."""
-        return frozenset(self._adjacency)
+        return frozenset(self._vertex_of)
 
     def enumerate_maximal(self) -> List[FrozenSet[Vertex]]:
         """Enumerate every maximal γ-quasi-clique of size ≥ ``min_size``.
@@ -160,9 +198,9 @@ class QuasiCliqueSearch:
         removes non-maximal emissions, which yields exactly the maximal
         sets (each satisfying set is contained in some emitted set).
         """
-        emitted: List[FrozenSet[Vertex]] = []
+        emitted: List[int] = []
         self._run(mode="enumerate", emitted=emitted)
-        return _maximal_only(emitted)
+        return [self._to_frozenset(mask) for mask in _maximal_only(emitted)]
 
     def covered_vertices(
         self, targets: Optional[Iterable[Vertex]] = None
@@ -175,14 +213,19 @@ class QuasiCliqueSearch:
         contains exactly the covered vertices among the targets (all working
         vertices when ``targets`` is ``None``).
         """
-        if targets is None:
-            target_set = set(self._adjacency)
-        else:
-            target_set = {v for v in targets if v in self._adjacency}
-        covered: Set[Vertex] = set(self._greedy_cover(target_set))
-        if not (target_set <= covered):
-            self._run(mode="coverage", covered=covered, targets=target_set)
-        return frozenset(covered & target_set)
+        return self._to_frozenset(self.covered_mask(targets))
+
+    def covered_mask(self, targets: Optional[Iterable[Vertex]] = None) -> int:
+        """Like :meth:`covered_vertices` but returning a local-id mask.
+
+        Exposed for callers that immediately re-index the result (the SCPM
+        hot path); :meth:`covered_to_global` maps it back to graph space.
+        """
+        targets_mask = self._restriction_mask(targets)
+        covered = [self._greedy_cover(targets_mask)]
+        if targets_mask & ~covered[0]:
+            self._run(mode="coverage", covered=covered, targets=targets_mask)
+        return covered[0] & targets_mask
 
     def top_k(self, k: int) -> List[Tuple[FrozenSet[Vertex], float]]:
         """Return the top-``k`` patterns ranked by size then density (γ).
@@ -203,25 +246,53 @@ class QuasiCliqueSearch:
         """
         if k < 1:
             raise ParameterError(f"k must be >= 1, got {k}")
-        current_top: List[FrozenSet[Vertex]] = []
+        current_top: List[int] = []
         # Seed the result set with greedily found quasi-cliques so the dynamic
         # size threshold of Section 3.2.3 starts pruning immediately.
-        for seed in self._greedy_satisfying_sets(set(self._adjacency)):
+        for seed in self._greedy_satisfying_sets(self._universe):
             self._record(seed, "topk", current_top, None, k)
         self._run(mode="topk", emitted=current_top, k=k)
+        adjacency = self._adjacency
         ranked = sorted(
             (
-                (candidate, gamma_of(self._adjacency, candidate))
-                for candidate in current_top
+                (self._to_frozenset(mask), gamma_of_mask(adjacency, mask))
+                for mask in current_top
             ),
             key=lambda pair: (-len(pair[0]), -pair[1], sorted(map(repr, pair[0]))),
         )
         return ranked[:k]
 
     # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def _to_frozenset(self, mask: int) -> FrozenSet[Vertex]:
+        table = self._vertex_of
+        return frozenset(table[i] for i in iter_bits(mask))
+
+    def covered_to_global(self, mask: int, index) -> int:
+        """Map a local-id mask into ``index``'s global id space."""
+        id_of = index.indexer.id_of
+        table = self._vertex_of
+        result = 0
+        for i in iter_bits(mask):
+            result |= 1 << id_of(table[i])
+        return result
+
+    def _restriction_mask(self, targets: Optional[Iterable[Vertex]]) -> int:
+        if targets is None:
+            return self._universe
+        id_of = self._id_of
+        mask = 0
+        for vertex in targets:
+            index = id_of.get(vertex)
+            if index is not None:
+                mask |= 1 << index
+        return mask
+
+    # ------------------------------------------------------------------
     # greedy coverage seed
     # ------------------------------------------------------------------
-    def _greedy_satisfying_sets(self, targets: Set[Vertex]) -> List[FrozenSet[Vertex]]:
+    def _greedy_satisfying_sets(self, targets: int) -> List[int]:
         """Cheap sound pre-pass that finds obvious quasi-cliques around dense vertices.
 
         For each still-unvisited target (densest first) the closed
@@ -234,30 +305,28 @@ class QuasiCliqueSearch:
         """
         adjacency = self._adjacency
         params = self.params
-        found: List[FrozenSet[Vertex]] = []
-        seen: Set[Vertex] = set()
-        order = sorted(targets, key=lambda v: -len(adjacency[v]))
+        found: List[int] = []
+        seen = 0
+        order = sorted(iter_bits(targets), key=lambda i: -adjacency[i].bit_count())
         for vertex in order:
-            if vertex in seen:
+            if (seen >> vertex) & 1:
                 continue
-            candidate = set(adjacency[vertex]) | {vertex}
-            while len(candidate) >= params.min_size:
-                if satisfies_degree_condition(adjacency, candidate, params):
-                    frozen = frozenset(candidate)
-                    found.append(frozen)
-                    seen |= frozen
+            candidate = adjacency[vertex] | (1 << vertex)
+            while candidate.bit_count() >= params.min_size:
+                if satisfies_degree_condition_mask(adjacency, candidate, params):
+                    found.append(candidate)
+                    seen |= candidate
                     break
-                removable = [v for v in candidate if v != vertex]
                 weakest = min(
-                    removable,
-                    key=lambda v: (len(adjacency[v] & candidate), repr(v)),
+                    iter_bits(candidate & ~(1 << vertex)),
+                    key=lambda v: ((adjacency[v] & candidate).bit_count(), v),
                 )
-                candidate.discard(weakest)
+                candidate &= ~(1 << weakest)
         return found
 
-    def _greedy_cover(self, targets: Set[Vertex]) -> Set[Vertex]:
-        """Vertices covered by the greedy pre-pass (see ``_greedy_satisfying_sets``)."""
-        covered: Set[Vertex] = set()
+    def _greedy_cover(self, targets: int) -> int:
+        """Mask covered by the greedy pre-pass (see ``_greedy_satisfying_sets``)."""
+        covered = 0
         for satisfying in self._greedy_satisfying_sets(targets):
             self.stats.satisfying_sets_found += 1
             covered |= satisfying
@@ -269,18 +338,18 @@ class QuasiCliqueSearch:
     def _run(
         self,
         mode: str,
-        emitted: Optional[List[FrozenSet[Vertex]]] = None,
-        covered: Optional[Set[Vertex]] = None,
-        targets: Optional[Set[Vertex]] = None,
+        emitted: Optional[List[int]] = None,
+        covered: Optional[List[int]] = None,
+        targets: int = 0,
         k: int = 0,
     ) -> None:
         """Drive the set-enumeration search in the requested ``mode``."""
-        if not self._adjacency:
+        if not self._universe:
             return
         params = self.params
         adjacency = self._adjacency
         frontier: deque = deque()
-        frontier.append(_Node(members=(), candidates=set(adjacency)))
+        frontier.append(_Node(members=(), members_mask=0, candidates=self._universe))
 
         while frontier:
             node = frontier.popleft() if self.order == BFS else frontier.pop()
@@ -290,51 +359,64 @@ class QuasiCliqueSearch:
                     f"expanded more than {self.node_budget} candidate quasi-cliques"
                 )
 
-            members = set(node.members)
-            candidates = restrict_candidates(
-                adjacency, members, node.candidates, params, self._distance_index
+            members_mask = node.members_mask
+            candidates = restrict_candidates_masks(
+                adjacency,
+                node.members,
+                members_mask,
+                node.candidates,
+                params,
+                self._distance_index,
             )
 
             if mode == "coverage":
-                assert covered is not None and targets is not None
-                if targets <= covered:
+                assert covered is not None
+                covered_mask = covered[0]
+                if not targets & ~covered_mask:
                     return
-                union = members | candidates
-                if not (union - covered) or not (union & (targets - covered)):
+                union = members_mask | candidates
+                if not union & ~covered_mask or not union & targets & ~covered_mask:
                     self.stats.pruned_covered += 1
                     continue
 
             if mode == "topk" and emitted is not None and len(emitted) >= k:
-                smallest_top = min(len(pattern) for pattern in emitted)
-                if len(members) + len(candidates) < smallest_top:
+                smallest_top = min(pattern.bit_count() for pattern in emitted)
+                if (members_mask | candidates).bit_count() < smallest_top:
                     self.stats.pruned_by_size += 1
                     continue
 
-            if subtree_is_hopeless(adjacency, members, candidates, params):
+            if subtree_is_hopeless_masks(adjacency, members_mask, candidates, params):
                 self.stats.pruned_hopeless += 1
                 continue
 
-            union = members | candidates
-            if candidates and satisfies_degree_condition(adjacency, union, params):
+            union = members_mask | candidates
+            if candidates and satisfies_degree_condition_mask(adjacency, union, params):
                 # Lookahead: X ∪ candExts(X) is itself a quasi-clique — it
                 # subsumes every satisfying set of this subtree.
                 self.stats.lookahead_hits += 1
                 self._record(union, mode, emitted, covered, k)
                 continue
 
-            if len(members) >= params.min_size and satisfies_degree_condition(
-                adjacency, members, params
+            if members_mask.bit_count() >= params.min_size and (
+                satisfies_degree_condition_mask(adjacency, members_mask, params)
             ):
-                self._record(frozenset(members), mode, emitted, covered, k)
+                self._record(members_mask, mode, emitted, covered, k)
 
             if not candidates:
                 continue
-            ordered_candidates = sorted(candidates, key=self._rank.__getitem__)
+            # Ascending bit position == ascending rank: the relabelling in
+            # __init__ makes the per-node candidate sort of the original
+            # implementation free.
             children: List[_Node] = []
-            for index, vertex in enumerate(ordered_candidates):
-                child_candidates = set(ordered_candidates[index + 1 :])
+            rest = candidates
+            for vertex in iter_bits(candidates):
+                rest &= ~(1 << vertex)
                 children.append(
-                    _Node(members=node.members + (vertex,), candidates=child_candidates)
+                    _Node(
+                        members=node.members + (vertex,),
+                        members_mask=members_mask | (1 << vertex),
+                        candidates=rest,
+                    )
                 )
             if self.order == DFS:
                 # push in reverse so the smallest-ranked extension is explored first
@@ -343,47 +425,54 @@ class QuasiCliqueSearch:
 
     def _record(
         self,
-        vertex_set: AbstractSet[Vertex],
+        vertex_mask: int,
         mode: str,
-        emitted: Optional[List[FrozenSet[Vertex]]],
-        covered: Optional[Set[Vertex]],
+        emitted: Optional[List[int]],
+        covered: Optional[List[int]],
         k: int,
     ) -> None:
         """Register a satisfying vertex set according to the search mode."""
         self.stats.satisfying_sets_found += 1
-        frozen = frozenset(vertex_set)
         if mode == "coverage":
             assert covered is not None
-            covered |= frozen
+            covered[0] |= vertex_mask
             return
         assert emitted is not None
         if mode == "enumerate":
-            emitted.append(frozen)
+            emitted.append(vertex_mask)
             return
         # top-k mode: keep only the current best, containment-filtered, so the
         # dynamic size threshold reflects k *distinct* candidate patterns.
-        if any(frozen <= existing for existing in emitted):
+        if any(vertex_mask & ~existing == 0 for existing in emitted):
             return
-        emitted[:] = [existing for existing in emitted if not existing < frozen]
-        emitted.append(frozen)
+        emitted[:] = [
+            existing
+            for existing in emitted
+            if not (existing != vertex_mask and existing & ~vertex_mask == 0)
+        ]
+        emitted.append(vertex_mask)
         adjacency = self._adjacency
+        # Tie-break on vertex reprs (not raw mask order) so the k retained
+        # patterns match the naive baseline's ranking when (size, γ) tie.
         emitted.sort(
             key=lambda pattern: (
-                -len(pattern),
-                -gamma_of(adjacency, pattern),
-                sorted(map(repr, pattern)),
+                -pattern.bit_count(),
+                -gamma_of_mask(adjacency, pattern),
+                sorted(map(repr, self._to_frozenset(pattern))),
             )
         )
         del emitted[k:]
 
 
-def _maximal_only(vertex_sets: Sequence[FrozenSet[Vertex]]) -> List[FrozenSet[Vertex]]:
-    """Filter a collection of vertex sets down to the inclusion-maximal ones."""
-    unique = list(dict.fromkeys(vertex_sets))
-    unique.sort(key=len, reverse=True)
-    maximal: List[FrozenSet[Vertex]] = []
+def _maximal_only(masks: Sequence[int]) -> List[int]:
+    """Filter a collection of vertex-set masks down to the inclusion-maximal ones."""
+    unique = list(dict.fromkeys(masks))
+    unique.sort(key=int.bit_count, reverse=True)
+    maximal: List[int] = []
     for candidate in unique:
-        if not any(candidate < other for other in maximal):
+        if not any(
+            candidate != other and candidate & ~other == 0 for other in maximal
+        ):
             maximal.append(candidate)
     return maximal
 
@@ -396,7 +485,7 @@ def find_quasi_cliques(
     gamma: float,
     min_size: int,
     order: str = DFS,
-    vertices: Optional[Iterable[Vertex]] = None,
+    vertices: VertexRestriction = None,
 ) -> List[FrozenSet[Vertex]]:
     """Enumerate the maximal γ-quasi-cliques of ``graph``.
 
@@ -417,7 +506,7 @@ def vertices_in_quasi_cliques(
     gamma: float,
     min_size: int,
     order: str = DFS,
-    vertices: Optional[Iterable[Vertex]] = None,
+    vertices: VertexRestriction = None,
     targets: Optional[Iterable[Vertex]] = None,
 ) -> FrozenSet[Vertex]:
     """Return the set ``K`` of vertices belonging to at least one quasi-clique."""
@@ -432,7 +521,7 @@ def top_k_quasi_cliques(
     min_size: int,
     k: int,
     order: str = DFS,
-    vertices: Optional[Iterable[Vertex]] = None,
+    vertices: VertexRestriction = None,
 ) -> List[Tuple[FrozenSet[Vertex], float]]:
     """Return the top-``k`` quasi-cliques of ``graph`` by size then density."""
     params = QuasiCliqueParams(gamma=gamma, min_size=min_size)

@@ -1,0 +1,223 @@
+"""Unit tests for the bitset vertex-set engine primitives."""
+
+import pickle
+
+import pytest
+
+from repro.errors import UnknownVertexError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.vertexset import (
+    GraphBitsetIndex,
+    VertexBitset,
+    VertexIndexer,
+    iter_bits,
+    popcount,
+)
+
+
+class TestBitHelpers:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount((1 << 500) | 1) == 2
+
+    def test_iter_bits_ascending(self):
+        assert list(iter_bits(0)) == []
+        assert list(iter_bits(0b1011)) == [0, 1, 3]
+        assert list(iter_bits(1 << 200)) == [200]
+
+    def test_iter_bits_round_trip(self):
+        mask = 0
+        for i in (0, 5, 63, 64, 65, 129, 1000):
+            mask |= 1 << i
+        rebuilt = 0
+        for i in iter_bits(mask):
+            rebuilt |= 1 << i
+        assert rebuilt == mask
+
+
+class TestVertexIndexer:
+    def test_ids_follow_insertion_order(self):
+        indexer = VertexIndexer(["u", "v", "w"])
+        assert [indexer.id_of(v) for v in ("u", "v", "w")] == [0, 1, 2]
+        assert [indexer.vertex_of(i) for i in range(3)] == ["u", "v", "w"]
+
+    def test_add_is_idempotent(self):
+        indexer = VertexIndexer()
+        assert indexer.add("x") == 0
+        assert indexer.add("x") == 0
+        assert len(indexer) == 1
+
+    def test_unknown_vertex_raises(self):
+        indexer = VertexIndexer(["u"])
+        with pytest.raises(UnknownVertexError):
+            indexer.id_of("nope")
+        with pytest.raises(UnknownVertexError):
+            indexer.mask_of(["u", "nope"])
+
+    def test_mask_of_known_skips_unknown(self):
+        indexer = VertexIndexer(["u", "v"])
+        assert indexer.mask_of_known(["u", "nope"]) == 0b01
+
+    def test_mask_round_trip(self):
+        vertices = [f"v{i}" for i in range(130)]  # forces a multi-word mask
+        indexer = VertexIndexer(vertices)
+        subset = vertices[::3]
+        mask = indexer.mask_of(subset)
+        assert indexer.vertices_of(mask) == frozenset(subset)
+        assert popcount(mask) == len(subset)
+
+    def test_full_mask(self):
+        indexer = VertexIndexer(range(5))
+        assert indexer.full_mask == 0b11111
+        assert VertexIndexer().full_mask == 0
+
+
+class TestVertexBitset:
+    def setup_method(self):
+        self.indexer = VertexIndexer(range(100))
+
+    def bs(self, vertices):
+        return self.indexer.bitset(vertices)
+
+    def test_empty(self):
+        empty = self.bs([])
+        assert len(empty) == 0
+        assert not empty
+        assert list(empty) == []
+        assert empty.to_frozenset() == frozenset()
+
+    def test_set_algebra_matches_frozensets(self):
+        a, b = self.bs([1, 2, 3, 64, 65]), self.bs([2, 3, 4, 65, 99])
+        fa, fb = frozenset([1, 2, 3, 64, 65]), frozenset([2, 3, 4, 65, 99])
+        assert (a & b).to_frozenset() == fa & fb
+        assert (a | b).to_frozenset() == fa | fb
+        assert (a - b).to_frozenset() == fa - fb
+        assert (a ^ b).to_frozenset() == fa ^ fb
+
+    def test_len_is_popcount(self):
+        assert len(self.bs([0, 63, 64, 99])) == 4
+
+    def test_iteration_round_trip(self):
+        vertices = {0, 7, 31, 32, 63, 64, 99}
+        assert set(self.bs(vertices)) == vertices
+        assert VertexBitset.from_vertices(self.indexer, vertices).to_frozenset() == vertices
+
+    def test_contains(self):
+        a = self.bs([5, 70])
+        assert 5 in a and 70 in a
+        assert 6 not in a and "stranger" not in a
+
+    def test_subset_relations(self):
+        small, big = self.bs([1, 2]), self.bs([1, 2, 3])
+        assert small <= big and small < big
+        assert big >= small and big > small
+        assert not big <= small
+        assert small <= small and not small < small
+
+    def test_equality_and_hash(self):
+        a, b = self.bs([1, 2]), self.bs([1, 2])
+        assert a == b and hash(a) == hash(b)
+        assert a == {1, 2} and a == frozenset({1, 2})
+        assert a != self.bs([1])
+
+    def test_eq_hash_contract_with_frozensets(self):
+        # equal objects must hash equally, even across representations
+        a = self.bs([1, 2, 64])
+        assert a == frozenset({1, 2, 64})
+        assert hash(a) == hash(frozenset({1, 2, 64}))
+        assert {frozenset({1, 2, 64}): "hit"}[a] == "hit"
+
+    def test_named_set_methods_accept_iterables(self):
+        a = self.bs([1, 2])
+        assert a.issubset({1, 2, 3})
+        assert a.issubset(frozenset({1, 2}))
+        assert not a.issubset([1])
+        assert a.issubset([1, 2, "unknown-vertex"])  # extras outside the universe
+        assert a.isdisjoint({3, 4})
+        assert not a.isdisjoint([2, 9])
+        assert a.isdisjoint(["unknown-vertex"])
+
+    def test_dunder_comparison_with_foreign_type_raises_cleanly(self):
+        with pytest.raises(TypeError):
+            self.bs([1]) <= frozenset({1, 2})  # unordered across types
+
+    def test_isdisjoint(self):
+        assert self.bs([1]).isdisjoint(self.bs([2]))
+        assert not self.bs([1, 2]).isdisjoint(self.bs([2, 3]))
+
+    def test_mixed_indexers_rejected(self):
+        other = VertexIndexer(range(100))
+        with pytest.raises(ValueError):
+            self.bs([1]) & other.bitset([1])
+
+    def test_single_word_and_multi_word(self):
+        # below and above the 64-bit word boundary behave identically
+        lo, hi = self.bs([0, 1, 2]), self.bs([64, 65, 99])
+        assert len(lo) == len(hi) == 3
+        assert (lo | hi).to_frozenset() == {0, 1, 2, 64, 65, 99}
+        assert (lo & hi).to_frozenset() == frozenset()
+
+
+class TestGraphBitsetIndex:
+    def make_graph(self):
+        graph = AttributedGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.add_attributes("a", ["x", "y"])
+        graph.add_attributes("b", ["x"])
+        graph.add_attributes("c", ["y"])
+        return graph
+
+    def test_build_matches_graph(self):
+        graph = self.make_graph()
+        index = graph.bitset_index()
+        assert index.indexer.vertices_of(index.full_mask) == frozenset("abc")
+        assert index.indexer.vertices_of(index.adjacency_mask("b")) == {"a", "c"}
+        assert index.indexer.vertices_of(index.attribute_mask("x")) == {"a", "b"}
+        assert index.attribute_mask("missing") == 0
+
+    def test_members_mask_matches_vertices_with_all(self):
+        graph = self.make_graph()
+        index = graph.bitset_index()
+        for attrs in ([], ["x"], ["y"], ["x", "y"], ["x", "missing"]):
+            assert index.indexer.vertices_of(
+                index.members_mask(attrs)
+            ) == graph.vertices_with_all(attrs)
+
+    def test_cache_reuse_and_invalidation(self):
+        graph = self.make_graph()
+        index = graph.bitset_index()
+        assert graph.bitset_index() is index  # cached
+        graph.add_vertex("a")  # no-op: vertex exists
+        assert graph.bitset_index() is index
+        graph.add_edge("a", "c")  # mutation invalidates
+        fresh = graph.bitset_index()
+        assert fresh is not index
+        assert fresh.indexer.vertices_of(fresh.adjacency_mask("a")) == {"b", "c"}
+
+    def test_invalidation_on_attribute_and_removal(self):
+        graph = self.make_graph()
+        first = graph.bitset_index()
+        graph.add_attribute("c", "x")
+        second = graph.bitset_index()
+        assert second is not first
+        assert second.indexer.vertices_of(second.attribute_mask("x")) == {"a", "b", "c"}
+        graph.remove_vertex("b")
+        third = graph.bitset_index()
+        assert third.indexer.vertices_of(third.full_mask) == {"a", "c"}
+
+    def test_working_mask_accepts_all_restriction_forms(self):
+        graph = self.make_graph()
+        index = graph.bitset_index()
+        assert index.working_mask(None) == index.full_mask
+        assert index.working_mask(["a", "zzz"]) == index.indexer.mask_of(["a"])
+        native = index.bitset(index.indexer.mask_of(["a", "b"]))
+        assert index.working_mask(native) == native.bits
+
+    def test_index_survives_pickling(self):
+        graph = self.make_graph()
+        graph.bitset_index()
+        clone = pickle.loads(pickle.dumps(graph))
+        index = clone.bitset_index()
+        assert index.indexer.vertices_of(index.attribute_mask("x")) == {"a", "b"}
