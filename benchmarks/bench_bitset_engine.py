@@ -66,7 +66,9 @@ def _timed_pairs(pairs, op, reps):
 
 def test_bitset_engine_speedup(emit):
     graph = _build_graph()
-    index = graph.bitset_index()
+    # This benchmark measures the *dense* engine's int masks; "auto" would
+    # resolve to sparse at this |V|/density and time chunked containers.
+    index = graph.bitset_index("dense")
 
     # ---- Eclat tidset join: the 12 most frequent attributes, all pairs ----
     frequent = sorted(

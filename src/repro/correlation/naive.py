@@ -76,13 +76,18 @@ class NaiveMiner:
                 max_size=params.max_attribute_set_size,
             ),
             use_bitsets=True,
+            engine=params.engine,
         )
         for itemset in eclat.mine_graph(self.graph):
             counters.attribute_sets_evaluated += 1
             members = itemset.tidset
             support = len(members)
             search = QuasiCliqueSearch(
-                self.graph, self.qc_params, vertices=members, order=params.order
+                self.graph,
+                self.qc_params,
+                vertices=members,
+                order=params.order,
+                engine=params.engine,
             )
             quasi_cliques = search.enumerate_maximal()
             counters.coverage_nodes_expanded += search.stats.nodes_expanded

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.errors import ParameterError
+from repro.graph.engine import resolve_engine
 from repro.quasiclique.definitions import QuasiCliqueParams
 from repro.quasiclique.search import BFS, DFS
 
@@ -48,6 +49,13 @@ class SCPMParams:
         fan-out of SCPM.  ``1`` (default) mines sequentially, ``-1`` uses
         every available CPU.  The merged result is identical to the
         sequential run for any worker count (deterministic null models).
+    engine:
+        Vertex-set engine backing tidsets, covered sets and the
+        quasi-clique search: ``"dense"`` (full-width int masks),
+        ``"sparse"`` (chunked containers, memory tracks edges) or
+        ``"auto"`` (default — picked per graph by |V| and edge density, see
+        :mod:`repro.graph.engine`).  Both engines produce byte-identical
+        mining results.
     """
 
     min_support: int
@@ -60,6 +68,7 @@ class SCPMParams:
     max_attribute_set_size: Optional[int] = None
     order: str = field(default=DFS)
     n_jobs: int = 1
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.min_support < 1:
@@ -93,6 +102,9 @@ class SCPMParams:
             raise ParameterError(
                 f"n_jobs must be >= 1 or -1 (all CPUs), got {self.n_jobs}"
             )
+        # Raises EngineError (a ParameterError) on unknown names; the
+        # resolved result for this placeholder shape is discarded.
+        resolve_engine(self.engine, 0, 0)
 
     def resolved_jobs(self) -> int:
         """Return the effective worker count (``-1`` → CPU count)."""

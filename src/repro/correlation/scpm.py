@@ -139,7 +139,7 @@ class SCPM:
         started = time.perf_counter()
 
         # Algorithm 2, line 3: frequent size-1 attribute sets.
-        vertical = bitset_vertical_database(self.graph)
+        vertical = bitset_vertical_database(self.graph, params.engine)
         base = frequent_items(vertical, params.min_support)
 
         extendable: List[_Candidate] = []
@@ -233,11 +233,11 @@ class SCPM:
         try:
             # INVARIANT: graph and candidates must travel in the SAME submit()
             # args tuple.  Pickle's memo then keeps the graph's cached
-            # GraphBitsetIndex.indexer and every candidate bitset's indexer as
-            # one object in the worker; splitting them into separate transfers
+            # index indexer and every candidate bitset's indexer as one
+            # object in the worker; splitting them into separate transfers
             # (or rebuilding the index worker-side) would make
-            # `first.covered & second.covered` raise the mixed-indexer
-            # ValueError at extension depth >= 2.
+            # `first.covered & second.covered` raise IndexerMismatchError
+            # at extension depth >= 2.
             futures = [
                 pool.submit(
                     _mine_branches_worker,
@@ -280,6 +280,7 @@ class SCPM:
             self.qc_params,
             order=params.order,
             candidate_vertices=candidate_vertices,
+            engine=params.engine,
         )
         expected = self.null_model.expected_epsilon(support)
         delta = normalized_structural_correlation(epsilon, expected)
@@ -299,6 +300,7 @@ class SCPM:
                     params.top_k,
                     order=params.order,
                     candidate_vertices=covered,
+                    engine=params.engine,
                 )
             )
 

@@ -36,14 +36,17 @@ def structural_correlation_bitset(
     params: QuasiCliqueParams,
     order: str = DFS,
     candidate_vertices: VertexRestriction = None,
+    engine: str = "auto",
 ) -> Tuple[float, VertexBitset]:
-    """Return ``(ε(S), K_S)`` with the covered set as a bitset.
+    """Return ``(ε(S), K_S)`` with the covered set as a bitset view.
 
     This is the hot-path variant used inside SCPM: the covered set stays in
     the graph's dense id space so the Theorem-3 intersection for extended
-    attribute sets is one integer ``&``.
+    attribute sets is one native ``&`` — an integer AND on the dense engine,
+    a chunk-wise AND on the sparse one (``engine`` selects, see
+    :mod:`repro.graph.engine`).
     """
-    index = graph.bitset_index()
+    index = graph.bitset_index(engine)
     members = index.members_mask(attributes)
     if not members:
         return 0.0, index.bitset(0)
@@ -54,7 +57,7 @@ def structural_correlation_bitset(
     if working.bit_count() < params.min_size:
         return 0.0, index.bitset(0)
     search = QuasiCliqueSearch(
-        graph, params, vertices=index.bitset(working), order=order
+        graph, params, vertices=index.bitset(working), order=order, engine=engine
     )
     covered = search.covered_to_global(search.covered_mask(), index)
     return covered.bit_count() / members.bit_count(), index.bitset(covered)
@@ -66,6 +69,7 @@ def structural_correlation(
     params: QuasiCliqueParams,
     order: str = DFS,
     candidate_vertices: VertexRestriction = None,
+    engine: str = "auto",
 ) -> Tuple[float, FrozenSet[Vertex]]:
     """Return ``(ε(S), K_S)`` for the attribute set ``attributes``.
 
@@ -95,7 +99,12 @@ def structural_correlation(
     (0.82, 9)
     """
     epsilon, covered = structural_correlation_bitset(
-        graph, attributes, params, order=order, candidate_vertices=candidate_vertices
+        graph,
+        attributes,
+        params,
+        order=order,
+        candidate_vertices=candidate_vertices,
+        engine=engine,
     )
     return epsilon, covered.to_frozenset()
 
@@ -106,20 +115,23 @@ def coverage_search(
     params: QuasiCliqueParams,
     order: str = DFS,
     candidate_vertices: VertexRestriction = None,
+    engine: str = "auto",
 ) -> QuasiCliqueSearch:
     """Build (without running) the coverage search object for ``G(S)``.
 
     Exposed so callers (benchmarks, tests) can inspect
     :class:`repro.quasiclique.search.SearchStats` after running a mode.
     """
-    index = graph.bitset_index()
+    index = graph.bitset_index(engine)
     members = index.members_mask(attributes)
     working = (
         members
         if candidate_vertices is None
         else index.working_mask(candidate_vertices) & members
     )
-    return QuasiCliqueSearch(graph, params, vertices=index.bitset(working), order=order)
+    return QuasiCliqueSearch(
+        graph, params, vertices=index.bitset(working), order=order, engine=engine
+    )
 
 
 def top_k_patterns(
@@ -129,6 +141,7 @@ def top_k_patterns(
     k: int,
     order: str = DFS,
     candidate_vertices: VertexRestriction = None,
+    engine: str = "auto",
 ) -> List[StructuralCorrelationPattern]:
     """Return the top-``k`` structural correlation patterns induced by ``S``.
 
@@ -136,7 +149,7 @@ def top_k_patterns(
     as in Section 3.2.3 of the paper.
     """
     canonical = canonical_itemset(attributes)
-    index = graph.bitset_index()
+    index = graph.bitset_index(engine)
     members = index.members_mask(canonical)
     if members.bit_count() < params.min_size:
         return []
@@ -145,7 +158,9 @@ def top_k_patterns(
         if candidate_vertices is None
         else index.working_mask(candidate_vertices) & members
     )
-    search = QuasiCliqueSearch(graph, params, vertices=index.bitset(working), order=order)
+    search = QuasiCliqueSearch(
+        graph, params, vertices=index.bitset(working), order=order, engine=engine
+    )
     return [
         StructuralCorrelationPattern(
             attributes=canonical, vertices=vertex_set, gamma=gamma
@@ -159,17 +174,18 @@ def all_patterns(
     attributes: Iterable[Attribute],
     params: QuasiCliqueParams,
     order: str = DFS,
+    engine: str = "auto",
 ) -> List[StructuralCorrelationPattern]:
     """Return *every* maximal pattern induced by ``S`` (naive enumeration)."""
     canonical = canonical_itemset(attributes)
-    index = graph.bitset_index()
+    index = graph.bitset_index(engine)
     members = index.members_mask(canonical)
     if members.bit_count() < params.min_size:
         return []
     search = QuasiCliqueSearch(
-        graph, params, vertices=index.bitset(members), order=order
+        graph, params, vertices=index.bitset(members), order=order, engine=engine
     )
-    member_set = index.indexer.vertices_of(members)
+    member_set = index.bitset(members).to_frozenset()
     adjacency = {v: graph.neighbor_set(v) & member_set for v in member_set}
     patterns = []
     for vertex_set in search.enumerate_maximal():

@@ -22,6 +22,7 @@ from repro.datasets.synthetic import (
     community_supports,
     generate,
     random_attributed_graph,
+    random_edge_graph,
 )
 
 __all__ = [
@@ -41,5 +42,6 @@ __all__ = [
     "load_profile",
     "paper_example_graph",
     "random_attributed_graph",
+    "random_edge_graph",
     "small_dblp_like",
 ]

@@ -268,3 +268,33 @@ def random_attributed_graph(
             if rng.random() < edge_probability:
                 graph.add_edge(u, v)
     return graph
+
+
+def random_edge_graph(
+    num_vertices: int, num_edges: int, seed: Optional[int] = None
+) -> AttributedGraph:
+    """Uniform random graph built in O(|E|) — usable at 100k+ vertices.
+
+    Unlike :func:`random_attributed_graph` (which loops over all |V|² vertex
+    pairs), this samples ``num_edges`` endpoint pairs directly, dropping
+    self-loops; duplicate pairs collapse inside ``add_edge``, so the edge
+    count is approximately ``num_edges``.  No attributes are attached.  The
+    sparse-engine memory regression tests and benchmarks build their big
+    graphs with this.
+    """
+    if num_vertices < 2:
+        raise ParameterError("num_vertices must be >= 2")
+    if num_edges < 0:
+        raise ParameterError("num_edges must be >= 0")
+    rng = np.random.default_rng(seed)
+    graph = AttributedGraph(vertices=range(num_vertices))
+    # Oversample to compensate for dropped self-loops and collapsed
+    # duplicates; very dense requests may still come up slightly short.
+    pairs = rng.integers(0, num_vertices, size=(int(num_edges * 1.2) + 8, 2))
+    for u, v in pairs:
+        if u == v:
+            continue
+        graph.add_edge(int(u), int(v))
+        if graph.num_edges >= num_edges:
+            break
+    return graph

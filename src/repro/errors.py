@@ -32,8 +32,29 @@ class UnknownAttributeError(GraphError, KeyError):
         self.attribute = attribute
 
 
+class IndexerMismatchError(GraphError, ValueError):
+    """Raised when two bitsets bound to *different* vertex indexers meet.
+
+    Bit positions are only meaningful relative to one indexer; combining or
+    comparing masks across indexers would silently misalign vertices, so
+    every such operation raises instead.  Derives from :class:`ValueError`
+    for backward compatibility with callers that caught the old untyped
+    error.
+    """
+
+    def __init__(self, operation: str) -> None:
+        super().__init__(
+            f"cannot {operation} vertex sets bound to different indexers"
+        )
+        self.operation = operation
+
+
 class ParameterError(ReproError, ValueError):
     """Raised when mining parameters are outside their valid domain."""
+
+
+class EngineError(ParameterError):
+    """Raised when an unknown vertex-set engine name is requested."""
 
 
 class DatasetError(ReproError):

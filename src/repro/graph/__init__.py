@@ -32,14 +32,36 @@ from repro.graph.vertexset import (
     iter_bits,
     popcount,
 )
+from repro.graph.engine import (
+    AUTO,
+    DENSE,
+    ENGINES,
+    SPARSE,
+    VertexSetEngine,
+    resolve_engine,
+)
+from repro.graph.sparseset import (
+    SparseBitset,
+    SparseGraphBitsetIndex,
+    SparseVertexBitset,
+)
 
 __all__ = [
     "AttributedGraph",
+    "AUTO",
+    "DENSE",
+    "ENGINES",
     "GraphBitsetIndex",
+    "SPARSE",
+    "SparseBitset",
+    "SparseGraphBitsetIndex",
+    "SparseVertexBitset",
     "VertexBitset",
     "VertexIndexer",
+    "VertexSetEngine",
     "iter_bits",
     "popcount",
+    "resolve_engine",
     "DegreeDistribution",
     "GraphSummary",
     "ValidationReport",

@@ -60,7 +60,9 @@ class AttributedGraph:
         self._vertex_attributes: Dict[Vertex, Set[Attribute]] = {}
         self._attribute_vertices: Dict[Attribute, Set[Vertex]] = {}
         self._edge_count = 0
-        self._bitset_index: Optional[object] = None
+        # One cached bitset index per resolved engine name ("dense"/"sparse");
+        # every mutation clears the whole cache.
+        self._bitset_indexes: Dict[str, object] = {}
 
         if vertices is not None:
             for vertex in vertices:
@@ -80,7 +82,7 @@ class AttributedGraph:
         if vertex not in self._adjacency:
             self._adjacency[vertex] = set()
             self._vertex_attributes[vertex] = set()
-            self._bitset_index = None
+            self._bitset_indexes.clear()
 
     def add_edge(self, u: Vertex, v: Vertex) -> None:
         """Add the undirected edge ``(u, v)``, creating endpoints as needed.
@@ -96,7 +98,7 @@ class AttributedGraph:
             self._adjacency[u].add(v)
             self._adjacency[v].add(u)
             self._edge_count += 1
-            self._bitset_index = None
+            self._bitset_indexes.clear()
 
     def add_attribute(self, vertex: Vertex, attribute: Attribute) -> None:
         """Attach ``attribute`` to ``vertex``, creating the vertex if needed."""
@@ -104,7 +106,7 @@ class AttributedGraph:
         if attribute not in self._vertex_attributes[vertex]:
             self._vertex_attributes[vertex].add(attribute)
             self._attribute_vertices.setdefault(attribute, set()).add(vertex)
-            self._bitset_index = None
+            self._bitset_indexes.clear()
 
     def add_attributes(self, vertex: Vertex, attributes: Iterable[Attribute]) -> None:
         """Attach every attribute in ``attributes`` to ``vertex``."""
@@ -125,7 +127,7 @@ class AttributedGraph:
             if not holders:
                 del self._attribute_vertices[attribute]
         del self._vertex_attributes[vertex]
-        self._bitset_index = None
+        self._bitset_indexes.clear()
 
     # ------------------------------------------------------------------
     # basic queries
@@ -244,20 +246,34 @@ class AttributedGraph:
         """Return a copy of the inverted index ``attribute -> vertex set``."""
         return {a: frozenset(vs) for a, vs in self._attribute_vertices.items()}
 
-    def bitset_index(self):
+    def bitset_index(self, engine: str = "auto"):
         """Return the cached bitset view of the graph (building it lazily).
 
-        The returned :class:`repro.graph.vertexset.GraphBitsetIndex` holds a
-        dense vertex indexer, per-vertex adjacency bitmasks and per-attribute
-        holder bitmasks; it is the engine the miners run on.  Any mutation of
-        the graph invalidates the cache, so callers must not hold on to an
-        index across mutations.
+        ``engine`` selects the vertex-set representation (see
+        :mod:`repro.graph.engine`): ``"dense"`` returns a
+        :class:`repro.graph.vertexset.GraphBitsetIndex` (one |V|-bit mask
+        per vertex), ``"sparse"`` a
+        :class:`repro.graph.sparseset.SparseGraphBitsetIndex` (chunked
+        containers, memory proportional to edges), and ``"auto"`` (default)
+        picks by |V| and edge density.  One index per resolved engine is
+        cached; any mutation of the graph invalidates the cache, so callers
+        must not hold on to an index across mutations.
         """
-        if self._bitset_index is None:
-            from repro.graph.vertexset import GraphBitsetIndex
+        from repro.graph.engine import DENSE, resolve_engine
 
-            self._bitset_index = GraphBitsetIndex.build(self)
-        return self._bitset_index
+        resolved = resolve_engine(engine, self.num_vertices, self.num_edges)
+        index = self._bitset_indexes.get(resolved)
+        if index is None:
+            if resolved == DENSE:
+                from repro.graph.vertexset import GraphBitsetIndex
+
+                index = GraphBitsetIndex.build(self)
+            else:
+                from repro.graph.sparseset import SparseGraphBitsetIndex
+
+                index = SparseGraphBitsetIndex.build(self)
+            self._bitset_indexes[resolved] = index
+        return index
 
     # ------------------------------------------------------------------
     # subgraphs

@@ -27,16 +27,17 @@ masks and are what the quasi-clique inner loops call directly.
 
 Memory model: adjacency masks are *dense* — one ``|V|``-bit int per vertex,
 O(|V|²/8) bytes regardless of sparsity.  That is the right trade below
-~100k vertices (the scale of this repository's benchmarks); million-vertex
-graphs need the sharded/compressed adjacency planned in ROADMAP.md before
-they can use this index directly.
+~100k vertices (the scale of this repository's benchmarks); bigger sparse
+graphs use the chunked-container twin in :mod:`repro.graph.sparseset`,
+selected through the ``engine`` seam in :mod:`repro.graph.engine`.
 """
 
 from __future__ import annotations
 
+import sys
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Tuple, Union
 
-from repro.errors import UnknownVertexError
+from repro.errors import IndexerMismatchError, UnknownVertexError
 
 Vertex = Hashable
 Attribute = Hashable
@@ -158,9 +159,10 @@ class VertexIndexer:
 class VertexBitset:
     """An immutable vertex set stored as one integer mask.
 
-    Binary operators require both operands to share the *same* indexer
-    object — mixing universes would silently misalign bit positions, so it
-    is a :class:`ValueError` instead.
+    Binary operators and equality require both operands to share the *same*
+    indexer object — mixing universes would silently misalign bit
+    positions, so it is a :class:`repro.errors.IndexerMismatchError`
+    (a :class:`ValueError` subclass) instead.
 
     Examples
     --------
@@ -201,14 +203,13 @@ class VertexBitset:
         index = ids.get(vertex)
         return index is not None and (self.bits >> index) & 1 == 1
 
-    def _coerce(self, other: object) -> int:
+    def _coerce(self, other: object, operation: str = "combine") -> int:
         if isinstance(other, VertexBitset):
             if other.indexer is not self.indexer:
-                raise ValueError(
-                    "cannot combine VertexBitsets bound to different indexers"
-                )
+                raise IndexerMismatchError(operation)
             return other.bits
         if isinstance(other, int):
+            # Raw masks are trusted to be over this indexer (internal use).
             return other
         return NotImplemented  # type: ignore[return-value]
 
@@ -265,14 +266,22 @@ class VertexBitset:
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, VertexBitset):
-            return self.indexer is other.indexer and self.bits == other.bits
+            if self.indexer is not other.indexer:
+                # Comparing raw bits across indexers would silently equate
+                # (or distinguish) unrelated vertex sets.
+                raise IndexerMismatchError("compare")
+            return self.bits == other.bits
         if isinstance(other, (set, frozenset)):
             return self.to_frozenset() == other
         return NotImplemented
 
     def __hash__(self) -> int:
-        # Content-based so a bitset hashes like the frozenset it equals
-        # (keeps the eq/hash contract when both appear as dict/set keys).
+        # Content-based so a bitset hashes like the frozenset it equals.
+        # The eq/hash contract therefore only holds within one indexer (and
+        # with plain frozensets): hash-container lookups mixing bitsets of
+        # different indexers propagate IndexerMismatchError from __eq__ —
+        # deliberately, since silently treating them as distinct keys would
+        # hide the same universe-mixing bug the operators refuse.
         return hash(self.to_frozenset())
 
     def _coerce_vertices(self, other) -> int:
@@ -399,3 +408,40 @@ class GraphBitsetIndex:
         if isinstance(vertices, VertexBitset) and vertices.indexer is self.indexer:
             return vertices.bits & self.full_mask
         return self.indexer.mask_of_known(vertices)
+
+    def native_from_ids(self, ids: Iterable[int]) -> int:
+        """Build a native mask from dense vertex ids (engine protocol)."""
+        mask = 0
+        for index in ids:
+            mask |= 1 << index
+        return mask
+
+    def local_adjacency(
+        self, working: int, min_degree: int = 0
+    ) -> Tuple[List[int], List[int]]:
+        """Project adjacency into a compact local id space over ``working``.
+
+        Returns ``(global_ids, local_masks)`` per the
+        :class:`repro.graph.engine.VertexSetEngine` contract.  The dense
+        engine ignores ``min_degree``: its masks already exist, and the
+        quasi-clique search prunes low-degree vertices to a fixpoint right
+        after this call anyway.
+        """
+        global_ids = list(iter_bits(working))
+        position = {g: i for i, g in enumerate(global_ids)}
+        adjacency_masks = self.adjacency_masks
+        masks: List[int] = []
+        for g in global_ids:
+            local = 0
+            for h in iter_bits(adjacency_masks[g] & working):
+                local |= 1 << position[h]
+            masks.append(local)
+        return global_ids, masks
+
+    def nbytes(self) -> int:
+        """Estimated memory footprint of the adjacency + attribute payload."""
+        total = sum(sys.getsizeof(mask) for mask in self.adjacency_masks)
+        total += sum(sys.getsizeof(mask) for mask in self.attribute_masks.values())
+        total += sys.getsizeof(self.adjacency_masks)
+        total += sys.getsizeof(self.attribute_masks)
+        return total

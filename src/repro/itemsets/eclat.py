@@ -71,12 +71,15 @@ class EclatMiner:
         hook SCPM uses for its ε/δ-based pruning (Theorems 4 and 5).
     use_bitsets:
         When ``True``, :meth:`mine_graph` runs on the graph's bitset vertical
-        database: tidset joins become single integer ``&`` operations and the
-        yielded :class:`FrequentItemset` objects carry
-        :class:`~repro.graph.vertexset.VertexBitset` tidsets (set-like;
-        convert with ``to_frozenset()`` at API boundaries).  The mined
-        itemsets, supports and tidset *contents* are identical to the
+        database: tidset joins become single native ``&`` operations and the
+        yielded :class:`FrequentItemset` objects carry bitset tidsets
+        (set-like; convert with ``to_frozenset()`` at API boundaries).  The
+        mined itemsets, supports and tidset *contents* are identical to the
         frozenset path.
+    engine:
+        Vertex-set engine of the bitset vertical database (``"dense"``,
+        ``"sparse"`` or ``"auto"``; see :mod:`repro.graph.engine`).  Only
+        meaningful together with ``use_bitsets=True``.
     """
 
     def __init__(
@@ -84,10 +87,12 @@ class EclatMiner:
         config: EclatConfig,
         extension_filter: Optional[ExtensionFilter] = None,
         use_bitsets: bool = False,
+        engine: str = "auto",
     ) -> None:
         self.config = config
         self.extension_filter = extension_filter
         self.use_bitsets = use_bitsets
+        self.engine = engine
 
     # ------------------------------------------------------------------
     # public API
@@ -95,7 +100,7 @@ class EclatMiner:
     def mine_graph(self, graph: AttributedGraph) -> Iterator[FrequentItemset]:
         """Mine frequent attribute sets of ``graph`` (vertices = transactions)."""
         if self.use_bitsets:
-            return self.mine_vertical(bitset_vertical_database(graph))
+            return self.mine_vertical(bitset_vertical_database(graph, self.engine))
         return self.mine_vertical(vertical_database(graph))
 
     def mine_transactions(

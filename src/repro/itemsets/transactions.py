@@ -25,20 +25,23 @@ def vertical_database(graph: AttributedGraph) -> Dict[Item, FrozenSet[Hashable]]
     return graph.attribute_support_index()
 
 
-def bitset_vertical_database(graph: AttributedGraph) -> Dict[Item, VertexBitset]:
+def bitset_vertical_database(
+    graph: AttributedGraph, engine: str = "auto"
+) -> Dict[Item, VertexBitset]:
     """Return ``attribute -> vertex tidset`` with bitset-backed tidsets.
 
-    The tidsets are :class:`~repro.graph.vertexset.VertexBitset` views over
-    the graph's cached bitset index, so an Eclat tidset join is one integer
-    ``&`` instead of a hashed frozenset intersection.  They behave like
-    frozensets for the operations the miners use; call ``to_frozenset()`` at
-    public API boundaries.
+    The tidsets are set-protocol views over the graph's cached bitset index
+    for ``engine`` (:class:`~repro.graph.vertexset.VertexBitset` on the
+    dense engine, :class:`~repro.graph.sparseset.SparseVertexBitset` on the
+    sparse one — see :mod:`repro.graph.engine`), so an Eclat tidset join is
+    one native ``&`` instead of a hashed frozenset intersection.  They
+    behave like frozensets for the operations the miners use; call
+    ``to_frozenset()`` at public API boundaries.
     """
-    index = graph.bitset_index()
-    indexer = index.indexer
+    index = graph.bitset_index(engine)
     return {
-        attribute: VertexBitset(indexer, mask)
-        for attribute, mask in index.attribute_masks.items()
+        attribute: index.bitset(native)
+        for attribute, native in index.attribute_masks.items()
     }
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import (
     AbstractSet,
+    Collection,
     Dict,
     Hashable,
     Iterable,
@@ -301,6 +302,39 @@ def subtree_is_hopeless_masks(
         if (adjacency[member] & scope).bit_count() < required:
             return True
     return False
+
+
+def prune_low_degree_sparse(
+    adjacency: Dict[int, Collection[int]], threshold: int
+) -> List[int]:
+    """Sparse twin of :func:`prune_low_degree_vertices` over chunked sets.
+
+    ``adjacency`` maps a dense vertex id to its neighbour set *already
+    restricted to the working vertices* — any sized, iterable container
+    works; the sparse engine passes
+    :class:`repro.graph.sparseset.SparseBitset` values.  Iteratively drops
+    ids whose restricted degree is below ``threshold`` and returns the
+    surviving ids in ascending order.
+
+    The removal fixpoint is unique (the rule is monotone), so running this
+    *before* materialising dense local masks and then re-running the dense
+    :func:`prune_low_degree_masks` afterwards yields exactly the survivors
+    and degrees a dense-only pipeline produces — the property the
+    cross-engine differential tests rely on.
+    """
+    degrees = {vertex: len(neighbors) for vertex, neighbors in adjacency.items()}
+    queue: List[int] = [v for v, degree in degrees.items() if degree < threshold]
+    removed: Set[int] = set(queue)
+    while queue:
+        vertex = queue.pop()
+        for neighbor in adjacency[vertex]:
+            if neighbor in removed:
+                continue
+            degrees[neighbor] -= 1
+            if degrees[neighbor] < threshold:
+                removed.add(neighbor)
+                queue.append(neighbor)
+    return sorted(v for v in degrees if v not in removed)
 
 
 def restrict_candidates_masks(

@@ -23,8 +23,15 @@ popcount instead of a hashed set intersection.  Local id order *is* the
 candidate-expansion rank, so iterating the set bits of a candidate mask in
 ascending position replaces the seed implementation's per-node sort.  All
 public entry points keep accepting and returning plain vertices and
-``frozenset`` objects; a :class:`repro.graph.vertexset.VertexBitset` bound to
-the graph's own index is accepted as a zero-copy ``vertices=`` restriction.
+``frozenset`` objects; a :class:`repro.graph.vertexset.VertexBitset` (or
+:class:`repro.graph.sparseset.SparseVertexBitset`) bound to the graph's own
+index is accepted as a zero-copy ``vertices=`` restriction.
+
+The *global* vertex-set representation behind the search is pluggable
+(``engine="dense"|"sparse"|"auto"``, see :mod:`repro.graph.engine`): the
+index hands over the working adjacency already projected into the local id
+space, so the enumeration core below is engine-agnostic and its results are
+byte-identical across engines.
 """
 
 from __future__ import annotations
@@ -121,6 +128,10 @@ class QuasiCliqueSearch:
     node_budget:
         Optional hard cap on expanded nodes; exceeding it raises
         :class:`SearchBudgetExceeded`.  ``None`` (default) means unlimited.
+    engine:
+        Vertex-set engine of the graph index (``"dense"``, ``"sparse"`` or
+        ``"auto"``; see :mod:`repro.graph.engine`).  Either engine yields
+        byte-identical results; only memory/speed trade-offs differ.
     """
 
     def __init__(
@@ -131,6 +142,7 @@ class QuasiCliqueSearch:
         order: str = DFS,
         use_distance_pruning: bool = True,
         node_budget: Optional[int] = None,
+        engine: str = "auto",
     ) -> None:
         if order not in _ORDERS:
             raise ParameterError(f"order must be one of {_ORDERS}, got {order!r}")
@@ -139,19 +151,16 @@ class QuasiCliqueSearch:
         self.node_budget = node_budget
         self.stats = SearchStats()
 
-        index = graph.bitset_index()
-        working_mask = index.working_mask(vertices)
-        global_ids = list(iter_bits(working_mask))
-        position = {g: i for i, g in enumerate(global_ids)}
-
-        # Working adjacency in a provisional local id space (global order).
-        adjacency_masks = index.adjacency_masks
-        provisional: List[int] = []
-        for g in global_ids:
-            local = 0
-            for h in iter_bits(adjacency_masks[g] & working_mask):
-                local |= 1 << position[h]
-            provisional.append(local)
+        index = graph.bitset_index(engine)
+        working = index.working_mask(vertices)
+        # Working adjacency in a provisional local id space (ascending global
+        # id order).  The index materialises the dense local masks — the
+        # sparse engine's only dense allocation, bounded by the working set —
+        # and may pre-drop provably hopeless vertices (the dense prune below
+        # reaches the same unique fixpoint either way).
+        global_ids, provisional = index.local_adjacency(
+            working, min_degree=params.base_degree_threshold
+        )
 
         # Global vertex pruning (Section 3.2.1), then relabel the survivors
         # so that ascending local id == ascending (degree, repr) rank.
@@ -269,14 +278,11 @@ class QuasiCliqueSearch:
         table = self._vertex_of
         return frozenset(table[i] for i in iter_bits(mask))
 
-    def covered_to_global(self, mask: int, index) -> int:
-        """Map a local-id mask into ``index``'s global id space."""
+    def covered_to_global(self, mask: int, index):
+        """Map a local-id mask into ``index``'s native global representation."""
         id_of = index.indexer.id_of
         table = self._vertex_of
-        result = 0
-        for i in iter_bits(mask):
-            result |= 1 << id_of(table[i])
-        return result
+        return index.native_from_ids(id_of(table[i]) for i in iter_bits(mask))
 
     def _restriction_mask(self, targets: Optional[Iterable[Vertex]]) -> int:
         if targets is None:
@@ -486,6 +492,7 @@ def find_quasi_cliques(
     min_size: int,
     order: str = DFS,
     vertices: VertexRestriction = None,
+    engine: str = "auto",
 ) -> List[FrozenSet[Vertex]]:
     """Enumerate the maximal γ-quasi-cliques of ``graph``.
 
@@ -497,7 +504,9 @@ def find_quasi_cliques(
     [4, 4, 4, 4, 6]
     """
     params = QuasiCliqueParams(gamma=gamma, min_size=min_size)
-    search = QuasiCliqueSearch(graph, params, vertices=vertices, order=order)
+    search = QuasiCliqueSearch(
+        graph, params, vertices=vertices, order=order, engine=engine
+    )
     return search.enumerate_maximal()
 
 
@@ -508,10 +517,13 @@ def vertices_in_quasi_cliques(
     order: str = DFS,
     vertices: VertexRestriction = None,
     targets: Optional[Iterable[Vertex]] = None,
+    engine: str = "auto",
 ) -> FrozenSet[Vertex]:
     """Return the set ``K`` of vertices belonging to at least one quasi-clique."""
     params = QuasiCliqueParams(gamma=gamma, min_size=min_size)
-    search = QuasiCliqueSearch(graph, params, vertices=vertices, order=order)
+    search = QuasiCliqueSearch(
+        graph, params, vertices=vertices, order=order, engine=engine
+    )
     return search.covered_vertices(targets=targets)
 
 
@@ -522,8 +534,11 @@ def top_k_quasi_cliques(
     k: int,
     order: str = DFS,
     vertices: VertexRestriction = None,
+    engine: str = "auto",
 ) -> List[Tuple[FrozenSet[Vertex], float]]:
     """Return the top-``k`` quasi-cliques of ``graph`` by size then density."""
     params = QuasiCliqueParams(gamma=gamma, min_size=min_size)
-    search = QuasiCliqueSearch(graph, params, vertices=vertices, order=order)
+    search = QuasiCliqueSearch(
+        graph, params, vertices=vertices, order=order, engine=engine
+    )
     return search.top_k(k)

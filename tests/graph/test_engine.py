@@ -1,0 +1,105 @@
+"""Tests for the vertex-set engine selection seam (:mod:`repro.graph.engine`)."""
+
+import pytest
+
+from repro.errors import EngineError, ParameterError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.engine import (
+    AUTO,
+    DENSE,
+    SPARSE,
+    SPARSE_DENSITY_THRESHOLD,
+    SPARSE_VERTEX_THRESHOLD,
+    VertexSetEngine,
+    resolve_engine,
+)
+from repro.graph.sparseset import SparseGraphBitsetIndex
+from repro.graph.vertexset import GraphBitsetIndex
+from repro.correlation.parameters import SCPMParams
+
+
+def small_graph():
+    graph = AttributedGraph()
+    graph.add_edge("a", "b")
+    graph.add_edge("b", "c")
+    graph.add_attributes("a", ["x"])
+    graph.add_attributes("b", ["x"])
+    return graph
+
+
+class TestResolveEngine:
+    def test_explicit_names_pass_through(self):
+        assert resolve_engine(DENSE, 10**6, 10) == DENSE
+        assert resolve_engine(SPARSE, 3, 3) == SPARSE
+
+    def test_auto_small_graphs_are_dense(self):
+        assert resolve_engine(AUTO, SPARSE_VERTEX_THRESHOLD - 1, 10**6) == DENSE
+        assert resolve_engine(AUTO, 0, 0) == DENSE
+
+    def test_auto_big_sparse_graphs_are_sparse(self):
+        n = SPARSE_VERTEX_THRESHOLD
+        assert resolve_engine(AUTO, n, 3 * n) == SPARSE
+
+    def test_auto_big_dense_graphs_stay_dense(self):
+        n = SPARSE_VERTEX_THRESHOLD
+        dense_edges = int(n * (n - 1) / 2 * SPARSE_DENSITY_THRESHOLD) + 1
+        assert resolve_engine(AUTO, n, dense_edges) == DENSE
+
+    def test_unknown_engine_raises_typed_error(self):
+        with pytest.raises(EngineError):
+            resolve_engine("roaring", 10, 10)
+        with pytest.raises(ParameterError):  # EngineError is a ParameterError
+            resolve_engine("", 10, 10)
+
+
+class TestGraphEngineCache:
+    def test_bitset_index_engine_dispatch(self):
+        graph = small_graph()
+        assert isinstance(graph.bitset_index("dense"), GraphBitsetIndex)
+        assert isinstance(graph.bitset_index("sparse"), SparseGraphBitsetIndex)
+        # auto resolves to dense at this size and shares the dense cache slot
+        assert graph.bitset_index("auto") is graph.bitset_index("dense")
+
+    def test_per_engine_caches_are_independent_and_invalidated_together(self):
+        graph = small_graph()
+        dense = graph.bitset_index("dense")
+        sparse = graph.bitset_index("sparse")
+        assert graph.bitset_index("dense") is dense
+        assert graph.bitset_index("sparse") is sparse
+        graph.add_edge("a", "c")
+        assert graph.bitset_index("dense") is not dense
+        assert graph.bitset_index("sparse") is not sparse
+
+    def test_unknown_engine_propagates(self):
+        with pytest.raises(EngineError):
+            small_graph().bitset_index("hashed")
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("engine", ["dense", "sparse"])
+    def test_both_indexes_satisfy_vertex_set_engine(self, engine):
+        index = small_graph().bitset_index(engine)
+        assert isinstance(index, VertexSetEngine)
+
+    @pytest.mark.parametrize("engine", ["dense", "sparse"])
+    def test_shared_surface_behaves_identically(self, engine):
+        graph = small_graph()
+        index = graph.bitset_index(engine)
+        full = index.full_mask
+        assert index.bitset(full).to_frozenset() == frozenset("abc")
+        members = index.members_mask(["x"])
+        assert index.bitset(members).to_frozenset() == {"a", "b"}
+        assert members.bit_count() == 2
+        native = index.native_from_ids([0, 2])
+        assert native.bit_count() == 2
+        assert index.nbytes() > 0
+        ids, masks = index.local_adjacency(full)
+        assert ids == [0, 1, 2]
+        assert len(masks) == 3
+
+
+def test_scpm_params_validate_engine():
+    params = SCPMParams(min_support=2, gamma=0.5, min_size=2, engine="sparse")
+    assert params.engine == "sparse"
+    with pytest.raises(ParameterError):
+        SCPMParams(min_support=2, gamma=0.5, min_size=2, engine="bitmap")

@@ -1,0 +1,201 @@
+"""Randomized differential fuzz suite: sparse engine vs dense vs frozensets.
+
+Seeded-RNG graphs across a density/size grid drive every miner on both
+vertex-set engines; the sparse engine's output must be **byte-identical**
+to the dense engine's (record order, supports, ε/δ floats, covered sets and
+patterns included) and consistent with the engine-free frozenset reference
+paths (frozenset Eclat, brute-force quasi-clique oracle).
+
+Seeds are fixed so failures replay; CI additionally runs the suite with two
+extra pinned seeds through the ``REPRO_FUZZ_SEED`` environment variable,
+which appends one more seed to the grid.
+"""
+
+import os
+
+import pytest
+
+from repro.correlation.naive import NaiveMiner
+from repro.correlation.parameters import SCPMParams
+from repro.correlation.scpm import SCPM
+from repro.correlation.structural import structural_correlation
+from repro.datasets.synthetic import random_attributed_graph
+from repro.itemsets.eclat import EclatConfig, EclatMiner
+from repro.quasiclique.reference import brute_force_maximal_quasi_cliques
+from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.search import QuasiCliqueSearch, find_quasi_cliques
+
+BASE_SEEDS = (3, 17)
+
+#: (num_vertices, edge_probability) — from near-empty to dense, small enough
+#: that the exhaustive naive baseline stays fast.
+SIZE_DENSITY_GRID = (
+    (10, 0.05),
+    (14, 0.2),
+    (18, 0.35),
+    (18, 0.5),
+    (26, 0.15),
+)
+
+PARAMS = SCPMParams(
+    min_support=3, gamma=0.6, min_size=3, min_epsilon=0.1, top_k=5
+)
+
+
+def fuzz_seeds():
+    """Fixed seeds plus an optional CI-injected one (REPRO_FUZZ_SEED)."""
+    seeds = list(BASE_SEEDS)
+    extra = os.environ.get("REPRO_FUZZ_SEED")
+    if extra is not None:
+        seeds.append(int(extra))
+    return seeds
+
+
+def fuzz_cases():
+    return [
+        (seed, n, p) for seed in fuzz_seeds() for n, p in SIZE_DENSITY_GRID
+    ]
+
+
+def fuzz_graph(seed, num_vertices, edge_probability):
+    return random_attributed_graph(
+        num_vertices=num_vertices,
+        edge_probability=edge_probability,
+        attributes=["a", "b", "c", "d"],
+        attribute_probability=0.45,
+        seed=seed * 1000 + num_vertices,
+    )
+
+
+def mining_fingerprint(result):
+    """Every observable field of a MiningResult, bit-for-bit comparable."""
+    return [
+        (
+            r.attributes,
+            r.support,
+            r.epsilon,  # exact float equality: engines must not diverge
+            r.expected_epsilon,
+            r.delta,
+            r.covered_vertices,
+            r.qualified,
+            tuple((p.attributes, p.vertices, p.gamma) for p in r.patterns),
+        )
+        for r in result.evaluated
+    ]
+
+
+@pytest.mark.parametrize("seed,num_vertices,edge_probability", fuzz_cases())
+class TestSparseEngineDifferential:
+    def test_eclat_byte_identical_across_engines_and_frozensets(
+        self, seed, num_vertices, edge_probability
+    ):
+        graph = fuzz_graph(seed, num_vertices, edge_probability)
+        config = EclatConfig(min_support=2)
+        reference = [
+            (f.items, frozenset(f.tidset))
+            for f in EclatMiner(config).mine_graph(graph)
+        ]
+        for engine in ("dense", "sparse"):
+            mined = [
+                (f.items, f.tidset.to_frozenset())
+                for f in EclatMiner(
+                    config, use_bitsets=True, engine=engine
+                ).mine_graph(graph)
+            ]
+            assert mined == reference, engine  # order included
+
+    def test_quasi_clique_search_byte_identical(
+        self, seed, num_vertices, edge_probability
+    ):
+        graph = fuzz_graph(seed, num_vertices, edge_probability)
+        dense = find_quasi_cliques(graph, 0.6, 3, engine="dense")
+        sparse = find_quasi_cliques(graph, 0.6, 3, engine="sparse")
+        assert sparse == dense  # enumeration order included
+        if graph.num_vertices <= 18:
+            oracle = set(
+                brute_force_maximal_quasi_cliques(
+                    graph, QuasiCliqueParams(gamma=0.6, min_size=3)
+                )
+            )
+            assert set(dense) == oracle
+
+    def test_coverage_and_topk_byte_identical(
+        self, seed, num_vertices, edge_probability
+    ):
+        graph = fuzz_graph(seed, num_vertices, edge_probability)
+        qc = QuasiCliqueParams(gamma=0.6, min_size=3)
+        by_engine = {}
+        for engine in ("dense", "sparse"):
+            search = QuasiCliqueSearch(graph, qc, engine=engine)
+            by_engine[engine] = (
+                search.covered_vertices(),
+                search.top_k(4),
+                search.working_vertices,
+            )
+        assert by_engine["sparse"] == by_engine["dense"]
+
+    def test_scpm_byte_identical_across_engines(
+        self, seed, num_vertices, edge_probability
+    ):
+        graph = fuzz_graph(seed, num_vertices, edge_probability)
+        dense = SCPM(graph, PARAMS.with_changes(engine="dense")).mine()
+        sparse = SCPM(graph, PARAMS.with_changes(engine="sparse")).mine()
+        assert mining_fingerprint(sparse) == mining_fingerprint(dense)
+
+    def test_naive_byte_identical_across_engines(
+        self, seed, num_vertices, edge_probability
+    ):
+        graph = fuzz_graph(seed, num_vertices, edge_probability)
+        dense = NaiveMiner(graph, PARAMS.with_changes(engine="dense")).mine()
+        sparse = NaiveMiner(graph, PARAMS.with_changes(engine="sparse")).mine()
+        assert mining_fingerprint(sparse) == mining_fingerprint(dense)
+
+    def test_sparse_scpm_agrees_with_frozenset_reference_miner(
+        self, seed, num_vertices, edge_probability
+    ):
+        """Cross-algorithm oracle: sparse SCPM vs the exhaustive naive path.
+
+        The naive miner applies no Theorem 3/4/5 pruning, so agreement on
+        the qualified sets checks the sparse engine *and* the pruning rules
+        at once (mirroring the dense differential suite).
+        """
+        graph = fuzz_graph(seed, num_vertices, edge_probability)
+        scpm = SCPM(graph, PARAMS.with_changes(engine="sparse")).mine()
+        naive = NaiveMiner(graph, PARAMS.with_changes(engine="dense")).mine()
+        scpm_view = {
+            r.attributes: (r.support, pytest.approx(r.epsilon), r.covered_vertices)
+            for r in scpm.qualified
+        }
+        naive_view = {
+            r.attributes: (r.support, r.epsilon, r.covered_vertices)
+            for r in naive.qualified
+        }
+        assert naive_view == scpm_view
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds())
+def test_structural_correlation_identical_across_engines(seed):
+    graph = fuzz_graph(seed, 20, 0.3)
+    qc = QuasiCliqueParams(gamma=0.6, min_size=3)
+    for attribute in sorted(graph.attributes(), key=repr):
+        eps_dense, cov_dense = structural_correlation(
+            graph, [attribute], qc, engine="dense"
+        )
+        eps_sparse, cov_sparse = structural_correlation(
+            graph, [attribute], qc, engine="sparse"
+        )
+        assert (eps_sparse, cov_sparse) == (eps_dense, cov_dense)
+
+
+def test_table1_example_byte_identical_across_engines():
+    """Acceptance criterion: the paper's Table 1 graph, all miners."""
+    from repro.datasets.example import paper_example_graph
+
+    graph = paper_example_graph()
+    params = SCPMParams(
+        min_support=3, gamma=0.6, min_size=4, min_epsilon=0.5, top_k=10
+    )
+    for miner in (SCPM, NaiveMiner):
+        dense = miner(graph, params.with_changes(engine="dense")).mine()
+        sparse = miner(graph, params.with_changes(engine="sparse")).mine()
+        assert mining_fingerprint(sparse) == mining_fingerprint(dense)

@@ -1,0 +1,92 @@
+"""Memory-scaling regression tests for the sparse adjacency engine.
+
+The dense index stores one |V|-bit mask per vertex — O(|V|²/8) bytes no
+matter how few edges exist.  The chunked sparse index must instead grow
+with the number of *edges*: these tests pin that down on a 100k-vertex
+sparse graph (the acceptance bar: ≥ 10× less memory than dense adjacency
+masks) and on a |V|-doubling experiment at constant edge count.
+
+``REPRO_SPARSE_SCALE`` shrinks the graphs for a quick smoke run (e.g.
+``REPRO_SPARSE_SCALE=0.1``); the default is the full 100k-vertex acceptance
+configuration.  The 10× bar is a property of the acceptance scale — dense
+payload is quadratic, so the margin legitimately narrows as the graph
+shrinks — and the assertions relax accordingly below full scale.
+"""
+
+import os
+
+from repro.datasets.synthetic import random_edge_graph
+from repro.graph.engine import dense_index_payload_bytes, resolve_engine
+from repro.graph.sparseset import SparseGraphBitsetIndex
+
+
+def scale() -> float:
+    return float(os.environ.get("REPRO_SPARSE_SCALE", "1.0"))
+
+
+def test_100k_sparse_graph_index_beats_dense_by_10x():
+    num_vertices = int(100_000 * scale())
+    num_edges = 3 * num_vertices
+    graph = random_edge_graph(num_vertices, num_edges, seed=7)
+
+    index = SparseGraphBitsetIndex.build(graph)
+    sparse_bytes = index.nbytes()
+    dense_bytes = dense_index_payload_bytes(num_vertices)
+
+    if num_vertices >= 100_000:
+        # Acceptance bar at full scale.
+        assert sparse_bytes * 10 <= dense_bytes, (
+            f"sparse index {sparse_bytes / 1e6:.1f} MB vs dense adjacency "
+            f"{dense_bytes / 1e6:.1f} MB — less than the 10x acceptance margin"
+        )
+    elif num_vertices >= 10_000:
+        # Smoke scale: the quadratic/linear crossover must already show.
+        assert sparse_bytes < dense_bytes
+    # Sanity at any scale: the index is faithful, not just small.
+    probe = next(iter(graph.vertices()))
+    assert index.bitset(index.adjacency_mask(probe)).to_frozenset() == frozenset(
+        graph.neighbor_set(probe)
+    )
+
+
+def test_auto_engine_picks_sparse_at_this_scale():
+    num_vertices = max(int(100_000 * scale()), 8192)
+    assert resolve_engine("auto", num_vertices, 3 * num_vertices) == "sparse"
+    assert resolve_engine("auto", 100, 300) == "dense"
+
+
+def test_index_bytes_grow_with_edges_not_vertices_squared():
+    """Double |V| at constant |E|: dense payload ~×4, sparse far below ×2.5."""
+    base_vertices = max(int(50_000 * scale()), 2_000)
+    num_edges = 3 * base_vertices
+
+    small = SparseGraphBitsetIndex.build(
+        random_edge_graph(base_vertices, num_edges, seed=11)
+    )
+    large = SparseGraphBitsetIndex.build(
+        random_edge_graph(2 * base_vertices, num_edges, seed=11)
+    )
+
+    sparse_ratio = large.nbytes() / small.nbytes()
+    dense_ratio = dense_index_payload_bytes(2 * base_vertices) / dense_index_payload_bytes(
+        base_vertices
+    )
+    # The quadratic baseline the sparse index escapes (per-int overhead pulls
+    # it slightly under the asymptotic 4x at small smoke scales).
+    assert dense_ratio > 3.5
+    assert sparse_ratio < 2.5, (
+        f"sparse index grew {sparse_ratio:.2f}x when doubling |V| at fixed |E| "
+        "— memory is tracking the universe size, not the edges"
+    )
+
+
+def test_index_bytes_roughly_linear_in_edges():
+    """Double |E| at constant |V|: bytes must stay within ~2x + fixed cost."""
+    num_vertices = max(int(40_000 * scale()), 2_000)
+    lean = SparseGraphBitsetIndex.build(
+        random_edge_graph(num_vertices, 2 * num_vertices, seed=13)
+    )
+    rich = SparseGraphBitsetIndex.build(
+        random_edge_graph(num_vertices, 4 * num_vertices, seed=13)
+    )
+    assert rich.nbytes() < 2.2 * lean.nbytes()

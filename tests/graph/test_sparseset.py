@@ -1,0 +1,263 @@
+"""Property-style unit tests for the chunked sparse-set primitives.
+
+Every algebraic operation of :class:`repro.graph.sparseset.SparseBitset` is
+mirrored against plain Python ``set`` semantics over seeded random inputs
+that straddle chunk and container-promotion boundaries, so array/bitmap
+promotion, chunk dropping and iteration order can never drift from set
+semantics unnoticed.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import IndexerMismatchError
+from repro.graph.sparseset import (
+    ARRAY_MAX,
+    CHUNK_BITS,
+    SparseBitset,
+    SparseGraphBitsetIndex,
+    SparseVertexBitset,
+)
+from repro.graph.vertexset import VertexIndexer
+from repro.graph.attributed_graph import AttributedGraph
+
+
+def random_id_sets(seed, universe, rounds=25):
+    """Seeded pairs of random id sets spread over several chunks."""
+    rng = random.Random(seed)
+    for _ in range(rounds):
+        size_a = rng.randrange(0, 80)
+        size_b = rng.randrange(0, 80)
+        yield (
+            {rng.randrange(universe) for _ in range(size_a)},
+            {rng.randrange(universe) for _ in range(size_b)},
+        )
+
+
+class TestSparseBitsetAlgebra:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize(
+        "universe",
+        [
+            60,  # everything inside one chunk, array containers
+            CHUNK_BITS,  # single chunk, mixed containers
+            CHUNK_BITS * 5,  # several chunks
+            CHUNK_BITS * 300,  # mostly-empty chunk space
+        ],
+    )
+    def test_ops_mirror_python_sets(self, seed, universe):
+        for set_a, set_b in random_id_sets(seed, universe):
+            a = SparseBitset.from_iterable(set_a)
+            b = SparseBitset.from_iterable(set_b)
+            assert set(a & b) == set_a & set_b
+            assert set(a | b) == set_a | set_b
+            assert set(a - b) == set_a - set_b
+            assert set(a ^ b) == set_a ^ set_b
+            assert a.bit_count() == len(set_a)
+            assert len(a | b) == len(set_a | set_b)
+            assert a.isdisjoint(b) == set_a.isdisjoint(set_b)
+            assert a.issubset(b) == set_a.issubset(set_b)
+            assert (a & b).issubset(a)
+            assert a.intersection_count(b) == len(set_a & set_b)
+            assert bool(a) == bool(set_a)
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_iteration_is_ascending_and_complete(self, seed):
+        rng = random.Random(seed)
+        ids = {rng.randrange(CHUNK_BITS * 40) for _ in range(300)}
+        sparse = SparseBitset.from_iterable(ids)
+        listed = list(sparse)
+        assert listed == sorted(ids)
+        assert all(value in sparse for value in ids)
+        assert (max(ids) + 1) not in sparse
+
+    def test_equality_and_hash_are_content_based(self):
+        ids = [3, 77, CHUNK_BITS + 5, CHUNK_BITS * 9]
+        a = SparseBitset.from_iterable(ids)
+        b = SparseBitset.from_iterable(reversed(ids))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != SparseBitset.from_iterable(ids[:-1])
+
+    def test_mask_round_trip(self):
+        mask = (1 << 3) | (1 << (CHUNK_BITS - 1)) | (1 << (CHUNK_BITS * 7 + 13))
+        sparse = SparseBitset.from_mask(mask)
+        assert sparse.to_mask() == mask
+        assert list(sparse) == [3, CHUNK_BITS - 1, CHUNK_BITS * 7 + 13]
+
+    def test_empty_set(self):
+        empty = SparseBitset()
+        assert not empty
+        assert len(empty) == 0
+        assert list(empty) == []
+        assert empty.to_mask() == 0
+        other = SparseBitset.from_iterable([1])
+        assert (empty & other) == empty
+        assert (empty | other) == other
+        assert empty.issubset(other)
+        assert empty.isdisjoint(other)
+
+
+class TestContainerPromotion:
+    def containers_of(self, sparse):
+        return {chunk: type(c) for chunk, c in sparse._chunks.items()}
+
+    def test_boundary_cardinalities(self):
+        # exactly ARRAY_MAX members -> array container (sorted tuple)
+        at_boundary = SparseBitset.from_iterable(range(ARRAY_MAX))
+        assert self.containers_of(at_boundary) == {0: tuple}
+        assert at_boundary._chunks[0] == tuple(range(ARRAY_MAX))
+        # one past the boundary -> bitmap container (int)
+        promoted = SparseBitset.from_iterable(range(ARRAY_MAX + 1))
+        assert self.containers_of(promoted) == {0: int}
+
+    def test_operations_keep_containers_canonical(self):
+        dense_chunk = SparseBitset.from_iterable(range(ARRAY_MAX * 4))
+        thin = SparseBitset.from_iterable(range(0, ARRAY_MAX * 4, 8))
+        # intersection shrinks below the boundary -> demoted back to array
+        shrunk = dense_chunk & thin
+        assert self.containers_of(shrunk) == {0: tuple}
+        # union past the boundary -> promoted to bitmap
+        grown = thin | dense_chunk
+        assert self.containers_of(grown) == {0: int}
+
+    def test_empty_chunks_are_dropped(self):
+        a = SparseBitset.from_iterable([1, CHUNK_BITS + 1])
+        b = SparseBitset.from_iterable([CHUNK_BITS + 1])
+        assert set((a - b)._chunks) == {0}
+        assert set((a ^ a)._chunks) == set()
+        assert set((a & b)._chunks) == {1}
+
+    @pytest.mark.parametrize("seed", [11, 13])
+    def test_canonical_invariant_after_random_ops(self, seed):
+        rng = random.Random(seed)
+        current = SparseBitset.from_iterable(
+            rng.randrange(CHUNK_BITS * 3) for _ in range(50)
+        )
+        for _ in range(30):
+            other = SparseBitset.from_iterable(
+                rng.randrange(CHUNK_BITS * 3) for _ in range(50)
+            )
+            op = rng.choice(["and", "or", "xor", "sub"])
+            if op == "and":
+                current = current & other
+            elif op == "or":
+                current = current | other
+            elif op == "xor":
+                current = current ^ other
+            else:
+                current = current - other
+            for chunk, container in current._chunks.items():
+                count = (
+                    container.bit_count()
+                    if isinstance(container, int)
+                    else len(container)
+                )
+                assert count > 0, "empty chunk retained"
+                if isinstance(container, tuple):
+                    assert count <= ARRAY_MAX
+                    assert list(container) == sorted(container)
+                else:
+                    assert count > ARRAY_MAX
+                    assert container < (1 << CHUNK_BITS)
+
+
+class TestSparseVertexBitset:
+    def setup_method(self):
+        self.indexer = VertexIndexer([f"v{i}" for i in range(CHUNK_BITS + 50)])
+
+    def bs(self, vertices):
+        return SparseVertexBitset.from_vertices(self.indexer, vertices)
+
+    def test_set_protocol_matches_frozenset(self):
+        names_a = {"v1", "v2", "v1030"}
+        names_b = {"v2", "v49", "v1030"}
+        a, b = self.bs(names_a), self.bs(names_b)
+        assert (a & b).to_frozenset() == names_a & names_b
+        assert (a | b).to_frozenset() == names_a | names_b
+        assert (a - b).to_frozenset() == names_a - names_b
+        assert (a ^ b).to_frozenset() == names_a ^ names_b
+        assert len(a) == 3 and set(a) == names_a
+        assert "v1" in a and "v3" not in a and "stranger" not in a
+        assert a == names_a and hash(a) == hash(frozenset(names_a))
+        assert a.issubset(names_a | {"unknown-vertex"})
+        assert a.isdisjoint(["v7", "unknown-vertex"])
+
+    def test_subset_ordering(self):
+        small, big = self.bs(["v1"]), self.bs(["v1", "v1030"])
+        assert small <= big and small < big
+        assert big >= small and big > small
+        assert not big <= small
+
+    def test_mixed_indexers_raise_typed_error(self):
+        foreign = SparseVertexBitset.from_vertices(
+            VertexIndexer([f"v{i}" for i in range(60)]), ["v1"]
+        )
+        with pytest.raises(IndexerMismatchError):
+            self.bs(["v1"]) & foreign
+        with pytest.raises(IndexerMismatchError):
+            self.bs(["v1"]) == foreign
+        with pytest.raises(ValueError):  # typed error stays a ValueError
+            self.bs(["v1"]) | foreign
+
+
+class TestSparseGraphBitsetIndex:
+    def make_graph(self):
+        graph = AttributedGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.add_attributes("a", ["x", "y"])
+        graph.add_attributes("b", ["x"])
+        graph.add_attributes("c", ["y"])
+        return graph
+
+    def test_build_matches_graph(self):
+        graph = self.make_graph()
+        index = SparseGraphBitsetIndex.build(graph)
+        assert index.bitset(index.full_mask).to_frozenset() == frozenset("abc")
+        assert index.bitset(index.adjacency_mask("b")).to_frozenset() == {"a", "c"}
+        assert index.bitset(index.attribute_mask("x")).to_frozenset() == {"a", "b"}
+        assert not index.attribute_mask("missing")
+
+    def test_members_mask_matches_vertices_with_all(self):
+        graph = self.make_graph()
+        index = SparseGraphBitsetIndex.build(graph)
+        for attrs in ([], ["x"], ["y"], ["x", "y"], ["x", "missing"]):
+            assert index.bitset(
+                index.members_mask(attrs)
+            ).to_frozenset() == graph.vertices_with_all(attrs)
+
+    def test_working_mask_accepts_all_restriction_forms(self):
+        graph = self.make_graph()
+        index = SparseGraphBitsetIndex.build(graph)
+        assert index.working_mask(None) == index.full_mask
+        assert set(index.working_mask(["a", "zzz"])) == {index.indexer.id_of("a")}
+        view = index.bitset(index.native_from_ids([0, 1]))
+        assert index.working_mask(view) is view.chunks  # zero-copy
+
+    def test_local_adjacency_matches_dense_engine(self):
+        graph = self.make_graph()
+        sparse = SparseGraphBitsetIndex.build(graph)
+        dense = graph.bitset_index("dense")
+        working_ids = [0, 1, 2]
+        dense_ids, dense_masks = dense.local_adjacency(
+            dense.native_from_ids(working_ids)
+        )
+        sparse_ids, sparse_masks = sparse.local_adjacency(
+            sparse.native_from_ids(working_ids)
+        )
+        assert sparse_ids == dense_ids
+        assert sparse_masks == dense_masks
+
+    def test_local_adjacency_min_degree_prepass_is_sound(self):
+        # path a-b-c plus isolated d: with min_degree=2 only nothing survives,
+        # with min_degree=1 the path survives without d.
+        graph = self.make_graph()
+        graph.add_vertex("d")
+        index = SparseGraphBitsetIndex.build(graph)
+        ids, masks = index.local_adjacency(index.full_mask, min_degree=1)
+        assert [index.indexer.vertex_of(i) for i in ids] == ["a", "b", "c"]
+        assert masks == [0b010, 0b101, 0b010]
+        ids2, _ = index.local_adjacency(index.full_mask, min_degree=2)
+        assert ids2 == []

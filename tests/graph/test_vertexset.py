@@ -4,7 +4,7 @@ import pickle
 
 import pytest
 
-from repro.errors import UnknownVertexError
+from repro.errors import IndexerMismatchError, ReproError, UnknownVertexError
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.vertexset import (
     GraphBitsetIndex,
@@ -148,8 +148,46 @@ class TestVertexBitset:
 
     def test_mixed_indexers_rejected(self):
         other = VertexIndexer(range(100))
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError):  # IndexerMismatchError is a ValueError
             self.bs([1]) & other.bitset([1])
+
+    def test_mixed_indexer_operations_raise_typed_error(self):
+        other = VertexIndexer(range(100))
+        foreign = other.bitset([1, 2])
+        for operation in (
+            lambda a, b: a & b,
+            lambda a, b: a | b,
+            lambda a, b: a - b,
+            lambda a, b: a ^ b,
+            lambda a, b: a <= b,
+            lambda a, b: a.issubset(b),
+            lambda a, b: a.isdisjoint(b),
+        ):
+            with pytest.raises(IndexerMismatchError):
+                operation(self.bs([1, 2]), foreign)
+
+    def test_mixed_indexer_equality_raises_instead_of_comparing_bits(self):
+        # Same raw bits over a different indexer may denote a different
+        # vertex set entirely — equality must refuse, not silently answer.
+        other = VertexIndexer(range(100))
+        with pytest.raises(IndexerMismatchError):
+            self.bs([1, 2]) == other.bitset([1, 2])
+        with pytest.raises(IndexerMismatchError):
+            self.bs([1, 2]) != other.bitset([3])
+
+    def test_indexer_mismatch_error_is_catchable_as_library_error(self):
+        other = VertexIndexer(range(100))
+        with pytest.raises(ReproError) as excinfo:
+            self.bs([1]) & other.bitset([1])
+        assert excinfo.value.operation == "combine"
+        assert "different indexers" in str(excinfo.value)
+
+    def test_same_indexer_comparisons_still_work(self):
+        assert self.bs([1, 2]) == self.bs([2, 1])
+        assert self.bs([1]) != self.bs([2])
+        # frozenset/set comparisons are content-based, never an error
+        assert self.bs([1, 2]) == {1, 2}
+        assert not (self.bs([1, 2]) == {1, 3})
 
     def test_single_word_and_multi_word(self):
         # below and above the 64-bit word boundary behave identically
