@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Run the engine benchmarks and record a perf-trajectory entry.
+
+Times the core mining operations over a grid of engines, worker counts and
+schedules on a deterministic synthetic workload, then **appends** one run
+block to a ``BENCH_results.json`` trajectory file.  Each run block carries
+the grid entries ``(op, num_vertices, num_edges, engine, n_jobs, schedule,
+seconds)`` plus enough environment metadata (python version, usable cores,
+scale) to judge comparability — so future PRs can diff the trajectory and
+catch hot-path regressions instead of re-deriving baselines by hand.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # full size
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --scale 0.2  # CI smoke
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --output /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.correlation.parameters import SCPMParams
+from repro.correlation.scpm import mine_scpm
+from repro.correlation.structural import structural_correlation
+from repro.datasets.synthetic import CommunitySpec, SyntheticSpec, generate
+from repro.itemsets.eclat import EclatConfig, EclatMiner
+from repro.quasiclique.definitions import QuasiCliqueParams
+
+DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_results.json"
+
+
+def build_graph(scale: float):
+    """Deterministic attribute-community workload, sized by ``scale``."""
+    num_communities = max(2, int(round(6 * scale)))
+    block = max(12, int(round(40 * scale)))
+    communities = tuple(
+        CommunitySpec(
+            attributes=tuple(f"c{j}_a{i}" for i in range(4)),
+            size=block + 2 * j,
+            density=0.5,
+        )
+        for j in range(num_communities)
+    )
+    return generate(
+        SyntheticSpec(
+            num_vertices=max(120, int(round(700 * scale))),
+            background_degree=2.5,
+            vocabulary_size=20,
+            attributes_per_vertex=0.5,
+            communities=communities,
+            seed=1234,
+        )
+    ), block
+
+
+def timed(operation) -> float:
+    started = time.perf_counter()
+    operation()
+    return time.perf_counter() - started
+
+
+def entry(op, graph, seconds, engine="auto", n_jobs=1, schedule=None):
+    return {
+        "op": op,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "engine": engine,
+        "n_jobs": n_jobs,
+        "schedule": schedule,
+        "seconds": round(seconds, 6),
+    }
+
+
+def run_grid(scale: float, jobs_grid, engines, schedules):
+    graph, block = build_graph(scale)
+    min_support = block - 2
+    entries = []
+
+    for engine in engines:
+        config = EclatConfig(min_support=min_support)
+        seconds = timed(lambda: EclatMiner(config, engine=engine).mine_all(graph))
+        entries.append(entry("eclat_mine_all", graph, seconds, engine=engine))
+
+    qc = QuasiCliqueParams(gamma=0.6, min_size=4)
+    heaviest = f"c{0}_a{0}"
+    for engine in engines:
+        seconds = timed(
+            lambda: structural_correlation(graph, (heaviest,), qc, engine=engine)
+        )
+        entries.append(entry("quasiclique_coverage", graph, seconds, engine=engine))
+
+    for engine in engines:
+        for n_jobs in jobs_grid:
+            for schedule in schedules if n_jobs > 1 else (schedules[0],):
+                params = SCPMParams(
+                    min_support=min_support,
+                    gamma=0.6,
+                    min_size=4,
+                    min_epsilon=0.2,
+                    top_k=5,
+                    engine=engine,
+                    n_jobs=n_jobs,
+                    schedule=schedule,
+                )
+                seconds = timed(
+                    lambda: mine_scpm(graph, params, collect_patterns=False)
+                )
+                entries.append(
+                    entry(
+                        "scpm_mine",
+                        graph,
+                        seconds,
+                        engine=engine,
+                        n_jobs=n_jobs,
+                        schedule=schedule,
+                    )
+                )
+    return entries
+
+
+def append_run(output: Path, run: dict) -> dict:
+    trajectory = {"version": 1, "runs": []}
+    if output.exists():
+        try:
+            loaded = json.loads(output.read_text(encoding="utf-8"))
+            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+                trajectory = loaded
+        except json.JSONDecodeError:
+            pass  # corrupted trajectory: start fresh rather than crash
+    trajectory["runs"].append(run)
+    output.write_text(
+        json.dumps(trajectory, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return trajectory
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"trajectory file (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--jobs", type=int, nargs="+", default=[1, 2, 4],
+                        help="n_jobs grid for the SCPM runs")
+    parser.add_argument("--engines", nargs="+", default=["dense", "sparse"],
+                        help="vertex-set engines to time")
+    parser.add_argument("--schedules", nargs="+", default=["steal", "stripe"],
+                        help="parallel schedules to time (first is also "
+                             "used for the sequential rows)")
+    args = parser.parse_args(argv)
+
+    entries = run_grid(args.scale, args.jobs, args.engines, args.schedules)
+    run = {
+        "recorded_unix": round(time.time(), 3),
+        "scale": args.scale,
+        "python": platform.python_version(),
+        "usable_cores": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity")
+        else (os.cpu_count() or 1),
+        "entries": entries,
+    }
+    trajectory = append_run(args.output, run)
+
+    width = max(len(e["op"]) for e in entries) + 2
+    print(f"{'op':<{width}}{'engine':>8}{'n_jobs':>8}{'schedule':>10}{'seconds':>10}")
+    for e in entries:
+        print(
+            f"{e['op']:<{width}}{e['engine']:>8}{e['n_jobs']:>8}"
+            f"{str(e['schedule'] or '-'):>10}{e['seconds']:>10.3f}"
+        )
+    print(f"\nwrote run #{len(trajectory['runs'])} to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from repro.datasets.profiles import (
     small_dblp_like,
 )
 from repro.graph.attributed_graph import AttributedGraph
+from repro.parallel import PayloadTransfer, WorkStealingScheduler
 from repro.quasiclique.definitions import QuasiCliqueParams
 from repro.quasiclique.search import (
     QuasiCliqueSearch,
@@ -48,12 +49,14 @@ __all__ = [
     "AttributedGraph",
     "MiningResult",
     "NaiveMiner",
+    "PayloadTransfer",
     "QuasiCliqueParams",
     "QuasiCliqueSearch",
     "SCPM",
     "SCPMParams",
     "SimulationNullModel",
     "StructuralCorrelationPattern",
+    "WorkStealingScheduler",
     "__version__",
     "citeseer_like",
     "dblp_like",

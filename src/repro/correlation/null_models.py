@@ -26,6 +26,12 @@ from scipy import stats
 from repro.errors import ParameterError
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.statistics import DegreeDistribution, degree_distribution
+from repro.parallel.scheduler import (
+    WorkStealingScheduler,
+    resolve_jobs,
+    validate_jobs,
+)
+from repro.parallel.transfer import in_worker, resolve_transfer
 from repro.quasiclique.definitions import QuasiCliqueParams
 from repro.quasiclique.search import DFS, QuasiCliqueSearch
 
@@ -122,8 +128,55 @@ class SimulationEstimate:
     runs: int
 
 
+class _SamplePayload:
+    """Read-only worker payload for parallel sample evaluation.
+
+    The worker-side context (vertex table in the parent's iteration order)
+    is rebuilt lazily per process and excluded from pickling.
+    """
+
+    def __init__(self, graph: AttributedGraph, params: QuasiCliqueParams, order: str) -> None:
+        self.graph = graph
+        self.params = params
+        self.order = order
+        self._vertices: Optional[List] = None
+
+    def vertices(self) -> List:
+        if self._vertices is None:
+            self._vertices = list(self.graph.vertices())
+        return self._vertices
+
+    def __getstate__(self):
+        return (self.graph, self.params, self.order)
+
+    def __setstate__(self, state) -> None:
+        self.graph, self.params, self.order = state
+        self._vertices = None
+
+
+def _sample_coverage_task(payload: _SamplePayload, indices: Tuple[int, ...]) -> int:
+    """Scheduler task: covered-vertex count of one random σ-vertex sample."""
+    table = payload.vertices()
+    search = QuasiCliqueSearch(
+        payload.graph,
+        payload.params,
+        vertices=[table[i] for i in indices],
+        order=payload.order,
+    )
+    return len(search.covered_vertices())
+
+
 class SimulationNullModel:
     """``sim-exp`` null model: Monte-Carlo estimate over random vertex samples.
+
+    Every support value draws from its **own child random stream**, derived
+    from the model seed and the support (``SeedSequence(seed,
+    spawn_key=(support,))``), and all ``runs`` index samples are drawn
+    vectorized up front.  The estimate is therefore a pure function of
+    ``(graph, params, runs, seed, order, support)`` — independent of the
+    order in which supports are evaluated — which is what lets SCPM's
+    parallel schedules reproduce the sequential output byte-for-byte with
+    this model plugged in.
 
     Parameters
     ----------
@@ -134,9 +187,25 @@ class SimulationNullModel:
     runs:
         Number of random samples per support value (``r`` in the paper).
     seed:
-        Seed for the random generator, for reproducible experiments.
+        Seed for the per-support child streams; ``None`` draws fresh
+        entropy once (the instance stays self-consistent, but two
+        instances differ).
     order:
         Traversal order of the coverage search on each sample.
+    n_jobs:
+        Worker processes for evaluating the per-sample coverage searches
+        through the work-stealing scheduler
+        (:mod:`repro.parallel.scheduler`).  ``1`` (default) evaluates
+        in-process; any value yields identical estimates.  The pool and
+        its one-time graph transfer are opened lazily on the first
+        parallel estimate and **kept alive for the model's lifetime**
+        (every support value reuses them); call :meth:`close` — or use
+        the model as a context manager — to release the workers
+        deterministically.  Inside a pool worker the model always runs
+        sequentially (nested pools are forbidden).
+    transfer:
+        Payload transfer strategy for ``n_jobs > 1`` (see
+        :mod:`repro.parallel.transfer`).
     """
 
     name = "sim-exp"
@@ -148,53 +217,197 @@ class SimulationNullModel:
         runs: int = 30,
         seed: Optional[int] = 7,
         order: str = DFS,
+        n_jobs: int = 1,
+        transfer: str = "auto",
     ) -> None:
         if runs < 1:
             raise ParameterError(f"runs must be >= 1, got {runs}")
+        validate_jobs(n_jobs)
+        resolve_transfer(transfer)  # fail fast, not on the first estimate
         self.graph = graph
         self.params = params
         self.runs = runs
         self.order = order
-        self._rng = np.random.default_rng(seed)
+        self.n_jobs = n_jobs
+        self.transfer = transfer
+        self._entropy = (
+            seed if seed is not None else np.random.SeedSequence().entropy
+        )
         self._vertices = list(graph.vertices())
         self._cache: Dict[int, SimulationEstimate] = {}
+        self._scheduler: Optional[WorkStealingScheduler] = None
+        # Monotonic submission-wave counter: scheduler keys are unique for
+        # the scheduler's whole lifetime, and the pool outlives many
+        # _materialize calls, so keys carry the wave to stay collision-free
+        # even if a support is ever re-evaluated (e.g. after cache
+        # invalidation).
+        self._wave = 0
+        #: Number of coverage searches this model has executed — the
+        #: cache-regression tests assert repeated estimates don't re-run
+        #: the Monte-Carlo loop.
+        self.searches_run = 0
+
+    def _sample_indices(self, support: int) -> np.ndarray:
+        """All ``runs`` σ-vertex samples from the child stream of ``support``.
+
+        Rows are without-replacement samples drawn with Floyd's algorithm:
+        all ``runs × support`` random draws come from the generator in one
+        vectorized call and the per-row work is O(support) — never a full
+        O(|V|) permutation, which matters when SCPM probes many supports
+        on a 100k-vertex graph.  (Rows are member *sets*; their internal
+        order is irrelevant to the vertex-restricted coverage search.)
+        """
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self._entropy, spawn_key=(support,))
+        )
+        population = len(self._vertices)
+        first = population - support
+        # draw t_j ~ U[0, j] for j = first..population-1, for every row
+        bounds = np.arange(first + 1, population + 1)
+        draws = rng.integers(0, bounds, size=(self.runs, support))
+        rows = np.empty((self.runs, support), dtype=np.int64)
+        for run in range(self.runs):
+            chosen = set()
+            for offset in range(support):
+                candidate = int(draws[run, offset])
+                if candidate in chosen:
+                    candidate = first + offset
+                chosen.add(candidate)
+                rows[run, offset] = candidate
+        return rows
+
+    def _open_scheduler(self) -> WorkStealingScheduler:
+        """The persistent worker pool (opened lazily, reused across calls)."""
+        if self._scheduler is None:
+            scheduler = WorkStealingScheduler(
+                _SamplePayload(self.graph, self.params, self.order),
+                _sample_coverage_task,
+                resolve_jobs(self.n_jobs),
+                transfer=self.transfer,
+            )
+            scheduler.__enter__()
+            self._scheduler = scheduler
+        return self._scheduler
+
+    def close(self) -> None:
+        """Release the persistent worker pool and its payload transfer."""
+        if self._scheduler is not None:
+            self._scheduler.__exit__(None, None, None)
+            self._scheduler = None
+
+    def __enter__(self) -> "SimulationNullModel":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass  # interpreter-shutdown teardown must never raise
+
+    def __getstate__(self):
+        # The live pool cannot cross process boundaries (the model is
+        # pickled into SCPM worker payloads); everything else can.
+        state = dict(self.__dict__)
+        state["_scheduler"] = None
+        return state
+
+    def _materialize(self, supports: Sequence[int]) -> None:
+        """Compute and cache the estimates for (clamped) support values.
+
+        All samples of every uncached support are evaluated through the
+        model's persistent scheduler when ``n_jobs > 1`` — the pool is
+        started and the graph payload transferred once per model, not
+        once per support.
+        """
+        pending = [
+            s for s in dict.fromkeys(supports) if s not in self._cache
+        ]
+        if not pending:
+            return
+        rows_by_support: Dict[int, List[Tuple[int, ...]]] = {}
+        for support in pending:
+            if support >= self.params.min_size:
+                rows_by_support[support] = [
+                    tuple(int(i) for i in row)
+                    for row in self._sample_indices(support)
+                ]
+        total_rows = sum(len(rows) for rows in rows_by_support.values())
+        self.searches_run += total_rows
+
+        wave = self._wave
+        self._wave += 1
+        counts: Dict[Tuple[int, int, int], int] = {}
+        if resolve_jobs(self.n_jobs) > 1 and total_rows > 1 and not in_worker():
+            scheduler = self._open_scheduler()
+            for support, rows in rows_by_support.items():
+                for run, row in enumerate(rows):
+                    scheduler.submit((wave, support, run), row, weight=support)
+            for _ in scheduler.drain():
+                pass
+            counts = dict(scheduler.results)
+            # keep the persistent pool O(1) in memory across waves (key
+            # uniqueness is carried by the wave counter)
+            scheduler.release_results()
+        else:
+            payload = _SamplePayload(self.graph, self.params, self.order)
+            payload._vertices = self._vertices  # already computed parent-side
+            for support, rows in rows_by_support.items():
+                for run, row in enumerate(rows):
+                    counts[(wave, support, run)] = _sample_coverage_task(
+                        payload, row
+                    )
+
+        for support in pending:
+            fractions = np.zeros(self.runs, dtype=np.float64)
+            if support in rows_by_support:
+                fractions = (
+                    np.asarray(
+                        [
+                            counts[(wave, support, run)]
+                            for run in range(self.runs)
+                        ],
+                        dtype=np.float64,
+                    )
+                    / support
+                )
+            self._cache[support] = SimulationEstimate(
+                support=support,
+                mean=float(fractions.mean()),
+                std=float(fractions.std()),
+                runs=self.runs,
+            )
+
+    def _clamp(self, support: int) -> int:
+        return min(max(support, 0), len(self._vertices))
 
     def estimate(self, support: int) -> SimulationEstimate:
-        """Return the Monte-Carlo estimate for one support value (cached)."""
+        """Return the Monte-Carlo estimate for one support value (cached).
+
+        The support is clamped to ``[0, |V|]`` *before* the cache lookup,
+        so repeated out-of-range supports hit the cache instead of
+        re-running the full Monte-Carlo estimate each call.
+        """
+        support = self._clamp(support)
         cached = self._cache.get(support)
         if cached is not None:
             return cached
-        support = min(max(support, 0), len(self._vertices))
-        fractions = np.zeros(self.runs, dtype=np.float64)
-        if support >= self.params.min_size:
-            for run in range(self.runs):
-                indices = self._rng.choice(
-                    len(self._vertices), size=support, replace=False
-                )
-                sample_vertices = [self._vertices[i] for i in indices]
-                search = QuasiCliqueSearch(
-                    self.graph,
-                    self.params,
-                    vertices=sample_vertices,
-                    order=self.order,
-                )
-                covered = search.covered_vertices()
-                fractions[run] = len(covered) / support
-        estimate = SimulationEstimate(
-            support=support,
-            mean=float(fractions.mean()),
-            std=float(fractions.std()),
-            runs=self.runs,
-        )
-        self._cache[support] = estimate
-        return estimate
+        self._materialize([support])
+        return self._cache[support]
 
     def expected_epsilon(self, support: int) -> float:
         """Return the simulated mean expected ε for ``support``."""
         return self.estimate(support).mean
 
     def curve(self, supports: Sequence[int]) -> List[SimulationEstimate]:
-        """Return the estimates for a sweep of support values."""
+        """Return the estimates for a sweep of support values.
+
+        The sweep's samples are all submitted to the model's persistent
+        worker pool in one wave (see :meth:`_materialize`).
+        """
+        self._materialize([self._clamp(s) for s in supports])
         return [self.estimate(s) for s in supports]
 
 

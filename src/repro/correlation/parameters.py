@@ -12,8 +12,14 @@ from typing import Optional
 
 from repro.errors import ParameterError
 from repro.graph.engine import resolve_engine
+from repro.parallel.scheduler import DEFAULT_TASK_BATCH_SIZE, validate_jobs
+from repro.parallel.transfer import resolve_transfer
 from repro.quasiclique.definitions import QuasiCliqueParams
 from repro.quasiclique.search import BFS, DFS
+
+STRIPE = "stripe"
+STEAL = "steal"
+SCHEDULES = (STRIPE, STEAL)
 
 
 @dataclass(frozen=True)
@@ -45,10 +51,35 @@ class SCPMParams:
         ``"dfs"`` or ``"bfs"`` — traversal strategy of the quasi-clique search
         (the SCPM-DFS / SCPM-BFS variants of the paper).
     n_jobs:
-        Number of worker processes for the first-level attribute-branch
-        fan-out of SCPM.  ``1`` (default) mines sequentially, ``-1`` uses
-        every available CPU.  The merged result is identical to the
-        sequential run for any worker count (deterministic null models).
+        Number of worker processes for the attribute-branch fan-out of
+        SCPM.  ``1`` (default) mines sequentially, ``-1`` uses every
+        available CPU.  The merged result is identical to the sequential
+        run for any worker count and either schedule (deterministic null
+        models; :class:`~repro.correlation.null_models.SimulationNullModel`
+        qualifies through its per-support child seeds).
+    schedule:
+        Parallel scheduling policy: ``"steal"`` (default) runs branch
+        tasks through the work-stealing scheduler
+        (:mod:`repro.parallel.scheduler`) — one shared queue idle workers
+        pull from, so a skewed subtree no longer serializes the run;
+        ``"stripe"`` reproduces the PR-1 static striping (one coarse task
+        per worker) and exists as the benchmark baseline.
+    fanout_depth:
+        Task granularity of the ``"steal"`` schedule: ``1`` makes each
+        first-level branch one task, ``2`` (default) additionally splits
+        every first-level branch into its second-level prefix-class
+        subtrees, so even a single dominant branch spreads over all
+        workers.
+    task_batch_size:
+        Maximum number of small branch tasks packed into one pool
+        submission (cost estimated by tidset size; see
+        :func:`repro.parallel.scheduler.pack_batches`).
+    transfer:
+        Payload transfer strategy for worker processes:
+        ``"fork"``/``"shared_memory"``/``"pickle"``/``"auto"`` (default —
+        fork inheritance where available, else one pickle into a
+        shared-memory segment; see :mod:`repro.parallel.transfer`).  The
+        graph travels once per worker, never per task.
     engine:
         Vertex-set engine backing tidsets, covered sets and the
         quasi-clique search: ``"dense"`` (full-width int masks),
@@ -69,6 +100,10 @@ class SCPMParams:
     order: str = field(default=DFS)
     n_jobs: int = 1
     engine: str = "auto"
+    schedule: str = STEAL
+    fanout_depth: int = 2
+    task_batch_size: int = DEFAULT_TASK_BATCH_SIZE
+    transfer: str = "auto"
 
     def __post_init__(self) -> None:
         if self.min_support < 1:
@@ -98,21 +133,29 @@ class SCPMParams:
             )
         if self.order not in (BFS, DFS):
             raise ParameterError(f"order must be 'bfs' or 'dfs', got {self.order!r}")
-        if self.n_jobs < 1 and self.n_jobs != -1:
+        validate_jobs(self.n_jobs)
+        if self.schedule not in SCHEDULES:
             raise ParameterError(
-                f"n_jobs must be >= 1 or -1 (all CPUs), got {self.n_jobs}"
+                f"schedule must be one of {SCHEDULES}, got {self.schedule!r}"
+            )
+        if self.fanout_depth not in (1, 2):
+            raise ParameterError(
+                f"fanout_depth must be 1 or 2, got {self.fanout_depth}"
+            )
+        if self.task_batch_size < 1:
+            raise ParameterError(
+                f"task_batch_size must be >= 1, got {self.task_batch_size}"
             )
         # Raises EngineError (a ParameterError) on unknown names; the
         # resolved result for this placeholder shape is discarded.
         resolve_engine(self.engine, 0, 0)
+        resolve_transfer(self.transfer)
 
     def resolved_jobs(self) -> int:
         """Return the effective worker count (``-1`` → CPU count)."""
-        if self.n_jobs == -1:
-            import os
+        from repro.parallel.scheduler import resolve_jobs
 
-            return os.cpu_count() or 1
-        return self.n_jobs
+        return resolve_jobs(self.n_jobs)
 
     def quasi_clique_params(self) -> QuasiCliqueParams:
         """Return the quasi-clique sub-parameters ``(γ, min_size)``."""

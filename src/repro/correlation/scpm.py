@@ -23,23 +23,43 @@ Theorem-3 intersection are single integer ``&`` operations.  Results are
 converted to plain ``frozenset`` objects at the :class:`MiningResult`
 boundary, keeping the public API identical to the frozenset implementation.
 
-With ``SCPMParams.n_jobs > 1`` the independent first-level attribute
-branches (the subtrees rooted at each frequent 1-attribute set, Algorithm 3)
-are fanned out over a :class:`concurrent.futures.ProcessPoolExecutor`.
-Branches are striped over the workers and the per-branch results are merged
-back in root order, so the output — record order included — is identical to
-the sequential run for any worker count (assuming a deterministic null model
-such as the default :class:`AnalyticalNullModel`; the Monte-Carlo
-:class:`~repro.correlation.null_models.SimulationNullModel` draws its samples
-in a different order under parallel scheduling).
+With ``SCPMParams.n_jobs > 1`` the independent attribute branches (the
+subtrees rooted at each frequent 1-attribute set, Algorithm 3) are fanned
+out over worker processes through the
+:class:`~repro.parallel.scheduler.WorkStealingScheduler`.  Two schedules
+exist behind ``SCPMParams.schedule``:
+
+* ``"steal"`` (default) — every first-level branch (and, at
+  ``fanout_depth=2``, every second-level prefix class) becomes one task in
+  a shared queue that idle workers pull from, with small tasks batched by
+  tidset size; a skewed subtree therefore spreads over all workers instead
+  of serializing one of them.
+* ``"stripe"`` — the PR-1 static striping (one coarse root-stripe task per
+  worker), kept as the benchmark baseline.
+
+The read-only payload (graph, cached bitset index, candidate states)
+travels **once per worker** via :mod:`repro.parallel.transfer` — fork
+inheritance or one pickle into a shared-memory segment — never per task.
+Candidates cross the process boundary as indexer-free native masks and are
+rebound to the worker's own index on arrival, so every bitset inside one
+worker shares a single indexer (the invariant the engines enforce with
+:class:`~repro.errors.IndexerMismatchError`).  Results are keyed by
+``(root, phase, position)`` and merged in sorted key order, so the output —
+record order included — is byte-identical to the sequential run for any
+worker count and either schedule.  Both bundled null models qualify: the
+analytical model is closed-form, and
+:class:`~repro.correlation.null_models.SimulationNullModel` derives an
+independent child seed per support value, making its estimates pure
+functions of the support regardless of evaluation order.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, fields
-from typing import Hashable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.errors import ParallelError
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.vertexset import VertexBitset
 from repro.itemsets.itemset import canonical_itemset
@@ -48,7 +68,8 @@ from repro.correlation.null_models import (
     AnalyticalNullModel,
     normalized_structural_correlation,
 )
-from repro.correlation.parameters import SCPMParams
+from repro.correlation.parameters import SCPMParams, STRIPE
+from repro.parallel.scheduler import WorkStealingScheduler
 from repro.correlation.patterns import (
     AttributeSetResult,
     MiningCounters,
@@ -99,6 +120,12 @@ class SCPM:
         When ``False`` the top-k pattern extraction is skipped and only the
         attribute-set statistics (σ, ε, δ) are produced.  Useful for the
         parameter-sensitivity study.
+    measure_task_bytes:
+        When ``True`` the parallel scheduler additionally records the
+        pickled size of every task batch it submits
+        (``last_scheduler_stats.max_batch_bytes``).  Benchmark
+        instrumentation — costs one extra serialization per batch, so it
+        is off by default.
 
     Examples
     --------
@@ -117,6 +144,7 @@ class SCPM:
         params: SCPMParams,
         null_model: Optional[object] = None,
         collect_patterns: bool = True,
+        measure_task_bytes: bool = False,
     ) -> None:
         self.graph = graph
         self.params = params
@@ -127,6 +155,16 @@ class SCPM:
             else AnalyticalNullModel(graph, self.qc_params)
         )
         self.collect_patterns = collect_patterns
+        self.measure_task_bytes = measure_task_bytes
+        #: Introspection of the last parallel run (None after sequential
+        #: runs): the scheduler's SchedulerStats, the per-task wall
+        #: durations keyed by (root, phase, position), and the wall time of
+        #: the parallel extension phase.  The parallel benchmark reads
+        #: these to prove transfer-once behaviour and to replay the
+        #: schedule through its makespan simulator.
+        self.last_scheduler_stats = None
+        self.last_task_durations: Optional[Dict[Tuple, float]] = None
+        self.last_parallel_seconds: Optional[float] = None
 
     # ------------------------------------------------------------------
     # public API
@@ -178,11 +216,24 @@ class SCPM:
         Branches are independent given the (already evaluated) prefix class,
         which is what the ``n_jobs`` fan-out exploits.
         """
+        extensions = self._evaluate_level(candidates, index, result)
+        if extensions:
+            self._extend(extensions, result)
+
+    def _evaluate_level(
+        self, candidates: Sequence[_Candidate], index: int, result: MiningResult
+    ) -> List[_Candidate]:
+        """Evaluate every one-attribute extension of ``candidates[index]``.
+
+        Returns the surviving extensions (the next prefix class) without
+        recursing into them — the seam the ``fanout_depth=2`` schedule cuts
+        at: each returned extension's subtree is an independent task.
+        """
         params = self.params
         max_size = params.max_attribute_set_size
         first = candidates[index]
         if max_size is not None and len(first.items) >= max_size:
-            return
+            return []
         extensions: List[_Candidate] = []
         for second in candidates[index + 1 :]:
             tidset = first.tidset & second.tidset
@@ -200,65 +251,100 @@ class SCPM:
             )
             if candidate is not None:
                 extensions.append(candidate)
-        if extensions:
-            self._extend(extensions, result)
+        return extensions
 
     def _extend_parallel(
         self, candidates: List[_Candidate], result: MiningResult
     ) -> None:
-        """Fan the first-level branches out over a process pool.
+        """Fan the attribute branches out over the work-stealing scheduler.
 
-        Each worker receives the full prefix class (branch ``i`` joins
-        against ``candidates[i+1:]``) and a stripe of root indices; the
-        evaluation records come back per root and are merged in root order,
-        reproducing the sequential output exactly.
+        The graph (with its cached index) and the candidate states form the
+        per-worker payload, transferred once per worker; tasks carry only
+        root indices (plus extension states for second-level subtrees).
+        Results come back keyed ``(root, phase, position)`` and are merged
+        in sorted key order, reproducing the sequential output exactly for
+        either schedule.
         """
-        jobs = self.params.resolved_jobs()
-        jobs = min(jobs, len(candidates))
+        params = self.params
+        jobs = params.resolved_jobs()
+        if params.schedule == STRIPE or params.fanout_depth == 1:
+            # one task per root at most — extra workers could never be fed
+            jobs = min(jobs, len(candidates))
         if jobs <= 1:
             self._extend(candidates, result)
             return
-        try:
-            from concurrent.futures import ProcessPoolExecutor
-
-            pool = ProcessPoolExecutor(max_workers=jobs)
-        except (ImportError, NotImplementedError, OSError):
-            # No usable multiprocessing on this platform — mine sequentially.
-            self._extend(candidates, result)
-            return
-        stripes = [
-            list(range(worker, len(candidates), jobs)) for worker in range(jobs)
-        ]
-        merged = {}
-        try:
-            # INVARIANT: graph and candidates must travel in the SAME submit()
-            # args tuple.  Pickle's memo then keeps the graph's cached
-            # index indexer and every candidate bitset's indexer as one
-            # object in the worker; splitting them into separate transfers
-            # (or rebuilding the index worker-side) would make
-            # `first.covered & second.covered` raise IndexerMismatchError
-            # at extension depth >= 2.
-            futures = [
-                pool.submit(
-                    _mine_branches_worker,
-                    self.graph,
-                    self.params,
-                    self.null_model,
-                    self.collect_patterns,
-                    candidates,
-                    stripe,
-                )
-                for stripe in stripes
-                if stripe
-            ]
-            for future in futures:
-                for root, evaluated, counters in future.result():
-                    merged[root] = (evaluated, counters)
-        finally:
-            pool.shutdown()
-        for root in sorted(merged):
-            evaluated, counters = merged[root]
-            result.evaluated.extend(evaluated)
+        payload = _BranchPayload(
+            graph=self.graph,
+            params=params,
+            null_model=self.null_model,
+            collect_patterns=self.collect_patterns,
+            candidate_states=[_candidate_state(c) for c in candidates],
+        )
+        weights = [len(candidate.tidset) for candidate in candidates]
+        merged: Dict[Tuple[int, int, int], Tuple[List[AttributeSetResult], MiningCounters]] = {}
+        phase_started = time.perf_counter()
+        with WorkStealingScheduler(
+            payload,
+            _branch_task,
+            jobs,
+            transfer=params.transfer,
+            batch_size=params.task_batch_size,
+            measure_task_bytes=self.measure_task_bytes,
+        ) as scheduler:
+            if params.schedule == STRIPE:
+                stripes = [
+                    tuple(range(worker, len(candidates), jobs))
+                    for worker in range(jobs)
+                ]
+                for worker, stripe in enumerate(stripes):
+                    if stripe:
+                        scheduler.submit(
+                            ("stripe", worker),
+                            "roots",
+                            stripe,
+                            weight=sum(weights[root] for root in stripe),
+                        )
+                for value in scheduler.run().values():
+                    for root, records, counters in value:
+                        merged[(root, 0, 0)] = (records, counters)
+            elif params.fanout_depth == 1:
+                for root in range(len(candidates)):
+                    scheduler.submit(
+                        (root, 0, 0), "roots", (root,), weight=weights[root]
+                    )
+                for _, value in scheduler.drain():
+                    for root, records, counters in value:
+                        merged[(root, 0, 0)] = (records, counters)
+            else:
+                for root in range(len(candidates)):
+                    scheduler.submit(
+                        (root, 0, 0), "level", root, weight=weights[root]
+                    )
+                for key, value in scheduler.drain():
+                    root, phase, position = key
+                    if phase == 0:
+                        records, extension_states, counters = value
+                        merged[key] = (records, counters)
+                        for sub in range(len(extension_states)):
+                            # Ship only the suffix the subtree joins
+                            # against: branch `sub` never reads its
+                            # preceding siblings, and the full tuple per
+                            # task would be O(k²) state transfer.
+                            scheduler.submit(
+                                (root, 1, sub),
+                                "subtree",
+                                tuple(extension_states[sub:]),
+                                weight=extension_states[sub].tidset.bit_count(),
+                            )
+                    else:
+                        records, counters = value
+                        merged[key] = (records, counters)
+            self.last_scheduler_stats = scheduler.stats
+            self.last_task_durations = dict(scheduler.task_durations)
+        self.last_parallel_seconds = time.perf_counter() - phase_started
+        for key in sorted(merged):
+            records, counters = merged[key]
+            result.evaluated.extend(records)
             _accumulate_counters(result.counters, counters)
 
     def _evaluate(
@@ -344,30 +430,138 @@ def _accumulate_counters(target: MiningCounters, source: MiningCounters) -> None
         setattr(target, field.name, getattr(target, field.name) + getattr(source, field.name))
 
 
-def _mine_branches_worker(
-    graph: AttributedGraph,
-    params: SCPMParams,
-    null_model: object,
-    collect_patterns: bool,
-    candidates: Sequence[_Candidate],
-    roots: Sequence[int],
-) -> List[Tuple[int, List[AttributeSetResult], MiningCounters]]:
-    """Process-pool entry point: mine a stripe of first-level branches.
+@dataclass(frozen=True)
+class _CandidateState:
+    """Indexer-free transfer form of a :class:`_Candidate`.
 
-    Returns one ``(root_index, evaluation records, counters)`` triple per
-    branch so the parent can merge deterministically in root order.
+    ``tidset`` and ``covered`` are the engine's *native* sets (an int mask
+    on the dense engine, a :class:`~repro.graph.sparseset.SparseBitset` on
+    the sparse one) — no indexer reference, so a state can cross process
+    boundaries and be rebound to the receiving worker's own index.
     """
-    miner = SCPM(
-        graph, params, null_model=null_model, collect_patterns=collect_patterns
+
+    items: Tuple[Attribute, ...]
+    tidset: Any
+    covered: Any
+
+
+def _candidate_state(candidate: _Candidate) -> _CandidateState:
+    """Strip a candidate down to natives for transfer."""
+    tidset, covered = candidate.tidset, candidate.covered
+    return _CandidateState(
+        items=candidate.items,
+        tidset=tidset.bits if isinstance(tidset, VertexBitset) else tidset.chunks,
+        covered=covered.bits if isinstance(covered, VertexBitset) else covered.chunks,
     )
-    output: List[Tuple[int, List[AttributeSetResult], MiningCounters]] = []
-    for root in roots:
-        branch = MiningResult(
-            algorithm=f"scpm-{params.order}", counters=MiningCounters()
+
+
+def _bind_candidate(state: _CandidateState, index) -> _Candidate:
+    """Rebind a transferred state to the local graph index."""
+    return _Candidate(
+        items=state.items,
+        tidset=index.bitset(state.tidset),
+        covered=index.bitset(state.covered),
+    )
+
+
+class _BranchPayload:
+    """Read-only per-worker payload of the parallel mining run.
+
+    Travels once per worker through :mod:`repro.parallel.transfer`.  The
+    lazily built context (miner + candidates bound to this process's
+    index) is cached on the instance and excluded from pickling, so every
+    task a worker executes reuses one miner and one indexer.
+    """
+
+    def __init__(
+        self,
+        graph: AttributedGraph,
+        params: SCPMParams,
+        null_model: object,
+        collect_patterns: bool,
+        candidate_states: List[_CandidateState],
+    ) -> None:
+        self.graph = graph
+        self.params = params
+        self.null_model = null_model
+        self.collect_patterns = collect_patterns
+        self.candidate_states = candidate_states
+        self._context: Optional[Tuple[SCPM, List[_Candidate], Any]] = None
+
+    def context(self) -> Tuple[SCPM, List[_Candidate], Any]:
+        """Build (once per process) the miner and locally bound candidates."""
+        if self._context is None:
+            miner = SCPM(
+                self.graph,
+                self.params,
+                null_model=self.null_model,
+                collect_patterns=self.collect_patterns,
+            )
+            index = self.graph.bitset_index(self.params.engine)
+            candidates = [
+                _bind_candidate(state, index) for state in self.candidate_states
+            ]
+            self._context = (miner, candidates, index)
+        return self._context
+
+    def __getstate__(self):
+        return (
+            self.graph,
+            self.params,
+            self.null_model,
+            self.collect_patterns,
+            self.candidate_states,
         )
-        miner._extend_branch(candidates, root, branch)
-        output.append((root, branch.evaluated, branch.counters))
-    return output
+
+    def __setstate__(self, state) -> None:
+        (
+            self.graph,
+            self.params,
+            self.null_model,
+            self.collect_patterns,
+            self.candidate_states,
+        ) = state
+        self._context = None
+
+
+def _branch_task(payload: _BranchPayload, kind: str, *args):
+    """Scheduler task entry point — dispatches on the task kind.
+
+    ``"roots"`` mines whole first-level subtrees (stripe mode and
+    ``fanout_depth=1``), ``"level"`` evaluates one root's first-level
+    joins and returns the surviving extensions as transfer states, and
+    ``"subtree"`` mines one second-level prefix class.  Every kind is a
+    pure function of ``(payload, args)``, which is what makes the merged
+    output independent of scheduling order.
+    """
+    miner, candidates, index = payload.context()
+    algorithm = f"scpm-{payload.params.order}"
+    if kind == "roots":
+        (roots,) = args
+        output: List[Tuple[int, List[AttributeSetResult], MiningCounters]] = []
+        for root in roots:
+            branch = MiningResult(algorithm=algorithm, counters=MiningCounters())
+            miner._extend_branch(candidates, root, branch)
+            output.append((root, branch.evaluated, branch.counters))
+        return output
+    if kind == "level":
+        (root,) = args
+        branch = MiningResult(algorithm=algorithm, counters=MiningCounters())
+        extensions = miner._evaluate_level(candidates, root, branch)
+        return (
+            branch.evaluated,
+            [_candidate_state(extension) for extension in extensions],
+            branch.counters,
+        )
+    if kind == "subtree":
+        (extension_states,) = args
+        # The states are the suffix of the prefix class starting at this
+        # subtree's own branch, so the branch to explore is position 0.
+        extensions = [_bind_candidate(state, index) for state in extension_states]
+        branch = MiningResult(algorithm=algorithm, counters=MiningCounters())
+        miner._extend_branch(extensions, 0, branch)
+        return (branch.evaluated, branch.counters)
+    raise ParallelError(f"unknown branch task kind {kind!r}")
 
 
 def mine_scpm(

@@ -57,6 +57,14 @@ class EngineError(ParameterError):
     """Raised when an unknown vertex-set engine name is requested."""
 
 
+class ParallelError(ReproError):
+    """Raised when the parallel execution layer is misused or unavailable."""
+
+
+class TransferError(ParallelError):
+    """Raised when a worker payload cannot be transferred or attached."""
+
+
 class DatasetError(ReproError):
     """Raised when a dataset cannot be generated or parsed."""
 

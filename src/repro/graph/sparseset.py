@@ -302,6 +302,15 @@ class SparseBitset:
                 total += sum(sys.getsizeof(offset) for offset in container)
         return total
 
+    def __getstate__(self):
+        # The cardinality is recomputable; only the chunk dictionary needs
+        # to travel through the parallel transfer layer.
+        return self._chunks
+
+    def __setstate__(self, state) -> None:
+        self._chunks = state
+        self._count = sum(_container_count(c) for c in state.values())
+
     def __repr__(self) -> str:
         preview = []
         for value in self:
@@ -617,6 +626,16 @@ class SparseGraphBitsetIndex:
         total += sys.getsizeof(self.adjacency_sets)
         total += sys.getsizeof(self.attribute_masks)
         return total
+
+    def __getstate__(self):
+        # Serialization hook for the parallel transfer layer — see
+        # GraphBitsetIndex.__getstate__.  The lazy full-universe container
+        # is recomputable and stays local to each process.
+        return (self.indexer, self.adjacency_sets, self.attribute_masks)
+
+    def __setstate__(self, state) -> None:
+        self.indexer, self.adjacency_sets, self.attribute_masks = state
+        self._full = None
 
 
 __all__ = [

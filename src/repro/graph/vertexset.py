@@ -138,6 +138,17 @@ class VertexIndexer:
         """Build a :class:`VertexBitset` over this indexer from vertices."""
         return VertexBitset(self, self.mask_of(vertices))
 
+    def __getstate__(self):
+        # The id table is a bijection: the vertex list alone determines it.
+        # Dropping the dict roughly halves the serialized indexer, which
+        # matters because the parallel transfer layer ships the indexer to
+        # every worker (once) inside the graph payload.
+        return self._vertices
+
+    def __setstate__(self, state) -> None:
+        self._vertices = list(state)
+        self._ids = {vertex: index for index, vertex in enumerate(self._vertices)}
+
     @property
     def full_mask(self) -> int:
         """Mask with every registered vertex's bit set."""
@@ -445,3 +456,13 @@ class GraphBitsetIndex:
         total += sys.getsizeof(self.adjacency_masks)
         total += sys.getsizeof(self.attribute_masks)
         return total
+
+    def __getstate__(self):
+        # Serialization hook for the parallel transfer layer: the whole
+        # index travels as one tuple so pickle's memo keeps the indexer
+        # object shared with every bitset serialized alongside it (the
+        # single-indexer invariant the miners rely on).
+        return (self.indexer, self.adjacency_masks, self.attribute_masks)
+
+    def __setstate__(self, state) -> None:
+        self.indexer, self.adjacency_masks, self.attribute_masks = state

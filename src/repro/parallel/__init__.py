@@ -1,0 +1,41 @@
+"""Shared-memory parallel execution layer.
+
+Two pieces, combined by :meth:`repro.correlation.scpm.SCPM._extend_parallel`
+and :class:`repro.correlation.null_models.SimulationNullModel`:
+
+* :mod:`repro.parallel.transfer` — moves the read-only payload (graph,
+  cached bitset index, candidate states) to each worker exactly **once**
+  (fork inheritance or a :mod:`multiprocessing.shared_memory` segment),
+  instead of re-pickling it into every task submission;
+* :mod:`repro.parallel.scheduler` — a work-stealing scheduler: one shared
+  task queue that idle workers pull from dynamically, with weight-based
+  batching of small tasks and keyed results for deterministic merging.
+"""
+
+from repro.parallel.scheduler import (
+    DEFAULT_TASK_BATCH_SIZE,
+    SchedulerStats,
+    WorkStealingScheduler,
+    pack_batches,
+)
+from repro.parallel.transfer import (
+    PayloadTransfer,
+    TransferStats,
+    attach_count,
+    current_payload,
+    in_worker,
+    resolve_transfer,
+)
+
+__all__ = [
+    "DEFAULT_TASK_BATCH_SIZE",
+    "PayloadTransfer",
+    "SchedulerStats",
+    "TransferStats",
+    "WorkStealingScheduler",
+    "attach_count",
+    "current_payload",
+    "in_worker",
+    "pack_batches",
+    "resolve_transfer",
+]

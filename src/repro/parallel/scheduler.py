@@ -1,0 +1,362 @@
+"""Work-stealing task scheduler over a process pool with one-time transfer.
+
+The PR-1 parallel fan-out assigned first-level attribute branches to
+workers *statically* (stripe ``w`` got roots ``w, w+J, w+2J, …``).  On the
+skewed subtree distributions the paper's Figure 8 workloads produce, one
+worker ends up owning the dominant subtree while the others go idle — the
+wall clock degenerates to the heaviest stripe.
+
+This scheduler keeps all tasks in one **shared queue** that idle workers
+pull from dynamically (the work-stealing execution model: no worker owns a
+stripe, whoever is free takes the next pending batch), and fixes the two
+overheads that made fine-grained tasks expensive before:
+
+* the read-only payload (graph + cached bitset index + candidate states)
+  crosses the process boundary **once per worker**, not per task, through
+  :class:`repro.parallel.transfer.PayloadTransfer`;
+* small tasks are **batched** by their estimated cost (the caller supplies
+  a weight, e.g. the tidset size) so one pool submission amortizes queue
+  and result-pipe overhead over several cheap coverage searches, while
+  heavy tasks keep their own submission and can be stolen individually.
+
+Tasks are keyed; results are collected into a key-indexed map, so callers
+merge in deterministic key order no matter which worker finished what
+first.  Tasks must be pure functions of ``(payload, *args)`` — that purity
+plus keyed merging is what makes the mined output byte-identical to the
+sequential run for any worker count.
+
+The caller may keep submitting tasks while draining (dynamic dependency
+fan-out: SCPM's second-level prefix classes are only known once their
+first-level task finished).  When no usable process pool exists (platform
+without ``multiprocessing``, or ``n_jobs <= 1``) the scheduler degrades to
+deterministic in-process execution of the same task graph.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ParallelError, ParameterError
+from repro.parallel.transfer import AUTO, PayloadTransfer, TransferStats, current_payload
+
+TaskKey = Tuple[Any, ...]
+
+#: Default maximum number of tasks packed into one pool submission.
+DEFAULT_TASK_BATCH_SIZE = 8
+
+#: How many batches per worker the packer aims for.  Oversubscribing the
+#: workers ~4× keeps the shared queue non-empty while any subtree is still
+#: running, which is what lets idle workers steal the remaining work.
+BATCH_OVERSUBSCRIPTION = 4
+
+
+def resolve_jobs(n_jobs: int) -> int:
+    """Resolve a worker-count request (``-1`` → every available CPU).
+
+    The single definition of the rule shared by
+    :meth:`repro.correlation.parameters.SCPMParams.resolved_jobs` and the
+    parallel null model.
+    """
+    if n_jobs == -1:
+        import os
+
+        return os.cpu_count() or 1
+    return n_jobs
+
+
+def validate_jobs(n_jobs: int) -> int:
+    """Validate a worker-count request (``>= 1`` or the ``-1`` sentinel).
+
+    The single definition of the domain rule; raises
+    :class:`repro.errors.ParameterError` and returns the value unchanged
+    so callers can validate inline.
+    """
+    if n_jobs < 1 and n_jobs != -1:
+        raise ParameterError(
+            f"n_jobs must be >= 1 or -1 (all CPUs), got {n_jobs}"
+        )
+    return n_jobs
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One schedulable unit: a key, the task-function args, a cost estimate."""
+
+    key: TaskKey
+    args: Tuple[Any, ...]
+    weight: int
+
+
+@dataclass
+class SchedulerStats:
+    """Accounting for one scheduler run (benchmarks assert on these)."""
+
+    workers: int = 0
+    tasks_submitted: int = 0
+    batches_submitted: int = 0
+    transfer: Optional[TransferStats] = None
+    #: Pickled size of the largest per-batch argument tuple (bytes), only
+    #: filled when ``measure_task_bytes=True`` — lets the benchmark prove
+    #: task submissions stay small and graph-free.
+    max_batch_bytes: int = 0
+
+
+def pack_batches(
+    tasks: Sequence[_Task], n_jobs: int, batch_size: int
+) -> List[List[_Task]]:
+    """Pack tasks into batches for submission — deterministic and balanced.
+
+    Tasks are ordered heaviest-first (LPT scheduling: the dominant subtree
+    starts as early as possible) with the key as tie-breaker, then packed
+    greedily.  A batch closes when it holds ``batch_size`` tasks or when
+    adding the next task would push its summed weight past the cap
+    ``total_weight / (n_jobs · BATCH_OVERSUBSCRIPTION)`` — so cheap tasks
+    coalesce while any task at or above the cap always travels alone and
+    remains individually stealable.
+    """
+    if not tasks:
+        return []
+    ordered = sorted(tasks, key=lambda t: (-t.weight, t.key))
+    total = sum(t.weight for t in ordered)
+    cap = max(1, total // max(1, n_jobs * BATCH_OVERSUBSCRIPTION))
+    batches: List[List[_Task]] = []
+    current: List[_Task] = []
+    current_weight = 0
+    for task in ordered:
+        if current and (
+            len(current) >= batch_size or current_weight + task.weight > cap
+        ):
+            batches.append(current)
+            current = []
+            current_weight = 0
+        current.append(task)
+        current_weight += task.weight
+    if current:
+        batches.append(current)
+    return batches
+
+
+def _run_batch(
+    task_fn: Callable[..., Any], batch: Sequence[Tuple[TaskKey, Tuple[Any, ...]]]
+) -> List[Tuple[TaskKey, Any, float]]:
+    """Pool entry point: run one batch against the worker-attached payload.
+
+    Returns ``(key, result, seconds)`` triples; the per-task durations feed
+    the scheduler's ``task_durations`` map (used by the benchmark's
+    schedule simulator).
+    """
+    payload = current_payload()
+    output: List[Tuple[TaskKey, Any, float]] = []
+    for key, args in batch:
+        started = time.perf_counter()
+        result = task_fn(payload, *args)
+        output.append((key, result, time.perf_counter() - started))
+    return output
+
+
+class WorkStealingScheduler:
+    """Dynamic scheduler for keyed pure tasks over a shared payload.
+
+    Parameters
+    ----------
+    payload:
+        Read-only object every task needs (transferred once per worker).
+    task_fn:
+        Module-level callable ``task_fn(payload, *args) -> result``.  Must
+        be picklable by reference and pure (same args → same result) for
+        deterministic output.
+    n_jobs:
+        Worker-process count; ``<= 1`` executes in-process.
+    transfer:
+        Payload transfer strategy (see :mod:`repro.parallel.transfer`).
+    batch_size:
+        Maximum tasks per pool submission (see :func:`pack_batches`).
+    measure_task_bytes:
+        When ``True``, record the pickled size of each submitted batch's
+        arguments in ``stats.max_batch_bytes`` (benchmark instrumentation).
+
+    Usage::
+
+        with WorkStealingScheduler(payload, fn, n_jobs=4) as scheduler:
+            for i, item in enumerate(items):
+                scheduler.submit((i,), item, weight=cost(item))
+            for key, result in scheduler.drain():
+                ...  # may scheduler.submit() follow-up tasks here
+            results = scheduler.results
+    """
+
+    def __init__(
+        self,
+        payload: Any,
+        task_fn: Callable[..., Any],
+        n_jobs: int,
+        transfer: str = AUTO,
+        batch_size: int = DEFAULT_TASK_BATCH_SIZE,
+        measure_task_bytes: bool = False,
+    ) -> None:
+        if batch_size < 1:
+            raise ParameterError(f"batch_size must be >= 1, got {batch_size}")
+        if n_jobs < 1:
+            raise ParameterError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.payload = payload
+        self.task_fn = task_fn
+        self.n_jobs = n_jobs
+        self.batch_size = batch_size
+        self.measure_task_bytes = measure_task_bytes
+        self.stats = SchedulerStats()
+        self.results: Dict[TaskKey, Any] = {}
+        self.task_durations: Dict[TaskKey, float] = {}
+        self._transfer_strategy = transfer
+        self._buffered: List[_Task] = []
+        self._keys: set = set()
+        self._transfer: Optional[PayloadTransfer] = None
+        self._pool = None
+        self._owner_pid: Optional[int] = None
+        self._entered = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "WorkStealingScheduler":
+        import os
+
+        if self._entered:
+            raise ParallelError("WorkStealingScheduler is not re-entrant")
+        self._entered = True
+        self._owner_pid = os.getpid()
+        if self.n_jobs > 1:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._transfer = PayloadTransfer(
+                    self.payload, strategy=self._transfer_strategy
+                ).__enter__()
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.n_jobs,
+                    mp_context=self._transfer.mp_context(),
+                    initializer=self._transfer.initializer,
+                    initargs=self._transfer.initargs,
+                )
+            except (ImportError, NotImplementedError, OSError, ValueError):
+                # No usable multiprocessing on this platform (ValueError:
+                # an explicitly requested start method, e.g. fork, that the
+                # platform lacks) — run in-process instead of crashing,
+                # matching the other unavailable-strategy degradations.
+                if self._transfer is not None:
+                    self._transfer.__exit__(None, None, None)
+                    self._transfer = None
+                self._pool = None
+        self.stats.workers = self.n_jobs if self._pool is not None else 1
+        if self._transfer is not None:
+            self.stats.transfer = self._transfer.stats
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        import os
+
+        if self._owner_pid is not None and os.getpid() != self._owner_pid:
+            # Fork-inherited copy inside a worker: the pool handles and the
+            # transfer belong to the parent — drop references only.
+            self._pool = None
+            self._transfer = None
+            self._entered = False
+            return
+        if self._pool is not None:
+            self._pool.shutdown(cancel_futures=True)
+            self._pool = None
+        if self._transfer is not None:
+            self._transfer.__exit__(exc_type, exc, tb)
+            self._transfer = None
+        self._entered = False
+
+    def release_results(self) -> None:
+        """Drop accumulated results, durations and key history.
+
+        Long-lived schedulers (a null model keeps one pool open across
+        many estimate waves) call this after consuming a wave's results so
+        the persistent pool stays O(1) in memory; key uniqueness across
+        waves must then be provided by the caller's key scheme.
+        """
+        self.results.clear()
+        self.task_durations.clear()
+        self._keys.clear()
+
+    # ------------------------------------------------------------------
+    # task graph
+    # ------------------------------------------------------------------
+    def submit(self, key: TaskKey, *args: Any, weight: int = 1) -> None:
+        """Queue one task.  Keys must be unique across the whole run."""
+        if not self._entered:
+            raise ParallelError("submit() outside the scheduler context")
+        if key in self._keys:
+            raise ParallelError(f"duplicate task key {key!r}")
+        self._keys.add(key)
+        self._buffered.append(_Task(key=key, args=args, weight=max(1, weight)))
+
+    def drain(self) -> Iterator[Tuple[TaskKey, Any]]:
+        """Run queued tasks to exhaustion, yielding ``(key, result)`` pairs.
+
+        Results are yielded as workers finish (completion order); callers
+        needing determinism must merge from :attr:`results` by key after
+        the drain.  The loop body may :meth:`submit` new tasks — they join
+        the shared queue in the next flush.
+        """
+        if self._pool is None:
+            yield from self._drain_in_process()
+            return
+        from concurrent.futures import FIRST_COMPLETED, wait
+
+        pending = set()
+        while self._buffered or pending:
+            for batch in pack_batches(self._buffered, self.n_jobs, self.batch_size):
+                payload_args = [(task.key, task.args) for task in batch]
+                if self.measure_task_bytes:
+                    size = len(pickle.dumps(payload_args, pickle.HIGHEST_PROTOCOL))
+                    self.stats.max_batch_bytes = max(
+                        self.stats.max_batch_bytes, size
+                    )
+                pending.add(self._pool.submit(_run_batch, self.task_fn, payload_args))
+                self.stats.batches_submitted += 1
+                self.stats.tasks_submitted += len(batch)
+            self._buffered = []
+            if not pending:
+                break
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                for key, result, seconds in future.result():
+                    self.results[key] = result
+                    self.task_durations[key] = seconds
+                    yield key, result
+
+    def _drain_in_process(self) -> Iterator[Tuple[TaskKey, Any]]:
+        """Sequential fallback: same task graph, submission order."""
+        while self._buffered:
+            queue, self._buffered = self._buffered, []
+            self.stats.tasks_submitted += len(queue)
+            self.stats.batches_submitted += 1
+            for task in queue:
+                started = time.perf_counter()
+                result = self.task_fn(self.payload, *task.args)
+                self.results[task.key] = result
+                self.task_durations[task.key] = time.perf_counter() - started
+                yield task.key, result
+
+    def run(self) -> Dict[TaskKey, Any]:
+        """Drain every queued task and return the key-indexed result map."""
+        for _ in self.drain():
+            pass
+        return self.results
+
+
+__all__ = [
+    "BATCH_OVERSUBSCRIPTION",
+    "DEFAULT_TASK_BATCH_SIZE",
+    "SchedulerStats",
+    "WorkStealingScheduler",
+    "pack_batches",
+    "resolve_jobs",
+    "validate_jobs",
+]

@@ -1,0 +1,323 @@
+"""One-time payload transfer to worker processes.
+
+The striped ``n_jobs`` fan-out of PR 1 re-pickled the full graph (plus the
+cached bitset index and every candidate bitset) into *each*
+``ProcessPoolExecutor.submit`` call.  That cost scales with the number of
+tasks, which is exactly the wrong direction for the fine-grained
+work-stealing scheduler (:mod:`repro.parallel.scheduler`): more, smaller
+tasks would mean more, identical graph transfers.
+
+This module moves the shared read-only payload exactly once:
+
+* ``"fork"`` — the payload is published in a module-level global *before*
+  the pool forks; children inherit the parent's address space, so the graph
+  is never serialized at all (copy-on-write pages, zero-copy attach).
+* ``"shared_memory"`` — the payload is pickled **once** into a
+  :class:`multiprocessing.shared_memory.SharedMemory` segment; every worker
+  attaches to the segment by name in its pool initializer and unpickles
+  from the shared buffer (no per-task pipe traffic, one deserialization per
+  worker).
+* ``"pickle"`` — portable fallback: the payload is pickled once and shipped
+  to each worker through the initializer arguments (once per worker over
+  the pipe, still never per task).
+* ``"auto"`` — ``fork`` where the platform supports it, else
+  ``shared_memory``, else ``pickle``.
+
+Because the whole payload travels as **one** pickle (or one inherited
+object graph), pickle's memo keeps the graph's cached index, its
+:class:`~repro.graph.vertexset.VertexIndexer` and every candidate bitset's
+indexer reference unified inside each worker — the single-indexer
+invariant that :meth:`repro.correlation.scpm.SCPM._extend_parallel`
+documents is preserved structurally instead of by argument-tuple
+discipline.
+
+Workers read the payload back with :func:`current_payload`; task functions
+therefore carry only their small per-task arguments.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from itertools import count
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.errors import ParameterError, TransferError
+
+FORK = "fork"
+SHARED_MEMORY = "shared_memory"
+PICKLE = "pickle"
+AUTO = "auto"
+STRATEGIES = (FORK, SHARED_MEMORY, PICKLE, AUTO)
+
+# ----------------------------------------------------------------------
+# worker-side state
+# ----------------------------------------------------------------------
+# The payload the current process received through a PayloadTransfer; in
+# the parent process (and in workers before their initializer ran) it is
+# the _NO_PAYLOAD sentinel.
+_NO_PAYLOAD = object()
+_WORKER_PAYLOAD: Any = _NO_PAYLOAD
+
+# Number of times this process deserialized (or adopted) a payload.  A
+# correctly wired pool attaches exactly once per worker, however many
+# tasks it executes — the scheduler's transfer stats assert on this.
+_ATTACH_COUNT = 0
+
+# Payloads staged for fork inheritance (parent side, while their transfer
+# is open), keyed by a per-transfer token carried in the pool's initargs.
+# Forked children inherit the dict and adopt their own entry zero-copy;
+# the token keeps overlapping fork-strategy transfers (e.g. a null-model
+# scheduler opened while a mining scheduler drains) from clobbering each
+# other.
+_FORK_PAYLOADS: Dict[int, Any] = {}
+_FORK_TOKENS = count(1)
+
+# Names of shared-memory segments this process created and has not yet
+# unlinked — the leak-detection hook for the cleanup tests.
+_ACTIVE_SEGMENTS: Set[str] = set()
+
+
+def current_payload() -> Any:
+    """Return the payload attached to this worker process.
+
+    Raises :class:`repro.errors.TransferError` when called outside a worker
+    (or before the pool initializer ran).
+    """
+    if _WORKER_PAYLOAD is _NO_PAYLOAD:
+        raise TransferError(
+            "no worker payload attached — current_payload() must run inside "
+            "a pool worker initialized by a PayloadTransfer"
+        )
+    return _WORKER_PAYLOAD
+
+
+def in_worker() -> bool:
+    """``True`` inside a pool worker that holds a transferred payload.
+
+    Nested pools are forbidden (a worker spawning its own pool would
+    multiply processes and deadlock under some start methods), so
+    parallel-capable components — e.g.
+    :class:`repro.correlation.null_models.SimulationNullModel` — consult
+    this to degrade to sequential execution inside workers.
+    """
+    return _WORKER_PAYLOAD is not _NO_PAYLOAD
+
+
+def attach_count() -> int:
+    """How many times this process deserialized/adopted a payload."""
+    return _ATTACH_COUNT
+
+
+def active_segments() -> Set[str]:
+    """Names of shared-memory segments created here and not yet unlinked."""
+    return set(_ACTIVE_SEGMENTS)
+
+
+def _adopt(payload: Any) -> None:
+    global _WORKER_PAYLOAD, _ATTACH_COUNT
+    _WORKER_PAYLOAD = payload
+    _ATTACH_COUNT += 1
+
+
+def _attach_fork(token: int) -> None:
+    """Pool initializer (fork strategy): adopt this pool's inherited entry."""
+    try:
+        payload = _FORK_PAYLOADS[token]
+    except KeyError:
+        raise TransferError(
+            "fork payload missing — pool forked after its transfer closed?"
+        ) from None
+    _adopt(payload)
+
+
+def _attach_shared(name: str, size: int) -> None:
+    """Pool initializer (shared-memory strategy): attach and unpickle once."""
+    from multiprocessing import shared_memory
+
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError as exc:
+        raise TransferError(f"shared-memory segment {name!r} vanished") from exc
+    try:
+        _adopt(pickle.loads(bytes(segment.buf[:size])))
+    finally:
+        segment.close()
+
+
+def _attach_blob(blob: bytes) -> None:
+    """Pool initializer (pickle strategy): unpickle the shipped blob once."""
+    _adopt(pickle.loads(blob))
+
+
+def reset_worker_state() -> None:
+    """Drop any attached payload (test isolation helper)."""
+    global _WORKER_PAYLOAD, _ATTACH_COUNT
+    _WORKER_PAYLOAD = _NO_PAYLOAD
+    _ATTACH_COUNT = 0
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+def resolve_transfer(strategy: str) -> str:
+    """Resolve a transfer-strategy request to a concrete strategy.
+
+    ``"auto"`` prefers ``fork`` (zero serializations), then
+    ``shared_memory`` (one serialization, per-worker zero-copy attach),
+    then ``pickle``.  Unknown names raise
+    :class:`repro.errors.ParameterError`.
+    """
+    if strategy not in STRATEGIES:
+        raise ParameterError(
+            f"transfer must be one of {STRATEGIES}, got {strategy!r}"
+        )
+    if strategy != AUTO:
+        return strategy
+    try:
+        import multiprocessing
+
+        # Prefer fork only where it is the platform's *default* start
+        # method (Linux).  macOS merely lists fork but defaults to spawn
+        # because forking after system frameworks initialise is unsafe —
+        # auto must not force it there.
+        if multiprocessing.get_context().get_start_method() == FORK:
+            return FORK
+    except (ImportError, NotImplementedError):
+        return PICKLE
+    try:
+        import multiprocessing.shared_memory  # noqa: F401
+
+        return SHARED_MEMORY
+    except ImportError:
+        return PICKLE
+
+
+@dataclass
+class TransferStats:
+    """Parent-side accounting of one payload transfer.
+
+    ``serializations`` is the number of times the payload was pickled in
+    the parent — 0 for ``fork``, 1 otherwise, and *never* a function of the
+    task count (the property the scheduler benchmark asserts).
+    """
+
+    strategy: str
+    serializations: int = 0
+    payload_bytes: int = 0
+
+
+class PayloadTransfer:
+    """Context manager staging one read-only payload for a worker pool.
+
+    Usage::
+
+        with PayloadTransfer(payload, strategy="auto") as transfer:
+            pool = ProcessPoolExecutor(
+                max_workers=jobs,
+                mp_context=transfer.mp_context(),
+                initializer=transfer.initializer,
+                initargs=transfer.initargs,
+            )
+            ...  # submit tasks; workers read current_payload()
+            pool.shutdown()
+
+    The payload is serialized at most once, on ``__enter__``; ``__exit__``
+    releases every parent-side resource (shared-memory segments are
+    unlinked, the fork global is cleared).  Leaked segments are visible
+    through :func:`active_segments`.
+    """
+
+    def __init__(self, payload: Any, strategy: str = AUTO) -> None:
+        self.payload = payload
+        self.strategy = resolve_transfer(strategy)
+        self.stats = TransferStats(strategy=self.strategy)
+        self.initializer: Optional[Callable[..., None]] = None
+        self.initargs: Tuple[Any, ...] = ()
+        self._segment = None
+        self._fork_token: Optional[int] = None
+        self._owner_pid: Optional[int] = None
+        self._entered = False
+
+    def mp_context(self):
+        """The multiprocessing context the pool must use (fork needs fork)."""
+        import multiprocessing
+
+        if self.strategy == FORK:
+            return multiprocessing.get_context(FORK)
+        return multiprocessing.get_context()
+
+    def __enter__(self) -> "PayloadTransfer":
+        import os
+
+        if self._entered:
+            raise TransferError("PayloadTransfer is not re-entrant")
+        self._entered = True
+        self._owner_pid = os.getpid()
+        if self.strategy == FORK:
+            self._fork_token = next(_FORK_TOKENS)
+            _FORK_PAYLOADS[self._fork_token] = self.payload
+            self.initializer = _attach_fork
+            self.initargs = (self._fork_token,)
+            return self
+        blob = pickle.dumps(self.payload, protocol=pickle.HIGHEST_PROTOCOL)
+        self.stats.serializations += 1
+        self.stats.payload_bytes = len(blob)
+        if self.strategy == SHARED_MEMORY:
+            from multiprocessing import shared_memory
+
+            self._segment = shared_memory.SharedMemory(
+                create=True, size=max(len(blob), 1)
+            )
+            self._segment.buf[: len(blob)] = blob
+            _ACTIVE_SEGMENTS.add(self._segment.name)
+            self.initializer = _attach_shared
+            self.initargs = (self._segment.name, len(blob))
+        else:
+            self.initializer = _attach_blob
+            self.initargs = (blob,)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        import os
+
+        if self._owner_pid is not None and os.getpid() != self._owner_pid:
+            # A fork-inherited copy (e.g. a live transfer reached a worker
+            # through process inheritance, bypassing __getstate__) must
+            # not tear down the parent's resources — unlinking the shared
+            # segment here would break every worker the parent spawns
+            # afterwards.  Drop local references only.
+            self._segment = None
+            self._fork_token = None
+            self._entered = False
+            return
+        if self._fork_token is not None:
+            _FORK_PAYLOADS.pop(self._fork_token, None)
+            self._fork_token = None
+        if self._segment is not None:
+            name = self._segment.name
+            try:
+                self._segment.close()
+                self._segment.unlink()
+            except FileNotFoundError:
+                pass
+            _ACTIVE_SEGMENTS.discard(name)
+            self._segment = None
+        self._entered = False
+
+
+__all__ = [
+    "AUTO",
+    "FORK",
+    "PICKLE",
+    "SHARED_MEMORY",
+    "STRATEGIES",
+    "PayloadTransfer",
+    "TransferStats",
+    "active_segments",
+    "attach_count",
+    "current_payload",
+    "in_worker",
+    "reset_worker_state",
+    "resolve_transfer",
+]

@@ -135,6 +135,136 @@ class TestSimulationModel:
         curve = model.curve([4, 8])
         assert [point.support for point in curve] == [4, 8]
 
+    def test_out_of_range_support_is_cached(self, example_graph):
+        """Regression: the cache key used the raw support while the store
+        used the clamped one, so every out-of-range call re-ran the full
+        Monte-Carlo estimate.  Clamping now happens before the lookup."""
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        model = SimulationNullModel(example_graph, params, runs=4, seed=2)
+        first = model.estimate(10**6)
+        searches_after_first = model.searches_run
+        assert searches_after_first > 0
+        second = model.estimate(10**6)
+        assert model.searches_run == searches_after_first
+        assert second is first
+        # the clamped and the raw support share one cache entry
+        assert model.estimate(example_graph.num_vertices) is first
+
+    def test_negative_support_clamped_and_cached(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        model = SimulationNullModel(example_graph, params, runs=3, seed=2)
+        assert model.estimate(-5) is model.estimate(0)
+        assert model.expected_epsilon(-5) == 0.0
+
+    def test_estimates_independent_of_evaluation_order(self, example_graph):
+        """Per-support child seeds: the stream of one support value cannot
+        be perturbed by estimates computed before it (the property the
+        parallel schedules rely on)."""
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        forward = SimulationNullModel(example_graph, params, runs=8, seed=3)
+        backward = SimulationNullModel(example_graph, params, runs=8, seed=3)
+        forward_estimates = [forward.estimate(s) for s in (5, 6, 8)]
+        backward_estimates = [backward.estimate(s) for s in (8, 6, 5)]
+        assert forward_estimates == list(reversed(backward_estimates))
+
+    def test_parallel_evaluation_matches_sequential(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        sequential = SimulationNullModel(example_graph, params, runs=8, seed=3)
+        with SimulationNullModel(
+            example_graph, params, runs=8, seed=3, n_jobs=3
+        ) as parallel:
+            for support in (5, 8, 11):
+                assert parallel.estimate(support) == sequential.estimate(support)
+        assert parallel._scheduler is None  # context exit released the pool
+
+    def test_persistent_pool_reused_across_estimates(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        model = SimulationNullModel(
+            example_graph, params, runs=4, seed=3, n_jobs=2
+        )
+        try:
+            model.estimate(6)
+            first = model._scheduler
+            model.estimate(9)
+            assert model._scheduler is first, "pool was rebuilt per support"
+        finally:
+            model.close()
+
+    def test_reevaluation_after_cache_invalidation(self, example_graph):
+        """Regression: scheduler keys are unique for the pool's lifetime,
+        so re-materializing a support after a cache purge must use fresh
+        (wave-namespaced) keys instead of raising a duplicate-key error."""
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        model = SimulationNullModel(
+            example_graph, params, runs=3, seed=2, n_jobs=2
+        )
+        try:
+            first = model.estimate(6)
+            model._cache.clear()
+            assert model.estimate(6) == first
+        finally:
+            model.close()
+
+    def test_pickling_drops_the_live_pool(self, example_graph):
+        import pickle
+
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        model = SimulationNullModel(
+            example_graph, params, runs=4, seed=3, n_jobs=2
+        )
+        try:
+            before = model.estimate(6)
+            clone = pickle.loads(pickle.dumps(model))
+            assert clone._scheduler is None
+            assert clone.estimate(6) == before  # cache travels, pool does not
+        finally:
+            model.close()
+
+    def test_invalid_n_jobs(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        with pytest.raises(ParameterError):
+            SimulationNullModel(example_graph, params, n_jobs=0)
+        with pytest.raises(ParameterError):
+            SimulationNullModel(example_graph, params, n_jobs=-3)
+
+    def test_runs_sequentially_inside_pool_workers(self, example_graph):
+        """Nested pools are forbidden: a model with n_jobs > 1 evaluated
+        *inside* a worker process must take the sequential path."""
+        from repro.parallel import transfer
+
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        reference = SimulationNullModel(example_graph, params, runs=4, seed=9)
+        nested = SimulationNullModel(
+            example_graph, params, runs=4, seed=9, n_jobs=4
+        )
+        transfer._adopt("pretend this process is a pool worker")
+        try:
+            estimate = nested.estimate(8)
+        finally:
+            transfer.reset_worker_state()
+        assert estimate == reference.estimate(8)
+
+    def test_sample_payload_roundtrip(self, example_graph):
+        """Worker payload of the parallel sampler: the vertex table is
+        rebuilt lazily (and identically) after unpickling."""
+        import pickle
+
+        from repro.correlation.null_models import _SamplePayload
+
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        payload = _SamplePayload(example_graph, params, "dfs")
+        clone = pickle.loads(pickle.dumps(payload))
+        assert clone._vertices is None
+        assert clone.vertices() == payload.vertices()
+
+    def test_unseeded_model_is_self_consistent(self, example_graph):
+        params = QuasiCliqueParams(gamma=0.6, min_size=4)
+        model = SimulationNullModel(example_graph, params, runs=4, seed=None)
+        model._cache.clear()
+        again = model.estimate(8)
+        model._cache.clear()
+        assert model.estimate(8) == again
+
 
 class TestDelta:
     def test_normalized_value(self):

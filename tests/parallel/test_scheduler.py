@@ -1,0 +1,219 @@
+"""Unit tests for the work-stealing scheduler and its task batching."""
+
+import pytest
+
+from repro.errors import ParallelError, ParameterError
+from repro.parallel import transfer
+from repro.parallel.scheduler import (
+    BATCH_OVERSUBSCRIPTION,
+    WorkStealingScheduler,
+    _Task,
+    _run_batch,
+    pack_batches,
+)
+
+
+def _square_task(payload, value):
+    return payload * value * value
+
+
+def _echo_task(payload, *args):
+    return args
+
+
+def tasks_from_weights(weights):
+    return [
+        _Task(key=(index,), args=(index,), weight=weight)
+        for index, weight in enumerate(weights)
+    ]
+
+
+class TestPackBatches:
+    def test_empty(self):
+        assert pack_batches([], n_jobs=4, batch_size=8) == []
+
+    def test_every_task_packed_exactly_once(self):
+        tasks = tasks_from_weights([5, 1, 9, 2, 2, 40, 1, 1])
+        batches = pack_batches(tasks, n_jobs=2, batch_size=4)
+        packed = sorted(task.key for batch in batches for task in batch)
+        assert packed == sorted(task.key for task in tasks)
+
+    def test_heaviest_first(self):
+        tasks = tasks_from_weights([1, 100, 3])
+        batches = pack_batches(tasks, n_jobs=2, batch_size=8)
+        assert batches[0][0].key == (1,)
+
+    def test_heavy_task_travels_alone(self):
+        # one task dominating the total weight must not drag small tasks
+        # into its submission — it has to stay individually stealable
+        tasks = tasks_from_weights([100, 1, 1, 1, 1])
+        batches = pack_batches(tasks, n_jobs=2, batch_size=8)
+        assert [task.key for task in batches[0]] == [(0,)]
+
+    def test_small_tasks_coalesce(self):
+        # equal light tasks with a generous cap should share submissions
+        tasks = tasks_from_weights([1] * 64)
+        batches = pack_batches(tasks, n_jobs=2, batch_size=8)
+        assert len(batches) == 64 // 8
+        assert all(len(batch) == 8 for batch in batches)
+
+    def test_batch_size_cap_respected(self):
+        tasks = tasks_from_weights([1] * 30)
+        for batch_size in (1, 3, 8):
+            batches = pack_batches(tasks, n_jobs=1, batch_size=batch_size)
+            assert max(len(batch) for batch in batches) <= batch_size
+
+    def test_deterministic(self):
+        tasks = tasks_from_weights([7, 7, 3, 9, 1, 1, 4])
+        first = pack_batches(tasks, n_jobs=2, batch_size=4)
+        second = pack_batches(list(tasks), n_jobs=2, batch_size=4)
+        assert [[t.key for t in b] for b in first] == [
+            [t.key for t in b] for b in second
+        ]
+
+    def test_weight_cap_tracks_jobs(self):
+        # more workers → smaller cap → more, finer batches
+        tasks = tasks_from_weights([2] * 32)
+        few = pack_batches(tasks, n_jobs=1, batch_size=32)
+        many = pack_batches(tasks, n_jobs=4, batch_size=32)
+        assert len(many) >= len(few)
+        assert len(many) >= 4 * BATCH_OVERSUBSCRIPTION // 2
+
+
+class TestSchedulerContract:
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            WorkStealingScheduler(None, _square_task, n_jobs=0)
+        with pytest.raises(ParameterError):
+            WorkStealingScheduler(None, _square_task, n_jobs=2, batch_size=0)
+
+    def test_submit_outside_context_raises(self):
+        scheduler = WorkStealingScheduler(2, _square_task, n_jobs=1)
+        with pytest.raises(ParallelError):
+            scheduler.submit((0,), 1)
+
+    def test_duplicate_key_rejected(self):
+        with WorkStealingScheduler(2, _square_task, n_jobs=1) as scheduler:
+            scheduler.submit((0,), 1)
+            scheduler.run()
+            with pytest.raises(ParallelError):
+                scheduler.submit((0,), 1)
+
+    def test_duplicate_key_rejected_before_flush(self):
+        # the guard must also catch duplicates still sitting in the buffer
+        with WorkStealingScheduler(2, _square_task, n_jobs=1) as scheduler:
+            scheduler.submit((0,), 1)
+            with pytest.raises(ParallelError):
+                scheduler.submit((0,), 2)
+
+    def test_not_reentrant(self):
+        scheduler = WorkStealingScheduler(2, _square_task, n_jobs=1)
+        with scheduler:
+            with pytest.raises(ParallelError):
+                scheduler.__enter__()
+
+    def test_task_error_propagates(self):
+        def _boom(payload, value):
+            raise ValueError("task exploded")
+
+        # in-process path: the error surfaces directly
+        with WorkStealingScheduler(1, _boom, n_jobs=1) as scheduler:
+            scheduler.submit((0,), 1)
+            with pytest.raises(ValueError):
+                scheduler.run()
+
+
+class TestSchedulerExecution:
+    @pytest.mark.parametrize("n_jobs", [1, 2, 4])
+    def test_results_identical_for_any_worker_count(self, n_jobs):
+        with WorkStealingScheduler(3, _square_task, n_jobs=n_jobs) as scheduler:
+            for value in range(12):
+                scheduler.submit((value,), value, weight=value + 1)
+            results = scheduler.run()
+        assert results == {(v,): 3 * v * v for v in range(12)}
+
+    def test_durations_recorded_per_task(self):
+        with WorkStealingScheduler(1, _square_task, n_jobs=2) as scheduler:
+            for value in range(6):
+                scheduler.submit((value,), value)
+            scheduler.run()
+        assert set(scheduler.task_durations) == {(v,) for v in range(6)}
+        assert all(s >= 0.0 for s in scheduler.task_durations.values())
+
+    @pytest.mark.parametrize("n_jobs", [1, 3])
+    def test_dynamic_submission_during_drain(self, n_jobs):
+        """Second-wave tasks submitted from the drain loop still run."""
+        with WorkStealingScheduler(10, _square_task, n_jobs=n_jobs) as scheduler:
+            for value in range(4):
+                scheduler.submit(("first", value), value)
+            for key, result in scheduler.drain():
+                if key[0] == "first":
+                    scheduler.submit(("second", key[1]), key[1] + 100)
+            results = scheduler.results
+        assert len(results) == 8
+        for value in range(4):
+            assert results[("second", value)] == 10 * (value + 100) ** 2
+
+    def test_stats_count_tasks_and_batches(self):
+        with WorkStealingScheduler(
+            1, _echo_task, n_jobs=2, batch_size=4
+        ) as scheduler:
+            for value in range(16):
+                scheduler.submit((value,), value, weight=1)
+            scheduler.run()
+        assert scheduler.stats.tasks_submitted == 16
+        assert scheduler.stats.batches_submitted >= 4
+        assert scheduler.stats.workers in (1, 2)
+
+    def test_measure_task_bytes(self):
+        with WorkStealingScheduler(
+            1, _echo_task, n_jobs=2, measure_task_bytes=True
+        ) as scheduler:
+            scheduler.submit((0,), "x" * 100)
+            scheduler.run()
+        if scheduler.stats.workers > 1:
+            assert scheduler.stats.max_batch_bytes > 100
+
+    def test_pool_unavailable_falls_back_in_process(self, monkeypatch):
+        """A platform without usable multiprocessing degrades to in-process
+        execution of the same task graph instead of failing."""
+        import concurrent.futures
+
+        def _broken_pool(*args, **kwargs):
+            raise OSError("no process support")
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _broken_pool
+        )
+        with WorkStealingScheduler(3, _square_task, n_jobs=4) as scheduler:
+            for value in range(6):
+                scheduler.submit((value,), value)
+            results = scheduler.run()
+        assert scheduler.stats.workers == 1
+        assert results == {(v,): 3 * v * v for v in range(6)}
+
+    def test_release_results_keeps_persistent_pool_bounded(self):
+        with WorkStealingScheduler(2, _square_task, n_jobs=1) as scheduler:
+            scheduler.submit((0, 0), 3)
+            scheduler.run()
+            assert scheduler.results
+            scheduler.release_results()
+            assert not scheduler.results
+            assert not scheduler.task_durations
+            # key history cleared too: the same key is accepted again
+            scheduler.submit((0, 0), 4)
+            assert scheduler.run() == {(0, 0): 2 * 16}
+
+    def test_run_batch_reads_worker_payload(self):
+        """The pool entry point itself, driven in-process: it must read the
+        attached payload and report per-task durations."""
+        transfer._adopt(5)
+        try:
+            output = _run_batch(_square_task, [((0,), (2,)), ((1,), (3,))])
+        finally:
+            transfer.reset_worker_state()
+        assert [(key, result) for key, result, _ in output] == [
+            ((0,), 20),
+            ((1,), 45),
+        ]
+        assert all(seconds >= 0.0 for _, _, seconds in output)

@@ -1,0 +1,247 @@
+"""Unit tests for the one-time payload transfer layer.
+
+The contract under test: the payload is serialized in the parent at most
+once (zero times under fork), every worker attaches exactly once no matter
+how many tasks it executes, and no shared-memory segment outlives its
+:class:`~repro.parallel.transfer.PayloadTransfer` context.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import ParameterError, TransferError
+from repro.parallel import transfer
+from repro.parallel.scheduler import WorkStealingScheduler
+from repro.parallel.transfer import (
+    AUTO,
+    FORK,
+    PICKLE,
+    SHARED_MEMORY,
+    STRATEGIES,
+    PayloadTransfer,
+    active_segments,
+    attach_count,
+    current_payload,
+    in_worker,
+    resolve_transfer,
+)
+
+
+def available_strategies():
+    """Concrete strategies usable on this platform."""
+    strategies = [PICKLE]
+    try:
+        import multiprocessing
+
+        if FORK in multiprocessing.get_all_start_methods():
+            strategies.append(FORK)
+    except (ImportError, NotImplementedError):
+        return strategies
+    try:
+        import multiprocessing.shared_memory  # noqa: F401
+
+        strategies.append(SHARED_MEMORY)
+    except ImportError:
+        pass
+    return strategies
+
+
+def _probe_task(payload, run):
+    """Report what this worker sees: payload, pid, attach count, flag."""
+    return (payload, os.getpid(), attach_count(), in_worker())
+
+
+class TestResolve:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ParameterError):
+            resolve_transfer("teleport")
+
+    def test_auto_resolves_to_concrete(self):
+        assert resolve_transfer(AUTO) in (FORK, SHARED_MEMORY, PICKLE)
+        assert resolve_transfer(AUTO) != AUTO
+
+    def test_concrete_names_resolve_to_themselves(self):
+        for strategy in STRATEGIES:
+            if strategy != AUTO:
+                assert resolve_transfer(strategy) == strategy
+
+
+class TestParentSide:
+    def test_current_payload_outside_worker_raises(self):
+        with pytest.raises(TransferError):
+            current_payload()
+        assert not in_worker()
+
+    def test_not_reentrant(self):
+        staged = PayloadTransfer({"x": 1}, strategy=PICKLE)
+        with staged:
+            with pytest.raises(TransferError):
+                staged.__enter__()
+
+    def test_serialization_counts(self):
+        for strategy in available_strategies():
+            with PayloadTransfer([1, 2, 3], strategy=strategy) as staged:
+                expected = 0 if strategy == FORK else 1
+                assert staged.stats.serializations == expected, strategy
+
+    @pytest.mark.skipif(
+        SHARED_MEMORY not in available_strategies(),
+        reason="shared memory unavailable",
+    )
+    def test_shared_memory_segment_unlinked_on_exit(self):
+        from multiprocessing import shared_memory
+
+        with PayloadTransfer({"big": list(range(1000))}, strategy=SHARED_MEMORY) as staged:
+            name = staged._segment.name
+            assert name in active_segments()
+        assert name not in active_segments()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    @pytest.mark.skipif(
+        SHARED_MEMORY not in available_strategies(),
+        reason="shared memory unavailable",
+    )
+    def test_fork_inherited_copy_does_not_unlink_parent_segment(self):
+        """A transfer object reaching a worker by fork inheritance must not
+        tear down the parent's shared segment on exit (owner-PID guard)."""
+        from multiprocessing import shared_memory
+
+        staged = PayloadTransfer({"x": 1}, strategy=SHARED_MEMORY)
+        staged.__enter__()
+        name = staged._segment.name
+        try:
+            staged._owner_pid += 1  # simulate: a different (child) process
+            staged.__exit__(None, None, None)
+            probe = shared_memory.SharedMemory(name=name)  # still alive
+            probe.close()
+        finally:
+            # re-own and clean up for real
+            import os
+
+            staged._segment = shared_memory.SharedMemory(name=name)
+            staged._owner_pid = os.getpid()
+            staged.__exit__(None, None, None)
+        assert name not in active_segments()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_no_segments_leak_across_scheduler_runs(self):
+        before = active_segments()
+        for strategy in available_strategies():
+            with WorkStealingScheduler(
+                {"k": "v"}, _probe_task, 2, transfer=strategy
+            ) as scheduler:
+                for run in range(4):
+                    scheduler.submit((run,), run)
+                scheduler.run()
+        assert active_segments() == before
+
+
+class TestWorkerSide:
+    @pytest.mark.parametrize("strategy", available_strategies())
+    def test_payload_roundtrip_and_single_attach(self, strategy):
+        """20 tasks across 2 workers: payload intact, one attach per worker."""
+        payload = {"graph": list(range(50)), "tag": strategy}
+        with WorkStealingScheduler(
+            payload, _probe_task, 2, transfer=strategy
+        ) as scheduler:
+            for run in range(20):
+                scheduler.submit((run,), run)
+            results = scheduler.run()
+        assert len(results) == 20
+        parent_pid = os.getpid()
+        attaches_by_pid = {}
+        for seen_payload, pid, attaches, flagged in results.values():
+            assert seen_payload == payload
+            assert flagged
+            assert pid != parent_pid, "task ran in the parent process"
+            attaches_by_pid.setdefault(pid, set()).add(attaches)
+        # every worker deserialized the payload exactly once, however many
+        # of the 20 tasks it pulled from the shared queue
+        for pid, counts in attaches_by_pid.items():
+            assert counts == {1}, (pid, counts)
+
+    def test_parent_never_attaches(self):
+        with WorkStealingScheduler(
+            "payload", _probe_task, 2, transfer=available_strategies()[0]
+        ) as scheduler:
+            scheduler.submit((0,), 0)
+            scheduler.run()
+        assert attach_count() == 0
+        assert not in_worker()
+
+
+class TestInitializersInline:
+    """Drive each pool initializer in this process (workers run them in
+    children, where the coverage gate cannot see them)."""
+
+    def test_attach_blob(self):
+        import pickle
+
+        transfer._attach_blob(pickle.dumps({"k": 1}))
+        try:
+            assert current_payload() == {"k": 1}
+        finally:
+            transfer.reset_worker_state()
+
+    @pytest.mark.skipif(
+        SHARED_MEMORY not in available_strategies(),
+        reason="shared memory unavailable",
+    )
+    def test_attach_shared(self):
+        with PayloadTransfer(["shm", "payload"], strategy=SHARED_MEMORY) as staged:
+            transfer._attach_shared(*staged.initargs)
+            try:
+                assert current_payload() == ["shm", "payload"]
+            finally:
+                transfer.reset_worker_state()
+
+    def test_attach_shared_vanished_segment(self):
+        with pytest.raises(TransferError):
+            transfer._attach_shared("repro-no-such-segment", 8)
+
+    def test_attach_fork(self):
+        with PayloadTransfer(("fork", "payload"), strategy=FORK) as staged:
+            assert staged.stats.serializations == 0
+            token = staged.initargs[0]
+            staged.initializer(*staged.initargs)
+            try:
+                assert current_payload() == ("fork", "payload")
+            finally:
+                transfer.reset_worker_state()
+        # outside the context the staged entry is cleared again
+        with pytest.raises(TransferError):
+            transfer._attach_fork(token)
+
+    def test_overlapping_fork_transfers_stay_isolated(self):
+        """Two fork transfers open at once must not clobber each other —
+        each pool's initargs token resolves to its own payload (the bug a
+        lazily forked outer-pool worker would otherwise hit)."""
+        with PayloadTransfer("outer", strategy=FORK) as outer:
+            with PayloadTransfer("inner", strategy=FORK) as inner:
+                inner.initializer(*inner.initargs)
+                assert current_payload() == "inner"
+                transfer.reset_worker_state()
+                # the outer pool can still fork-and-attach correctly
+                outer.initializer(*outer.initargs)
+                assert current_payload() == "outer"
+                transfer.reset_worker_state()
+            # inner closed: outer's staged payload must survive
+            outer.initializer(*outer.initargs)
+            assert current_payload() == "outer"
+            transfer.reset_worker_state()
+
+
+class TestWorkerStateReset:
+    def test_reset_clears_adopted_payload(self):
+        transfer._adopt("unit-test payload")
+        try:
+            assert in_worker()
+            assert current_payload() == "unit-test payload"
+            assert attach_count() == 1
+        finally:
+            transfer.reset_worker_state()
+        assert not in_worker()
+        assert attach_count() == 0
