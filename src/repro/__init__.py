@@ -21,7 +21,7 @@ from repro.correlation.patterns import (
     MiningResult,
     StructuralCorrelationPattern,
 )
-from repro.correlation.scpm import SCPM, mine_scpm
+from repro.correlation.scpm import SCPM, mine_scpm, mine_scpm_files
 from repro.correlation.structural import structural_correlation, top_k_patterns
 from repro.datasets.example import paper_example_graph
 from repro.datasets.profiles import (
@@ -32,6 +32,7 @@ from repro.datasets.profiles import (
     small_dblp_like,
 )
 from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.streaming import StreamedGraphHandle, stream_attributed_graph
 from repro.parallel import PayloadTransfer, WorkStealingScheduler
 from repro.quasiclique.definitions import QuasiCliqueParams
 from repro.quasiclique.search import (
@@ -55,6 +56,7 @@ __all__ = [
     "SCPM",
     "SCPMParams",
     "SimulationNullModel",
+    "StreamedGraphHandle",
     "StructuralCorrelationPattern",
     "WorkStealingScheduler",
     "__version__",
@@ -65,7 +67,9 @@ __all__ = [
     "load_profile",
     "mine_naive",
     "mine_scpm",
+    "mine_scpm_files",
     "paper_example_graph",
+    "stream_attributed_graph",
     "small_dblp_like",
     "structural_correlation",
     "top_k_patterns",

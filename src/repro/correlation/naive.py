@@ -19,7 +19,7 @@ from __future__ import annotations
 import time
 from typing import Hashable, Optional
 
-from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.streaming import GraphLike
 from repro.itemsets.eclat import EclatConfig, EclatMiner
 from repro.itemsets.itemset import canonical_itemset
 from repro.correlation.null_models import (
@@ -49,7 +49,7 @@ class NaiveMiner:
 
     def __init__(
         self,
-        graph: AttributedGraph,
+        graph: GraphLike,
         params: SCPMParams,
         null_model: Optional[object] = None,
     ) -> None:
@@ -137,7 +137,7 @@ class NaiveMiner:
 
 
 def mine_naive(
-    graph: AttributedGraph,
+    graph: GraphLike,
     params: SCPMParams,
     null_model: Optional[object] = None,
 ) -> MiningResult:

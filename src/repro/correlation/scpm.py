@@ -60,7 +60,7 @@ from dataclasses import dataclass, fields
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.errors import ParallelError
-from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.streaming import GraphLike
 from repro.graph.vertexset import VertexBitset
 from repro.itemsets.itemset import canonical_itemset
 from repro.itemsets.transactions import bitset_vertical_database, frequent_items
@@ -105,7 +105,11 @@ class SCPM:
     Parameters
     ----------
     graph:
-        The attributed graph to mine.
+        The attributed graph to mine — an
+        :class:`~repro.graph.attributed_graph.AttributedGraph` or a
+        file-backed :class:`~repro.graph.streaming.StreamedGraphHandle`
+        (see :meth:`from_files`); both expose the query/index surface the
+        miner consumes and yield byte-identical results.
     params:
         The :class:`SCPMParams` bundle (σ_min, γ, min_size, ε_min, δ_min, k,
         search order, attribute-set size limits, ``n_jobs``).
@@ -140,7 +144,7 @@ class SCPM:
 
     def __init__(
         self,
-        graph: AttributedGraph,
+        graph: GraphLike,
         params: SCPMParams,
         null_model: Optional[object] = None,
         collect_patterns: bool = True,
@@ -169,6 +173,43 @@ class SCPM:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+    @classmethod
+    def from_files(
+        cls,
+        edge_path,
+        attribute_path,
+        params: SCPMParams,
+        streaming: bool = True,
+        null_model: Optional[object] = None,
+        collect_patterns: bool = True,
+        measure_task_bytes: bool = False,
+    ) -> "SCPM":
+        """Build a miner directly from an edge file plus an attribute file.
+
+        With ``streaming=True`` (default) the files are ingested through
+        :func:`repro.graph.streaming.stream_attributed_graph` — the sparse
+        bitset index is built in bounded memory and no in-memory
+        ``AttributedGraph`` ever exists; ``streaming=False`` uses the
+        classic :func:`repro.graph.io.read_attributed_graph` loader.  The
+        mined output is byte-identical either way (differential grid in
+        ``tests/graph/test_streaming.py``).
+        """
+        if streaming:
+            from repro.graph.streaming import stream_attributed_graph
+
+            graph: GraphLike = stream_attributed_graph(edge_path, attribute_path)
+        else:
+            from repro.graph.io import read_attributed_graph
+
+            graph = read_attributed_graph(edge_path, attribute_path)
+        return cls(
+            graph,
+            params,
+            null_model=null_model,
+            collect_patterns=collect_patterns,
+            measure_task_bytes=measure_task_bytes,
+        )
+
     def mine(self) -> MiningResult:
         """Run the mining and return a :class:`MiningResult`."""
         params = self.params
@@ -475,7 +516,7 @@ class _BranchPayload:
 
     def __init__(
         self,
-        graph: AttributedGraph,
+        graph: GraphLike,
         params: SCPMParams,
         null_model: object,
         collect_patterns: bool,
@@ -565,7 +606,7 @@ def _branch_task(payload: _BranchPayload, kind: str, *args):
 
 
 def mine_scpm(
-    graph: AttributedGraph,
+    graph: GraphLike,
     params: SCPMParams,
     null_model: Optional[object] = None,
     collect_patterns: bool = True,
@@ -573,4 +614,30 @@ def mine_scpm(
     """Convenience wrapper around :class:`SCPM`."""
     return SCPM(
         graph, params, null_model=null_model, collect_patterns=collect_patterns
+    ).mine()
+
+
+def mine_scpm_files(
+    edge_path,
+    attribute_path,
+    params: SCPMParams,
+    streaming: bool = True,
+    null_model: Optional[object] = None,
+    collect_patterns: bool = True,
+) -> MiningResult:
+    """Mine straight from an edge file plus an attribute file.
+
+    The file→stream→scheduler→results path of the CLI as a library call:
+    with ``streaming=True`` the graph never exists as hashed Python sets —
+    the sparse index is built in bounded memory and, when
+    ``params.n_jobs > 1``, ships once per worker through the parallel
+    transfer layer exactly like an in-memory graph.
+    """
+    return SCPM.from_files(
+        edge_path,
+        attribute_path,
+        params,
+        streaming=streaming,
+        null_model=null_model,
+        collect_patterns=collect_patterns,
     ).mine()

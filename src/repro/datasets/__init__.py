@@ -23,6 +23,7 @@ from repro.datasets.synthetic import (
     generate,
     random_attributed_graph,
     random_edge_graph,
+    write_random_attributed_files,
 )
 
 __all__ = [
@@ -44,4 +45,5 @@ __all__ = [
     "random_attributed_graph",
     "random_edge_graph",
     "small_dblp_like",
+    "write_random_attributed_files",
 ]

@@ -270,6 +270,81 @@ def random_attributed_graph(
     return graph
 
 
+def write_random_attributed_files(
+    edge_path,
+    attribute_path,
+    num_vertices: int,
+    num_edges: int,
+    num_attributes: int = 50,
+    attribute_fraction: float = 0.3,
+    seed: Optional[int] = None,
+    batch_size: int = 65536,
+) -> None:
+    """Write a large random attributed graph straight to disk.
+
+    The on-disk twin of :func:`random_edge_graph`: edge and attribute
+    lines are generated in ``batch_size`` chunks and written immediately,
+    so peak memory is O(batch), never O(|V| + |E|) — this is the generator
+    the streaming-ingestion benchmark uses to produce 100k-vertex inputs
+    that only ever exist as files.  The output follows the plain-text
+    formats of :mod:`repro.graph.io` (see ``docs/FILE_FORMATS.md``).
+
+    ``num_edges`` endpoint pairs are sampled uniformly; self-loops are
+    dropped and duplicate pairs are *written but collapse on load*, so the
+    loaded graph's edge count is approximately (slightly below)
+    ``num_edges``.  Every vertex ``0..num_vertices-1`` gets one attribute
+    line carrying each of the ``num_attributes`` attributes
+    (``a000``, ``a001``, …) independently with ``attribute_fraction``
+    probability — popular attributes whose holder sets compress into
+    near-full chunk bitmaps on the sparse engine.
+
+    Deterministic given ``seed``; both loaders
+    (:func:`repro.graph.io.read_attributed_graph` and
+    :func:`repro.graph.streaming.stream_attributed_graph`) produce the
+    same graph from the files.
+    """
+    if num_vertices < 2:
+        raise ParameterError("num_vertices must be >= 2")
+    if num_edges < 0:
+        raise ParameterError("num_edges must be >= 0")
+    if num_attributes < 0:
+        raise ParameterError("num_attributes must be >= 0")
+    if not 0.0 <= attribute_fraction <= 1.0:
+        raise ParameterError("attribute_fraction must be in [0, 1]")
+    if batch_size < 1:
+        raise ParameterError("batch_size must be >= 1")
+    rng = np.random.default_rng(seed)
+
+    with open(edge_path, "w", encoding="utf-8") as handle:
+        handle.write("# u v\n")
+        written = 0
+        while written < num_edges:
+            need = min(batch_size, num_edges - written)
+            # Oversample a little: self-loops are dropped below.
+            pairs = rng.integers(0, num_vertices, size=(need + need // 16 + 8, 2))
+            pairs = pairs[pairs[:, 0] != pairs[:, 1]][:need]
+            handle.write(
+                "".join(f"{u} {v}\n" for u, v in pairs.tolist())
+            )
+            written += len(pairs)
+
+    names = [f"a{i:03d}" for i in range(num_attributes)]
+    with open(attribute_path, "w", encoding="utf-8") as handle:
+        handle.write("# vertex attr1 attr2 ...\n")
+        for start in range(0, num_vertices, batch_size):
+            stop = min(start + batch_size, num_vertices)
+            if num_attributes:
+                block = rng.random((stop - start, num_attributes)) < attribute_fraction
+            else:
+                block = np.zeros((stop - start, 0), dtype=bool)
+            lines = []
+            for offset, row in enumerate(block):
+                tokens = " ".join(names[i] for i in np.flatnonzero(row))
+                vertex = start + offset
+                lines.append(f"{vertex} {tokens}\n" if tokens else f"{vertex}\n")
+            handle.write("".join(lines))
+
+
 def random_edge_graph(
     num_vertices: int, num_edges: int, seed: Optional[int] = None
 ) -> AttributedGraph:

@@ -49,6 +49,16 @@ class IndexerMismatchError(GraphError, ValueError):
         self.operation = operation
 
 
+class StreamingError(GraphError):
+    """Raised when a streamed graph handle is mutated or misused.
+
+    :class:`repro.graph.streaming.StreamedGraphHandle` is an immutable,
+    index-backed view — the mutating half of the
+    :class:`~repro.graph.attributed_graph.AttributedGraph` API raises this
+    instead of silently desynchronising the underlying sparse index.
+    """
+
+
 class ParameterError(ReproError, ValueError):
     """Raised when mining parameters are outside their valid domain."""
 

@@ -1,4 +1,5 @@
-"""Attributed-graph substrate: data structure, statistics, I/O, converters."""
+"""Attributed-graph substrate: data structure, engines, statistics, I/O,
+streaming ingestion, converters."""
 
 from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.converters import from_networkx, to_networkx
@@ -45,9 +46,23 @@ from repro.graph.sparseset import (
     SparseGraphBitsetIndex,
     SparseVertexBitset,
 )
+from repro.graph.streaming import (
+    GraphLike,
+    StreamedGraphHandle,
+    StreamingGraphBuilder,
+    stream_attributed_graph,
+    stream_attributes,
+    stream_edge_list,
+)
 
 __all__ = [
     "AttributedGraph",
+    "GraphLike",
+    "StreamedGraphHandle",
+    "StreamingGraphBuilder",
+    "stream_attributed_graph",
+    "stream_attributes",
+    "stream_edge_list",
     "AUTO",
     "DENSE",
     "ENGINES",

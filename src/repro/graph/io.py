@@ -2,46 +2,82 @@
 
 Two plain-text formats are supported, matching the layout used by the
 original SCPM release (one edge file plus one attribute file), and a
-single-file JSON format convenient for snapshots.
+single-file JSON format convenient for snapshots.  The exact grammar —
+delimiters, comment rules, vertex-token parsing, self-loop and duplicate
+handling — is documented in ``docs/FILE_FORMATS.md``; the record iterators
+:func:`iter_edge_records` and :func:`iter_attribute_records` are the single
+implementation of that grammar, shared by the in-memory readers below and
+by the bounded-memory streaming ingest in :mod:`repro.graph.streaming`.
 
 Edge-list format (``.edges``)
-    One edge per line: ``u v`` separated by whitespace.  Lines starting with
-    ``#`` are comments.
+    One edge per line: two whitespace-separated vertex tokens ``u v``
+    (any run of spaces/tabs separates; tokens beyond the second are
+    ignored).  Blank lines and lines whose first non-whitespace character
+    is ``#`` are skipped.  Self-loop lines (``u u``) are silently skipped
+    — neither endpoint is added.  Repeated edges (in either orientation)
+    collapse into one undirected edge.
 
 Attribute format (``.attrs``)
-    One vertex per line: ``vertex attr1 attr2 ...``.  A vertex listed with no
-    attributes is still added to the graph.
+    One record per line: ``vertex attr1 attr2 ...`` (whitespace-separated).
+    A vertex listed with no attributes is still added to the graph, and a
+    vertex may appear on several lines — its attribute sets merge.
+    Vertices that never appeared in the edge file are added as isolated
+    vertices.  Blank lines and ``#`` comment lines are skipped.
 
 JSON format
     ``{"vertices": {...}, "edges": [[u, v], ...]}`` where ``vertices`` maps
     each vertex id to its attribute list.
+
+Vertex tokens are parsed with :func:`parse_vertex_token`: a token that
+``int()`` accepts becomes an integer vertex, anything else stays a string —
+so ``42`` in a file and the Python vertex ``42`` are the same vertex.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Hashable, Iterator, List, Tuple, Union
 
 from repro.errors import FormatError
 from repro.graph.attributed_graph import AttributedGraph
 
 PathLike = Union[str, Path]
 
+#: Buffer size for line-oriented graph-file readers (64 KiB keeps syscall
+#: counts low without holding more than a sliver of the file in memory).
+READ_BUFFER_BYTES = 1 << 16
 
-def _parse_vertex(token: str) -> object:
-    """Interpret a vertex token as an int when possible, else a string."""
+
+def parse_vertex_token(token: str) -> Hashable:
+    """Interpret a vertex token as an ``int`` when possible, else a string.
+
+    This is the single token-parsing rule of every plain-text reader (in
+    the JSON format it also applies to the string keys of ``vertices``),
+    so ``"42"`` in any file always denotes the integer vertex ``42``.
+    """
     try:
         return int(token)
     except ValueError:
         return token
 
 
-def read_edge_list(path: PathLike, graph: AttributedGraph = None) -> AttributedGraph:
-    """Read an edge-list file into ``graph`` (a new graph when omitted)."""
-    if graph is None:
-        graph = AttributedGraph()
-    with open(path, "r", encoding="utf-8") as handle:
+# Backward-compatible alias (the helper predates its public naming).
+_parse_vertex = parse_vertex_token
+
+
+def iter_edge_records(path: PathLike) -> Iterator[Tuple[int, Hashable, Hashable]]:
+    """Yield ``(line_number, u, v)`` for every usable edge line of ``path``.
+
+    Applies the full edge-list grammar: blank/comment lines are skipped,
+    lines with fewer than two tokens raise :class:`repro.errors.FormatError`
+    (with file and line number), tokens are parsed with
+    :func:`parse_vertex_token`, extra tokens beyond the second are ignored,
+    and self-loop lines are skipped entirely.  Duplicate edges are *not*
+    collapsed here — that is the consumer's job (both the in-memory graph
+    and the streaming index builder are idempotent under repeats).
+    """
+    with open(path, "r", encoding="utf-8", buffering=READ_BUFFER_BYTES) as handle:
         for line_number, line in enumerate(handle, start=1):
             stripped = line.strip()
             if not stripped or stripped.startswith("#"):
@@ -51,31 +87,71 @@ def read_edge_list(path: PathLike, graph: AttributedGraph = None) -> AttributedG
                 raise FormatError(
                     f"{path}:{line_number}: expected 'u v', got {stripped!r}"
                 )
-            u, v = _parse_vertex(parts[0]), _parse_vertex(parts[1])
+            u, v = parse_vertex_token(parts[0]), parse_vertex_token(parts[1])
             if u == v:
                 continue
-            graph.add_edge(u, v)
-    return graph
+            yield line_number, u, v
 
 
-def read_attributes(path: PathLike, graph: AttributedGraph = None) -> AttributedGraph:
-    """Read an attribute file into ``graph`` (a new graph when omitted)."""
-    if graph is None:
-        graph = AttributedGraph()
-    with open(path, "r", encoding="utf-8") as handle:
+def iter_attribute_records(
+    path: PathLike,
+) -> Iterator[Tuple[int, Hashable, List[str]]]:
+    """Yield ``(line_number, vertex, attributes)`` for every record of ``path``.
+
+    Blank/comment lines are skipped; the first token is the vertex (parsed
+    with :func:`parse_vertex_token`), every following token one attribute
+    (kept as a string, duplicates preserved — consumers deduplicate).  A
+    line with only a vertex token yields an empty attribute list.
+    """
+    with open(path, "r", encoding="utf-8", buffering=READ_BUFFER_BYTES) as handle:
         for line_number, line in enumerate(handle, start=1):
             stripped = line.strip()
             if not stripped or stripped.startswith("#"):
                 continue
             parts = stripped.split()
-            vertex = _parse_vertex(parts[0])
-            graph.add_vertex(vertex)
-            graph.add_attributes(vertex, parts[1:])
+            yield line_number, parse_vertex_token(parts[0]), parts[1:]
+
+
+def read_edge_list(path: PathLike, graph: AttributedGraph = None) -> AttributedGraph:
+    """Read an edge-list file into ``graph`` (a new graph when omitted).
+
+    Follows the edge-list grammar of :func:`iter_edge_records`: comment and
+    blank lines are skipped, self-loop lines are ignored without adding
+    their endpoint, duplicate edges collapse, tokens after the second are
+    ignored, and short lines raise :class:`repro.errors.FormatError`.
+    """
+    if graph is None:
+        graph = AttributedGraph()
+    for _, u, v in iter_edge_records(path):
+        graph.add_edge(u, v)
+    return graph
+
+
+def read_attributes(path: PathLike, graph: AttributedGraph = None) -> AttributedGraph:
+    """Read an attribute file into ``graph`` (a new graph when omitted).
+
+    Every record's vertex is added to the graph (so the attribute file may
+    introduce vertices absent from the edge file — they become isolated
+    vertices); a record with no attribute tokens still adds its vertex.
+    Repeated records for one vertex merge their attribute sets.
+    """
+    if graph is None:
+        graph = AttributedGraph()
+    for _, vertex, attributes in iter_attribute_records(path):
+        graph.add_vertex(vertex)
+        graph.add_attributes(vertex, attributes)
     return graph
 
 
 def read_attributed_graph(edge_path: PathLike, attribute_path: PathLike) -> AttributedGraph:
-    """Read an attributed graph from an edge file plus an attribute file."""
+    """Read an attributed graph from an edge file plus an attribute file.
+
+    This is the in-memory loader: it materialises the full
+    :class:`AttributedGraph` (Python dicts of sets) before any index is
+    built.  For graphs too large for that, use
+    :func:`repro.graph.streaming.stream_attributed_graph`, which builds the
+    sparse bitset index directly from the same files in bounded memory.
+    """
     graph = read_edge_list(edge_path)
     return read_attributes(attribute_path, graph)
 
@@ -126,12 +202,12 @@ def from_json(text: str) -> AttributedGraph:
         raise FormatError("JSON graph must have 'vertices' and 'edges' keys")
     graph = AttributedGraph()
     for vertex, attrs in payload["vertices"].items():
-        graph.add_vertex(_parse_vertex(vertex))
-        graph.add_attributes(_parse_vertex(vertex), attrs)
+        graph.add_vertex(parse_vertex_token(vertex))
+        graph.add_attributes(parse_vertex_token(vertex), attrs)
     for edge in payload["edges"]:
         if len(edge) != 2:
             raise FormatError(f"edge {edge!r} must have exactly two endpoints")
-        graph.add_edge(_parse_vertex(edge[0]), _parse_vertex(edge[1]))
+        graph.add_edge(parse_vertex_token(edge[0]), parse_vertex_token(edge[1]))
     return graph
 
 

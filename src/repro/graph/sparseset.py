@@ -128,6 +128,19 @@ class SparseBitset:
         return cls({chunk: _canonical(bits) for chunk, bits in raw.items()})
 
     @classmethod
+    def from_chunk_bits(cls, raw: Dict[int, int]) -> "SparseBitset":
+        """Build a set from raw per-chunk bitmaps ``{chunk: bits}``.
+
+        This is the constructor the streaming ingest accumulators use:
+        they collect plain chunk→bitmap dictionaries while a file is being
+        read and canonicalise (array/bitmap promotion, empty-chunk
+        dropping) only once, here.  Chunks whose bitmap is 0 are ignored.
+        """
+        return cls(
+            {chunk: _canonical(bits) for chunk, bits in raw.items() if bits}
+        )
+
+    @classmethod
     def from_mask(cls, mask: int) -> "SparseBitset":
         """Build a set from a dense int mask (bit position = id)."""
         chunks: Dict[int, Container] = {}

@@ -1,0 +1,526 @@
+"""Streaming ingestion — file → sparse index without an in-memory graph.
+
+The classic loader (:func:`repro.graph.io.read_attributed_graph`)
+materialises a full :class:`~repro.graph.attributed_graph.AttributedGraph`
+— Python dicts of sets for adjacency, per-vertex attribute sets and the
+inverted attribute index — before any bitset index exists.  At the
+DBLP/LastFM/CiteSeer scales the paper evaluates, those hash structures
+dominate peak memory several times over the chunked index the miners
+actually run on.  This module goes from the same edge/attribute files
+straight to a :class:`~repro.graph.sparseset.SparseGraphBitsetIndex`:
+
+* :class:`StreamingGraphBuilder` — an incremental builder that assigns
+  dense vertex ids on first sight and accumulates adjacency and
+  attribute-holder sets as raw chunk→bitmap dictionaries (the canonical
+  chunked containers' mutable precursor).  No adjacency ``set`` or
+  ``frozenset`` is ever created; per-edge cost is two dictionary bit-OR
+  updates.
+* :func:`stream_edge_list` / :func:`stream_attributes` — file passes that
+  feed a builder through the shared record iterators of
+  :mod:`repro.graph.io` (``iter_edge_records`` / ``iter_attribute_records``),
+  so parsing — comments, blank lines, self-loop skipping, vertex-token
+  rules, error messages — is byte-identical to the in-memory readers by
+  construction.
+* :class:`StreamedGraphHandle` — the read-only result: it satisfies the
+  slice of the ``AttributedGraph`` surface the mining stack consumes
+  (``bitset_index``/``num_vertices``/``degree``/``neighbor_set``/
+  ``vertices_with``/…), so SCPM, the naive baseline, Eclat and the
+  quasi-clique search run on it unchanged and produce mining results
+  byte-identical to the in-memory path (asserted on the randomized
+  differential grid in ``tests/graph/test_streaming.py``).
+
+Memory model: peak ingestion memory is the final sparse index plus small
+per-line parsing transients — it tracks ``|V| + |E| + Σ|V(a)|`` like the
+index itself, never the hashed-graph footprint.
+``benchmarks/bench_streaming_ingest.py`` pins the ratio against the
+in-memory loader.
+
+The handle is immutable (mutators raise
+:class:`repro.errors.StreamingError`) and picklable: the parallel transfer
+layer ships it to workers exactly like an ``AttributedGraph`` with a warm
+index cache, so ``SCPMParams(n_jobs=...)`` works unchanged on streamed
+inputs.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.errors import StreamingError, UnknownAttributeError
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.engine import DENSE, resolve_engine
+from repro.graph.io import (
+    PathLike,
+    iter_attribute_records,
+    iter_edge_records,
+)
+from repro.graph.sparseset import (
+    CHUNK_BITS,
+    SparseBitset,
+    SparseGraphBitsetIndex,
+)
+from repro.graph.vertexset import GraphBitsetIndex, VertexIndexer
+
+Vertex = Hashable
+Attribute = Hashable
+
+#: Anything the miners accept as "the graph": the mutable in-memory
+#: structure or a read-only streamed handle.  The two expose the same
+#: query/index surface; only ``AttributedGraph`` supports mutation.
+GraphLike = Union[AttributedGraph, "StreamedGraphHandle"]
+
+
+class StreamingGraphBuilder:
+    """Incremental bounded-memory builder of a :class:`StreamedGraphHandle`.
+
+    Edges and attribute incidences arrive one at a time (from a file pass,
+    a generator, a socket — any source) and are folded directly into raw
+    chunk→bitmap accumulators, the mutable precursor of the canonical
+    :class:`~repro.graph.sparseset.SparseBitset` containers.  Vertex ids
+    are assigned on first sight and never change, matching the
+    first-seen-order indexer the in-memory path builds, so downstream
+    masks are comparable across the two ingestion routes.
+
+    :meth:`finish` canonicalises the accumulators (freeing each raw
+    dictionary as its container is produced, so raw and canonical forms
+    never fully coexist) and returns the handle; the builder is then
+    exhausted and refuses further input.
+
+    Examples
+    --------
+    >>> builder = StreamingGraphBuilder()
+    >>> builder.add_edge(1, 2)
+    >>> builder.add_edge(2, 3)
+    >>> builder.add_attributes(1, ["a"])
+    >>> handle = builder.finish()
+    >>> handle.num_vertices, handle.num_edges
+    (3, 2)
+    """
+
+    def __init__(self) -> None:
+        self._indexer = VertexIndexer()
+        # One raw {chunk: bits} accumulator per vertex id / per attribute.
+        self._adjacency_raw: List[Dict[int, int]] = []
+        self._attribute_raw: Dict[Attribute, Dict[int, int]] = {}
+        self._num_edges = 0
+        self._finished = False
+
+    # -- ingestion ------------------------------------------------------
+    def _vertex_id(self, vertex: Vertex) -> int:
+        index = self._indexer.add(vertex)
+        if index == len(self._adjacency_raw):
+            self._adjacency_raw.append({})
+        return index
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise StreamingError(
+                "StreamingGraphBuilder already finished — build a new one"
+            )
+
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Register ``vertex`` (idempotent), e.g. an isolated vertex."""
+        self._check_open()
+        self._vertex_id(vertex)
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the undirected edge ``(u, v)``; self-loops are rejected.
+
+        Duplicate edges (either orientation) are collapsed, exactly like
+        :meth:`AttributedGraph.add_edge`.
+        """
+        self._check_open()
+        if u == v:
+            raise StreamingError(f"self-loop on vertex {u!r} is not allowed")
+        uid, vid = self._vertex_id(u), self._vertex_id(v)
+        chunks = self._adjacency_raw[uid]
+        chunk, offset = vid // CHUNK_BITS, vid % CHUNK_BITS
+        bits = chunks.get(chunk, 0)
+        if (bits >> offset) & 1:
+            return  # duplicate edge
+        chunks[chunk] = bits | (1 << offset)
+        back = self._adjacency_raw[vid]
+        back_chunk = uid // CHUNK_BITS
+        back[back_chunk] = back.get(back_chunk, 0) | (1 << (uid % CHUNK_BITS))
+        self._num_edges += 1
+
+    def add_attributes(self, vertex: Vertex, attributes: Iterable[str]) -> None:
+        """Attach every attribute in ``attributes`` to ``vertex``.
+
+        The vertex is registered if new (attribute files may introduce
+        isolated vertices); repeats of an attribute are idempotent.
+        """
+        self._check_open()
+        index = self._vertex_id(vertex)
+        chunk, bit = index // CHUNK_BITS, 1 << (index % CHUNK_BITS)
+        raw = self._attribute_raw
+        for attribute in attributes:
+            holders = raw.get(attribute)
+            if holders is None:
+                holders = raw[attribute] = {}
+            holders[chunk] = holders.get(chunk, 0) | bit
+
+    # -- completion -----------------------------------------------------
+    def finish(self) -> "StreamedGraphHandle":
+        """Canonicalise the accumulators and return the immutable handle."""
+        self._check_open()
+        self._finished = True
+        adjacency_sets: List[SparseBitset] = []
+        raws = self._adjacency_raw
+        for index in range(len(raws)):
+            adjacency_sets.append(SparseBitset.from_chunk_bits(raws[index]))
+            raws[index] = None  # free the raw form as we go
+        attribute_masks = {
+            attribute: SparseBitset.from_chunk_bits(raw)
+            for attribute, raw in self._attribute_raw.items()
+        }
+        self._adjacency_raw = []
+        self._attribute_raw = {}
+        index = SparseGraphBitsetIndex(
+            self._indexer, adjacency_sets, attribute_masks
+        )
+        return StreamedGraphHandle(index, self._num_edges)
+
+
+def stream_edge_list(
+    path: PathLike, builder: Optional[StreamingGraphBuilder] = None
+) -> StreamingGraphBuilder:
+    """Stream an edge-list file into ``builder`` (a new one when omitted).
+
+    The grammar is exactly :func:`repro.graph.io.iter_edge_records` —
+    the same comment/blank-line handling, self-loop skipping,
+    :class:`repro.errors.FormatError` messages and vertex-token parsing as
+    the in-memory :func:`~repro.graph.io.read_edge_list`.
+    """
+    if builder is None:
+        builder = StreamingGraphBuilder()
+    for _, u, v in iter_edge_records(path):
+        builder.add_edge(u, v)
+    return builder
+
+
+def stream_attributes(
+    path: PathLike, builder: Optional[StreamingGraphBuilder] = None
+) -> StreamingGraphBuilder:
+    """Stream an attribute file into ``builder`` (a new one when omitted)."""
+    if builder is None:
+        builder = StreamingGraphBuilder()
+    for _, vertex, attributes in iter_attribute_records(path):
+        builder.add_vertex(vertex)
+        builder.add_attributes(vertex, attributes)
+    return builder
+
+
+def stream_attributed_graph(
+    edge_path: PathLike, attribute_path: Optional[PathLike] = None
+) -> "StreamedGraphHandle":
+    """Build a :class:`StreamedGraphHandle` from an edge file (+ attributes).
+
+    The streaming twin of :func:`repro.graph.io.read_attributed_graph`:
+    one pass over the edge file, one over the optional attribute file,
+    peak memory of the final sparse index plus per-line transients.  The
+    loaded graph — vertices, edges, attributes, supports — is identical
+    to the in-memory loader's for the same files.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> d = tempfile.mkdtemp()
+    >>> _ = open(os.path.join(d, "g.edges"), "w").write("1 2\\n2 3\\n")
+    >>> _ = open(os.path.join(d, "g.attrs"), "w").write("1 a\\n2 a\\n3 b\\n")
+    >>> handle = stream_attributed_graph(
+    ...     os.path.join(d, "g.edges"), os.path.join(d, "g.attrs"))
+    >>> handle.num_vertices, handle.num_edges, handle.support(["a"])
+    (3, 2, 2)
+    """
+    builder = stream_edge_list(edge_path)
+    if attribute_path is not None:
+        stream_attributes(attribute_path, builder)
+    return builder.finish()
+
+
+class StreamedGraphHandle:
+    """Read-only attributed graph backed directly by a sparse bitset index.
+
+    Exposes the query surface of
+    :class:`~repro.graph.attributed_graph.AttributedGraph` that the mining
+    stack consumes — so :class:`~repro.correlation.scpm.SCPM`,
+    :class:`~repro.correlation.naive.NaiveMiner`,
+    :class:`~repro.itemsets.eclat.EclatMiner` and
+    :class:`~repro.quasiclique.search.QuasiCliqueSearch` accept a handle
+    anywhere they accept a graph — while storing nothing but the
+    :class:`~repro.graph.sparseset.SparseGraphBitsetIndex` itself.  There
+    is no dict-of-sets adjacency and no per-vertex attribute hash: answers
+    are computed from the chunked containers, and ``frozenset`` objects
+    are materialised only at the public API boundary of each call.
+
+    Engine selection mirrors ``AttributedGraph.bitset_index``: the handle
+    is born with its sparse index; ``bitset_index("dense")`` (or an
+    ``"auto"`` resolution that picks dense — small streamed graphs) builds
+    the dense twin lazily *from the containers*, sharing the indexer, and
+    caches it.  Building the dense index on a huge streamed graph costs
+    O(|V|²/8) bytes, exactly like the in-memory dense engine — ``"auto"``
+    avoids it at scale.
+
+    Handles are immutable: the mutating ``AttributedGraph`` methods raise
+    :class:`repro.errors.StreamingError`.  Use :meth:`to_attributed_graph`
+    (or :meth:`subgraph` for a slice) to materialise a mutable copy.
+    """
+
+    __slots__ = ("_sparse", "_num_edges", "_indexes")
+
+    def __init__(self, index: SparseGraphBitsetIndex, num_edges: int) -> None:
+        self._sparse = index
+        self._num_edges = num_edges
+        self._indexes: Dict[str, object] = {"sparse": index}
+
+    # ------------------------------------------------------------------
+    # basic queries (AttributedGraph surface)
+    # ------------------------------------------------------------------
+    @property
+    def indexer(self) -> VertexIndexer:
+        """The vertex ↔ dense-id bijection shared by every cached index."""
+        return self._sparse.indexer
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return len(self._sparse.indexer)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return self._num_edges
+
+    @property
+    def num_attributes(self) -> int:
+        """Number of distinct attributes ``|A|`` that appear on some vertex."""
+        return len(self._sparse.attribute_masks)
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over the vertices in first-seen (dense-id) order."""
+        return iter(self._sparse.indexer)
+
+    def edges(self) -> Iterator[Tuple[Vertex, Vertex]]:
+        """Iterate over each undirected edge exactly once."""
+        indexer = self._sparse.indexer
+        for uid, container in enumerate(self._sparse.adjacency_sets):
+            u = indexer.vertex_of(uid)
+            for vid in container:
+                if vid > uid:
+                    yield (u, indexer.vertex_of(vid))
+
+    def attributes(self) -> Iterator[Attribute]:
+        """Iterate over the attribute universe (first-seen order)."""
+        return iter(self._sparse.attribute_masks)
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Return ``True`` if ``vertex`` is in the graph."""
+        return vertex in self._sparse.indexer
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Return ``True`` if the undirected edge ``(u, v)`` exists."""
+        indexer = self._sparse.indexer
+        if u not in indexer or v not in indexer:
+            return False
+        return indexer.id_of(v) in self._sparse.adjacency_sets[indexer.id_of(u)]
+
+    def _id_of(self, vertex: Vertex) -> int:
+        """Dense id of ``vertex`` (:class:`UnknownVertexError` when absent)."""
+        return self._sparse.indexer.id_of(vertex)
+
+    def neighbors(self, vertex: Vertex) -> FrozenSet[Vertex]:
+        """Return the neighbor set of ``vertex`` as a frozen set.
+
+        Materialised per call from the chunked container — O(degree), not
+        cached; hot paths should go through :meth:`bitset_index` instead.
+        """
+        vertex_of = self._sparse.indexer.vertex_of
+        return frozenset(
+            vertex_of(i) for i in self._sparse.adjacency_sets[self._id_of(vertex)]
+        )
+
+    # The streamed handle has no internal set to share, so the "no-copy"
+    # variant and the copying one coincide.
+    neighbor_set = neighbors
+
+    def degree(self, vertex: Vertex) -> int:
+        """Return the degree of ``vertex`` (a container popcount)."""
+        return self._sparse.adjacency_sets[self._id_of(vertex)].bit_count()
+
+    def attributes_of(self, vertex: Vertex) -> FrozenSet[Attribute]:
+        """Return ``F(vertex)``, the attribute set of a vertex.
+
+        The handle keeps only the inverted (attribute → holders) index, so
+        this scans every attribute container: O(|A|) membership tests per
+        call.  Fine at API boundaries and in reports; not a hot path.
+        """
+        index = self._id_of(vertex)
+        return frozenset(
+            attribute
+            for attribute, holders in self._sparse.attribute_masks.items()
+            if index in holders
+        )
+
+    def vertices_with(self, attribute: Attribute) -> FrozenSet[Vertex]:
+        """Return the set of vertices carrying ``attribute``.
+
+        Unknown attributes raise :class:`repro.errors.UnknownAttributeError`,
+        matching :meth:`AttributedGraph.vertices_with`.
+        """
+        holders = self._sparse.attribute_masks.get(attribute)
+        if holders is None:
+            raise UnknownAttributeError(attribute)
+        vertex_of = self._sparse.indexer.vertex_of
+        return frozenset(vertex_of(i) for i in holders)
+
+    def vertices_with_all(self, attributes: Iterable[Attribute]) -> FrozenSet[Vertex]:
+        """Return ``V(S)``: vertices carrying *every* attribute in ``attributes``.
+
+        The empty attribute set induces the whole vertex set, mirroring the
+        paper's convention (and ``AttributedGraph``).
+        """
+        members = self._sparse.members_mask(attributes)
+        vertex_of = self._sparse.indexer.vertex_of
+        return frozenset(vertex_of(i) for i in members)
+
+    def support(self, attributes: Iterable[Attribute]) -> int:
+        """Return ``σ(S) = |V(S)|`` without materialising the frozen set."""
+        return self._sparse.members_mask(attributes).bit_count()
+
+    def attribute_support_index(self) -> Dict[Attribute, FrozenSet[Vertex]]:
+        """Return ``attribute -> frozenset(holders)`` (API-boundary copy).
+
+        Materialises one frozenset per attribute; the bitset-native
+        equivalent is ``bitset_index().attribute_masks``.
+        """
+        return {a: self.vertices_with(a) for a in self._sparse.attribute_masks}
+
+    # ------------------------------------------------------------------
+    # index access
+    # ------------------------------------------------------------------
+    def bitset_index(self, engine: str = "auto"):
+        """Return the bitset view of the graph for ``engine``.
+
+        Mirrors :meth:`AttributedGraph.bitset_index`: ``"auto"`` resolves
+        through :func:`repro.graph.engine.resolve_engine` on |V| and |E|.
+        The sparse index is the handle's own storage (returned as-is);
+        the dense index is derived lazily from the containers — sharing
+        the indexer — and cached.  Handles are immutable, so cached
+        indexes are valid forever.
+        """
+        resolved = resolve_engine(engine, self.num_vertices, self.num_edges)
+        index = self._indexes.get(resolved)
+        if index is None:  # only ever the dense twin
+            assert resolved == DENSE
+            sparse = self._sparse
+            index = GraphBitsetIndex(
+                sparse.indexer,
+                [container.to_mask() for container in sparse.adjacency_sets],
+                {
+                    attribute: holders.to_mask()
+                    for attribute, holders in sparse.attribute_masks.items()
+                },
+            )
+            self._indexes[resolved] = index
+        return index
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+    def to_attributed_graph(self) -> AttributedGraph:
+        """Materialise a mutable :class:`AttributedGraph` copy of the handle.
+
+        Costs the full hashed-graph footprint the streaming path avoided —
+        intended for small graphs or analysis slices.
+        """
+        graph = AttributedGraph(vertices=self.vertices(), edges=self.edges())
+        vertex_of = self._sparse.indexer.vertex_of
+        for attribute, holders in self._sparse.attribute_masks.items():
+            for index in holders:
+                graph.add_attribute(vertex_of(index), attribute)
+        return graph
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> AttributedGraph:
+        """Return the vertex-induced subgraph as a mutable ``AttributedGraph``.
+
+        Unknown vertices raise :class:`repro.errors.UnknownVertexError`.
+        """
+        keep = list(vertices)
+        keep_ids = self._sparse.native_from_ids(self._id_of(v) for v in keep)
+        vertex_of = self._sparse.indexer.vertex_of
+        sub = AttributedGraph(vertices=keep)
+        for uid in keep_ids:
+            for vid in self._sparse.adjacency_sets[uid] & keep_ids:
+                if vid > uid:
+                    sub.add_edge(vertex_of(uid), vertex_of(vid))
+        for attribute, holders in self._sparse.attribute_masks.items():
+            for index in holders & keep_ids:
+                sub.add_attribute(vertex_of(index), attribute)
+        return sub
+
+    def induced_by(self, attributes: Iterable[Attribute]) -> AttributedGraph:
+        """Return ``G(S)``, the subgraph induced by the attribute set."""
+        return self.subgraph(self.vertices_with_all(attributes))
+
+    # ------------------------------------------------------------------
+    # immutability guard
+    # ------------------------------------------------------------------
+    def _immutable(self, *_args, **_kwargs):
+        raise StreamingError(
+            "StreamedGraphHandle is read-only — materialise a mutable copy "
+            "with to_attributed_graph() to modify the graph"
+        )
+
+    add_vertex = _immutable
+    add_edge = _immutable
+    add_attribute = _immutable
+    add_attributes = _immutable
+    remove_vertex = _immutable
+
+    # ------------------------------------------------------------------
+    # dunder helpers / serialization
+    # ------------------------------------------------------------------
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._sparse.indexer
+
+    def __len__(self) -> int:
+        return len(self._sparse.indexer)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._sparse.indexer)
+
+    def __getstate__(self):
+        # The sparse index is the whole payload (its own __getstate__ drops
+        # recomputable parts); the dense cache stays process-local.
+        return (self._sparse, self._num_edges)
+
+    def __setstate__(self, state) -> None:
+        self._sparse, self._num_edges = state
+        self._indexes = {"sparse": self._sparse}
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamedGraphHandle(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges}, num_attributes={self.num_attributes})"
+        )
+
+
+__all__ = [
+    "GraphLike",
+    "StreamedGraphHandle",
+    "StreamingGraphBuilder",
+    "stream_attributed_graph",
+    "stream_attributes",
+    "stream_edge_list",
+]

@@ -30,6 +30,35 @@ fan-out: SCPM's second-level prefix classes are only known once their
 first-level task finished).  When no usable process pool exists (platform
 without ``multiprocessing``, or ``n_jobs <= 1``) the scheduler degrades to
 deterministic in-process execution of the same task graph.
+
+Determinism contract
+    *Which* worker runs a task, in what order, and when results arrive is
+    all nondeterministic; *what* the run computes is not.  Provided every
+    task is a pure function of ``(payload, *args)``, the key-indexed
+    ``results`` map after a drain is a pure function of the submitted task
+    graph — independent of ``n_jobs``, batching, stealing order and
+    transfer strategy.  Callers obtain deterministic *output* by merging
+    from ``results`` in sorted key order (SCPM's
+    ``(root, phase, position)`` keys); only ``task_durations`` and
+    ``SchedulerStats`` vary between runs.  How SCPM maps onto this:
+    ``SCPMParams.fanout_depth`` decides what becomes a task (1 = one task
+    per first-level attribute branch; 2 = additionally one per
+    second-level prefix-class subtree), ``SCPMParams.task_batch_size`` is
+    forwarded as ``batch_size``, and ``SCPMParams.transfer`` as the
+    transfer strategy.
+
+Fork safety
+    The scheduler is not re-entrant, and pools must not be nested — a
+    task spawning its own scheduler inside a worker would multiply
+    processes and can deadlock under some start methods (components
+    degrade via :func:`repro.parallel.transfer.in_worker`).  Under the
+    fork strategy, workers inherit the parent's address space — including
+    any live scheduler object — so ``__exit__`` tears down the pool and
+    transfer only in the process that created them (PID-checked) and a
+    fork-inherited copy merely drops its references.  The payload must be
+    treated as frozen once the context is entered: forked children see a
+    copy-on-write snapshot, spawned children a pickle, and mutations in
+    the parent after ``__enter__`` reach no worker.
 """
 
 from __future__ import annotations
@@ -163,17 +192,31 @@ class WorkStealingScheduler:
     Parameters
     ----------
     payload:
-        Read-only object every task needs (transferred once per worker).
+        Read-only object every task needs (transferred once per worker,
+        before any task runs).  Must not be mutated while the scheduler
+        context is open — workers hold a fork-time snapshot or a pickle,
+        so parent-side mutations would silently diverge from what tasks
+        see.
     task_fn:
         Module-level callable ``task_fn(payload, *args) -> result``.  Must
-        be picklable by reference and pure (same args → same result) for
-        deterministic output.
+        be picklable by reference and pure (same args → same result); the
+        purity is what turns keyed merging into a determinism guarantee
+        (see the module docstring's contract).  A task must not open its
+        own scheduler or pool — nested pools are forbidden.
     n_jobs:
-        Worker-process count; ``<= 1`` executes in-process.
+        Worker-process count; ``<= 1`` executes in-process (same task
+        graph, submission order, no processes).
     transfer:
-        Payload transfer strategy (see :mod:`repro.parallel.transfer`).
+        Payload transfer strategy, resolved by
+        :func:`repro.parallel.transfer.resolve_transfer`:
+        ``"fork"``/``"shared_memory"``/``"pickle"``/``"auto"``.  Affects
+        transfer cost and platform compatibility only, never results.
     batch_size:
-        Maximum tasks per pool submission (see :func:`pack_batches`).
+        Maximum tasks per pool submission (see :func:`pack_batches`) —
+        small tasks coalesce up to this count to amortize queue and
+        result-pipe overhead, while any task at or above the weight cap
+        always travels alone and remains individually stealable.  Affects
+        scheduling granularity only, never results.
     measure_task_bytes:
         When ``True``, record the pickled size of each submitted batch's
         arguments in ``stats.max_batch_bytes`` (benchmark instrumentation).

@@ -33,6 +33,26 @@ discipline.
 
 Workers read the payload back with :func:`current_payload`; task functions
 therefore carry only their small per-task arguments.
+
+Fork-safety caveats
+    * The pool must be created while its :class:`PayloadTransfer` is open
+      (``fork`` children must fork before the staged global is cleared;
+      ``shared_memory`` workers must attach before the segment is
+      unlinked).  The :class:`~repro.parallel.scheduler.WorkStealingScheduler`
+      sequences this correctly; direct users must too.
+    * The payload is a snapshot: under ``fork`` the children see
+      copy-on-write pages from fork time, under the pickling strategies a
+      serialized copy.  Parent-side mutations after the pool starts reach
+      no worker — treat the payload as frozen.
+    * Teardown is owner-only: ``__exit__`` checks the creating PID, so a
+      fork-inherited transfer object inside a worker drops references
+      instead of unlinking the parent's shared segment or fork global.
+    * ``"auto"`` prefers ``fork`` only where it is the platform's
+      *default* start method (Linux) — macOS defaults to spawn because
+      forking after system frameworks initialise is unsafe, and auto
+      respects that.
+    * Nested pools are forbidden; worker-side code consults
+      :func:`in_worker` and degrades to sequential execution.
 """
 
 from __future__ import annotations

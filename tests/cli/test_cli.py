@@ -50,6 +50,47 @@ class TestMainMine:
         assert "top-sigma" in output
         assert "patterns" in output
 
+    def test_mine_streaming_matches_in_memory(self, graph_files, capsys):
+        """--streaming swaps the loader without changing a byte of output."""
+        edges, attrs = graph_files
+        base = [
+            "mine",
+            "--edges", edges,
+            "--attributes", attrs,
+            "--min-support", "3",
+            "--gamma", "0.6",
+            "--min-size", "4",
+            "--min-epsilon", "0.5",
+        ]
+
+        def tables(argv):
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            # Drop the timing line (wall clock differs run to run).
+            return [
+                line for line in out.splitlines() if "attribute sets in" not in line
+            ]
+
+        assert tables(base + ["--streaming"]) == tables(base)
+
+    def test_mine_streaming_with_engine_and_jobs(self, graph_files, capsys):
+        edges, attrs = graph_files
+        code = main(
+            [
+                "mine",
+                "--edges", edges,
+                "--attributes", attrs,
+                "--streaming",
+                "--engine", "sparse",
+                "--jobs", "2",
+                "--min-support", "3",
+                "--gamma", "0.6",
+                "--min-size", "4",
+            ]
+        )
+        assert code == 0
+        assert "11 vertices" in capsys.readouterr().out
+
     def test_mine_with_naive_algorithm(self, graph_files, capsys):
         edges, attrs = graph_files
         code = main(

@@ -131,3 +131,59 @@ class TestRandomAttributedGraph:
         assert empty.num_edges == 0
         assert full.num_edges == 15
         assert full.support(["a"]) == 6
+
+
+class TestWriteRandomAttributedFiles:
+    def _paths(self, tmp_path):
+        return tmp_path / "g.edges", tmp_path / "g.attrs"
+
+    def test_validation(self, tmp_path):
+        edges, attrs = self._paths(tmp_path)
+        from repro.datasets.synthetic import write_random_attributed_files
+
+        for kwargs in (
+            dict(num_vertices=1, num_edges=0),
+            dict(num_vertices=5, num_edges=-1),
+            dict(num_vertices=5, num_edges=2, num_attributes=-1),
+            dict(num_vertices=5, num_edges=2, attribute_fraction=1.5),
+            dict(num_vertices=5, num_edges=2, batch_size=0),
+        ):
+            with pytest.raises(ParameterError):
+                write_random_attributed_files(edges, attrs, **kwargs)
+
+    def test_deterministic_and_loadable_by_both_loaders(self, tmp_path):
+        from repro.datasets.synthetic import write_random_attributed_files
+        from repro.graph.io import read_attributed_graph
+        from repro.graph.streaming import stream_attributed_graph
+
+        edges, attrs = self._paths(tmp_path)
+        write_random_attributed_files(
+            edges, attrs, 200, 400, num_attributes=6,
+            attribute_fraction=0.4, seed=9, batch_size=64,
+        )
+        first = (edges.read_text(), attrs.read_text())
+        write_random_attributed_files(
+            edges, attrs, 200, 400, num_attributes=6,
+            attribute_fraction=0.4, seed=9, batch_size=64,
+        )
+        assert (edges.read_text(), attrs.read_text()) == first
+
+        graph = read_attributed_graph(edges, attrs)
+        handle = stream_attributed_graph(edges, attrs)
+        # every vertex gets an attribute line, so |V| is exact; duplicate
+        # sampled pairs collapse on load, so |E| is approximate from below
+        assert graph.num_vertices == handle.num_vertices == 200
+        assert 0 < graph.num_edges <= 400
+        assert graph.num_edges == handle.num_edges
+        assert graph.num_attributes == handle.num_attributes == 6
+        assert graph.attribute_support_index() == handle.attribute_support_index()
+
+    def test_no_attributes_requested(self, tmp_path):
+        from repro.datasets.synthetic import write_random_attributed_files
+        from repro.graph.io import read_attributed_graph
+
+        edges, attrs = self._paths(tmp_path)
+        write_random_attributed_files(edges, attrs, 50, 60, num_attributes=0, seed=3)
+        graph = read_attributed_graph(edges, attrs)
+        assert graph.num_vertices == 50
+        assert graph.num_attributes == 0

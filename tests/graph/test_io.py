@@ -1,10 +1,20 @@
-"""Unit tests for graph reading/writing."""
+"""Unit tests for graph reading/writing.
+
+Covers the documented grammar of ``docs/FILE_FORMATS.md`` end to end:
+round-trips, the shared record iterators, and the malformed/edge-case
+inputs (blank lines, duplicate edges, self-loops, extra tokens, attribute
+records for vertices absent from the edge file).
+"""
 
 import pytest
 
-from repro.errors import FormatError
+from repro.errors import FormatError, GraphError
+from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.io import (
     from_json,
+    iter_attribute_records,
+    iter_edge_records,
+    parse_vertex_token,
     read_attributed_graph,
     read_attributes,
     read_edge_list,
@@ -66,6 +76,80 @@ class TestReading:
         assert graph.has_vertex(1)
         assert graph.has_vertex("alice")
 
+    def test_parse_vertex_token_rule(self):
+        assert parse_vertex_token("42") == 42
+        assert parse_vertex_token("-3") == -3
+        assert parse_vertex_token("v42") == "v42"
+        assert parse_vertex_token("4.2") == "4.2"
+
+    def test_blank_and_comment_lines_skipped_everywhere(self, tmp_path):
+        edges = tmp_path / "g.edges"
+        attrs = tmp_path / "g.attrs"
+        edges.write_text("\n   \n# header\n1 2\n\n# trailing\n")
+        attrs.write_text("# header\n\n1 a\n   \n")
+        graph = read_attributed_graph(edges, attrs)
+        assert graph.num_edges == 1
+        assert graph.attributes_of(1) == frozenset({"a"})
+
+    def test_duplicate_edges_collapse(self, tmp_path):
+        path = tmp_path / "dup.edges"
+        path.write_text("1 2\n1 2\n2 1\n1 3\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 2
+        assert graph.degree(1) == 2
+
+    def test_extra_edge_tokens_ignored(self, tmp_path):
+        path = tmp_path / "weighted.edges"
+        path.write_text("1 2 0.75 extra\n")
+        graph = read_edge_list(path)
+        assert graph.num_edges == 1
+        assert not graph.has_vertex("0.75")
+
+    def test_format_error_names_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("1 2\n\n# ok\nonlyone\n")
+        with pytest.raises(FormatError, match=r"bad\.edges:4"):
+            read_edge_list(path)
+
+    def test_attribute_file_vertices_not_in_edge_file_are_added(self, tmp_path):
+        """A vertex unknown to the edge file becomes an isolated vertex."""
+        edges = tmp_path / "g.edges"
+        attrs = tmp_path / "g.attrs"
+        edges.write_text("1 2\n")
+        attrs.write_text("7 topic\n")
+        graph = read_attributed_graph(edges, attrs)
+        assert graph.has_vertex(7)
+        assert graph.degree(7) == 0
+        assert graph.support(["topic"]) == 1
+
+    def test_repeated_attribute_records_merge(self, tmp_path):
+        path = tmp_path / "g.attrs"
+        path.write_text("1 a\n1 b a\n")
+        graph = read_attributes(path)
+        assert graph.attributes_of(1) == frozenset({"a", "b"})
+
+    def test_read_into_existing_graph(self, edge_file):
+        graph = AttributedGraph(vertices=[99])
+        loaded = read_edge_list(edge_file, graph)
+        assert loaded is graph
+        assert graph.has_vertex(99) and graph.num_edges == 3
+
+
+class TestRecordIterators:
+    """The shared grammar both the in-memory and streaming readers use."""
+
+    def test_iter_edge_records_skips_and_numbers(self, tmp_path):
+        path = tmp_path / "g.edges"
+        path.write_text("# c\n1 2\n3 3\n\n4 five\n")
+        records = list(iter_edge_records(path))
+        assert records == [(2, 1, 2), (5, 4, "five")]  # self-loop line gone
+
+    def test_iter_attribute_records(self, tmp_path):
+        path = tmp_path / "g.attrs"
+        path.write_text("1 a b\n2\n# c\nbob x\n")
+        records = list(iter_attribute_records(path))
+        assert records == [(1, 1, ["a", "b"]), (2, 2, []), (4, "bob", ["x"])]
+
 
 class TestWriting:
     def test_round_trip_files(self, tmp_path, example_graph):
@@ -97,3 +181,26 @@ class TestWriting:
             from_json("{}")
         with pytest.raises(FormatError):
             from_json('{"vertices": {}, "edges": [[1, 2, 3]]}')
+
+    def test_from_json_self_loop_raises_graph_error(self):
+        with pytest.raises(GraphError):
+            from_json('{"vertices": {}, "edges": [[1, 1]]}')
+
+    def test_string_vertex_round_trip(self, tmp_path):
+        graph = AttributedGraph(
+            edges=[("alice", "bob"), ("bob", 3)],
+            attributes={"alice": ["x", "y"], 3: ["x"]},
+        )
+        edges = tmp_path / "s.edges"
+        attrs = tmp_path / "s.attrs"
+        write_attributed_graph(graph, edges, attrs)
+        loaded = read_attributed_graph(edges, attrs)
+        assert loaded == graph
+
+    def test_round_trip_preserves_every_record(self, tmp_path, example_graph):
+        """Full-fidelity round trip: attributes and adjacency, per vertex."""
+        edges = tmp_path / "rt.edges"
+        attrs = tmp_path / "rt.attrs"
+        write_attributed_graph(example_graph, edges, attrs)
+        loaded = read_attributed_graph(edges, attrs)
+        assert loaded == example_graph

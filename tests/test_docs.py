@@ -1,0 +1,22 @@
+"""The documentation QA gate, run locally as part of tier-1.
+
+CI has a dedicated ``docs`` job running ``tools/check_docs.py``; this test
+keeps the same gate in the default suite so broken doc links or missing
+module docstrings fail before a push.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_docs_links_and_module_docstrings():
+    completed = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py")],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr

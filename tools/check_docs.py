@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Documentation QA gate (run by the CI ``docs`` job and the test suite).
+
+Two checks, both designed to fail on *regressions* rather than style:
+
+1. **Internal links resolve** — every relative markdown link target in
+   ``README.md``, ``CHANGES.md``, ``ROADMAP.md`` and ``docs/*.md`` must
+   exist on disk (anchors are stripped; absolute URLs and ``mailto:`` are
+   skipped).  Inline code spans are ignored so ``[a, b]`` inside
+   back-ticks is not mistaken for a link.
+2. **Module docstrings** — every module under ``src/repro`` (packages
+   included) must open with a docstring.  The docstring convention is
+   what makes the architecture documentation navigable; a new module
+   without one fails the gate.
+
+Exit status 0 when clean; 1 with a per-finding report otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose relative links must resolve.
+DOC_FILES = ("README.md", "CHANGES.md", "ROADMAP.md")
+DOC_GLOBS = ("docs/*.md",)
+
+#: Source tree whose modules must carry docstrings.
+SOURCE_ROOT = "src/repro"
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_CODE_SPAN = re.compile(r"`[^`]*`")
+_FENCE = re.compile(r"^(```|~~~)")
+
+
+def iter_doc_files(root: Path) -> List[Path]:
+    files = [root / name for name in DOC_FILES if (root / name).exists()]
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(root.glob(pattern)))
+    return files
+
+
+def check_links(root: Path) -> List[str]:
+    """Return one message per broken relative link in the doc files."""
+    problems: List[str] = []
+    for doc in iter_doc_files(root):
+        in_fence = False
+        for line_number, line in enumerate(
+            doc.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if _FENCE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in _LINK.finditer(_CODE_SPAN.sub("", line)):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (doc.parent / path).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{doc.relative_to(root)}:{line_number}: "
+                        f"broken link target {target!r}"
+                    )
+    return problems
+
+
+def check_module_docstrings(root: Path) -> List[str]:
+    """Return one message per module under src/repro without a docstring."""
+    problems: List[str] = []
+    for path in sorted((root / SOURCE_ROOT).rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        docstring = ast.get_docstring(tree)
+        if not docstring or not docstring.strip():
+            problems.append(
+                f"{path.relative_to(root)}: missing module docstring"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = check_links(REPO_ROOT) + check_module_docstrings(REPO_ROOT)
+    for problem in problems:
+        print(f"docs-check: {problem}")
+    if problems:
+        print(f"docs-check: {len(problems)} problem(s)")
+        return 1
+    checked = len(iter_doc_files(REPO_ROOT))
+    modules = len(list((REPO_ROOT / SOURCE_ROOT).rglob("*.py")))
+    print(f"docs-check: OK ({checked} doc files, {modules} modules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
