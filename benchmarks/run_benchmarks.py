@@ -32,6 +32,7 @@ from repro.correlation.structural import structural_correlation
 from repro.datasets.synthetic import CommunitySpec, SyntheticSpec, generate
 from repro.itemsets.eclat import EclatConfig, EclatMiner
 from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.search import QuasiCliqueSearch
 
 DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_results.json"
 
@@ -66,8 +67,9 @@ def timed(operation) -> float:
     return time.perf_counter() - started
 
 
-def entry(op, graph, seconds, engine="auto", n_jobs=1, schedule=None):
-    return {
+def entry(op, graph, seconds, engine="auto", n_jobs=1, schedule=None, **extra):
+    """One grid row; ``extra`` carries op-specific counters (memo, kernel)."""
+    row = {
         "op": op,
         "num_vertices": graph.num_vertices,
         "num_edges": graph.num_edges,
@@ -76,6 +78,8 @@ def entry(op, graph, seconds, engine="auto", n_jobs=1, schedule=None):
         "schedule": schedule,
         "seconds": round(seconds, 6),
     }
+    row.update(extra)
+    return row
 
 
 def run_grid(scale: float, jobs_grid, engines, schedules):
@@ -85,7 +89,12 @@ def run_grid(scale: float, jobs_grid, engines, schedules):
 
     for engine in engines:
         config = EclatConfig(min_support=min_support)
-        seconds = timed(lambda: EclatMiner(config, engine=engine).mine_all(graph))
+        # use_bitsets engages the engine under test (a frozenset run would
+        # ignore `engine` entirely) and warms the graph's bitset index, so
+        # the coverage rows below time the search, not index construction.
+        seconds = timed(
+            lambda: EclatMiner(config, use_bitsets=True, engine=engine).mine_all(graph)
+        )
         entries.append(entry("eclat_mine_all", graph, seconds, engine=engine))
 
     qc = QuasiCliqueParams(gamma=0.6, min_size=4)
@@ -95,6 +104,26 @@ def run_grid(scale: float, jobs_grid, engines, schedules):
             lambda: structural_correlation(graph, (heaviest,), qc, engine=engine)
         )
         entries.append(entry("quasiclique_coverage", graph, seconds, engine=engine))
+
+    # Incremental-counter kernel vs the from-scratch oracle on the same
+    # whole-graph coverage search (the kernel-op trajectory; the ≥2×
+    # acceptance bar lives in bench_search_kernel.py's harder workload).
+    for use_kernel, op in ((False, "coverage_kernel_oracle"), (True, "coverage_kernel_incremental")):
+        # engine pinned so the recorded label stays true at any --scale
+        search = QuasiCliqueSearch(
+            graph, qc, engine="dense", use_incremental_kernel=use_kernel
+        )
+        seconds = timed(search.covered_mask)
+        entries.append(
+            entry(
+                op,
+                graph,
+                seconds,
+                engine="dense",
+                nodes_expanded=search.stats.nodes_expanded,
+                counter_updates=search.stats.counter_updates,
+            )
+        )
 
     for engine in engines:
         for n_jobs in jobs_grid:
@@ -109,9 +138,13 @@ def run_grid(scale: float, jobs_grid, engines, schedules):
                     n_jobs=n_jobs,
                     schedule=schedule,
                 )
+                box = {}
                 seconds = timed(
-                    lambda: mine_scpm(graph, params, collect_patterns=False)
+                    lambda: box.setdefault(
+                        "result", mine_scpm(graph, params, collect_patterns=False)
+                    )
                 )
+                counters = box["result"].counters
                 entries.append(
                     entry(
                         "scpm_mine",
@@ -120,6 +153,9 @@ def run_grid(scale: float, jobs_grid, engines, schedules):
                         engine=engine,
                         n_jobs=n_jobs,
                         schedule=schedule,
+                        memo_hits=counters.coverage_memo_hits,
+                        memo_misses=counters.coverage_memo_misses,
+                        kernel_counter_updates=counters.kernel_counter_updates,
                     )
                 )
     return entries

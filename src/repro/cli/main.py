@@ -117,6 +117,12 @@ def _add_mining_arguments(
         action="store_true",
         help="also print the individual structural correlation patterns",
     )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print the work counters (attribute-set pruning, "
+        "coverage-memo hits/misses, incremental-kernel counter updates)",
+    )
 
 
 def _params_from_args(args: argparse.Namespace, defaults: Optional[SCPMParams]) -> SCPMParams:
@@ -190,6 +196,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{result.algorithm}: evaluated {result.counters.attribute_sets_evaluated} "
         f"attribute sets in {result.counters.elapsed_seconds:.2f}s"
     )
+    if args.verbose:
+        c = result.counters
+        print(
+            f"counters: qualified={c.attribute_sets_qualified} "
+            f"extended={c.attribute_sets_extended} pruned={c.attribute_sets_pruned}"
+        )
+        print(
+            f"kernel: counter_updates={c.kernel_counter_updates}  "
+            f"coverage memo: hits={c.coverage_memo_hits} "
+            f"misses={c.coverage_memo_misses}"
+        )
     print()
     print(render_case_study_table(result, title, n=args.rows))
     if args.show_patterns:

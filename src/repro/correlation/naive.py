@@ -91,6 +91,7 @@ class NaiveMiner:
             )
             quasi_cliques = search.enumerate_maximal()
             counters.coverage_nodes_expanded += search.stats.nodes_expanded
+            counters.kernel_counter_updates += search.stats.counter_updates
 
             covered = frozenset().union(*quasi_cliques) if quasi_cliques else frozenset()
             epsilon = len(covered) / support if support else 0.0

@@ -32,7 +32,9 @@ from repro.parallel.scheduler import (
     validate_jobs,
 )
 from repro.parallel.transfer import in_worker, resolve_transfer
+from repro.correlation.structural import covered_native
 from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.memo import CoverageMemo
 from repro.quasiclique.search import DFS, QuasiCliqueSearch
 
 
@@ -166,6 +168,40 @@ def _sample_coverage_task(payload: _SamplePayload, indices: Tuple[int, ...]) -> 
     return len(search.covered_vertices())
 
 
+#: Largest graph whose null-model sample searches are always memoized.
+#: Above it, distinct σ-subsets essentially never collide unless σ is
+#: clamped at |V| — memoizing every sample would only grow the memo by
+#: one |V|-wide covered native per draw with a ~zero hit rate.
+_MEMO_ALL_SAMPLES_MAX_VERTICES = 1024
+
+
+def _sample_covered_count(
+    payload: _SamplePayload, index, indices: Tuple[int, ...], memo: CoverageMemo
+) -> int:
+    """Memo-aware twin of :func:`_sample_coverage_task` (sequential path).
+
+    The covered count of a sample is a pure function of the sampled
+    working set and the quasi-clique parameters, so repeated draws of
+    the same vertex set — guaranteed for supports clamped at |V|, likely
+    for supports near it — hit the
+    :class:`~repro.quasiclique.memo.CoverageMemo` instead of re-running
+    the search (through the shared
+    :func:`repro.correlation.structural.covered_native` wrapper).  Hit
+    or miss, the count is byte-identical to the plain task's.
+    """
+    table = payload.vertices()
+    working = index.working_mask([table[i] for i in indices])
+    covered, _ = covered_native(
+        payload.graph,
+        payload.params,
+        index,
+        working,
+        order=payload.order,
+        memo=memo,
+    )
+    return covered.bit_count()
+
+
 class SimulationNullModel:
     """``sim-exp`` null model: Monte-Carlo estimate over random vertex samples.
 
@@ -206,6 +242,17 @@ class SimulationNullModel:
     transfer:
         Payload transfer strategy for ``n_jobs > 1`` (see
         :mod:`repro.parallel.transfer`).
+    use_coverage_memo:
+        ``True`` (default) caches per-sample coverage results in a
+        :class:`~repro.quasiclique.memo.CoverageMemo` keyed by the
+        sampled working set.  Memoization applies where collisions are
+        real: every sample on graphs up to
+        :data:`_MEMO_ALL_SAMPLES_MAX_VERTICES` vertices, and supports
+        clamped at |V| (which draw the identical sample every run) on
+        bigger ones — so the memo never hoards large covered sets with a
+        zero hit rate.  Only the in-process evaluation path consults it
+        (pool workers each see too few samples to amortise a shared
+        memo); estimates are byte-identical either way.
     """
 
     name = "sim-exp"
@@ -219,6 +266,7 @@ class SimulationNullModel:
         order: str = DFS,
         n_jobs: int = 1,
         transfer: str = "auto",
+        use_coverage_memo: bool = True,
     ) -> None:
         if runs < 1:
             raise ParameterError(f"runs must be >= 1, got {runs}")
@@ -230,6 +278,9 @@ class SimulationNullModel:
         self.order = order
         self.n_jobs = n_jobs
         self.transfer = transfer
+        self.coverage_memo: Optional[CoverageMemo] = (
+            CoverageMemo() if use_coverage_memo else None
+        )
         self._entropy = (
             seed if seed is not None else np.random.SeedSequence().entropy
         )
@@ -354,11 +405,30 @@ class SimulationNullModel:
         else:
             payload = _SamplePayload(self.graph, self.params, self.order)
             payload._vertices = self._vertices  # already computed parent-side
+            memo = self.coverage_memo
+            population = len(self._vertices)
+            index = (
+                self.graph.bitset_index() if memo is not None else None
+            )
             for support, rows in rows_by_support.items():
+                # Memoize only where samples can actually collide: every
+                # draw on small graphs, and σ clamped at |V| (identical
+                # sample each run) on big ones — unbounded big-graph
+                # memoization would hoard |V|-wide covered sets that are
+                # never hit.
+                use_memo = memo is not None and (
+                    support >= population
+                    or population <= _MEMO_ALL_SAMPLES_MAX_VERTICES
+                )
                 for run, row in enumerate(rows):
-                    counts[(wave, support, run)] = _sample_coverage_task(
-                        payload, row
-                    )
+                    if use_memo:
+                        counts[(wave, support, run)] = _sample_covered_count(
+                            payload, index, row, memo
+                        )
+                    else:
+                        counts[(wave, support, run)] = _sample_coverage_task(
+                            payload, row
+                        )
 
         for support in pending:
             fractions = np.zeros(self.runs, dtype=np.float64)

@@ -87,6 +87,19 @@ class SCPMParams:
         ``"auto"`` (default — picked per graph by |V| and edge density, see
         :mod:`repro.graph.engine`).  Both engines produce byte-identical
         mining results.
+    coverage_memo:
+        ``True`` (default) caches coverage-search results across the
+        attribute lattice in a
+        :class:`~repro.quasiclique.memo.CoverageMemo` — Theorem-3 sibling
+        extensions frequently induce identical working vertex sets, whose
+        covered set is a pure function of ``(working set, γ, min_size)``.
+        Mined output is byte-identical with the memo on or off (enforced
+        by the differential suite); only
+        :class:`~repro.correlation.patterns.MiningCounters` memo
+        instrumentation and wall time change.  With ``n_jobs > 1`` the
+        memo built during first-level evaluation ships once per worker as
+        a read-only snapshot and worker-side additions stay task-local,
+        keeping per-task results pure functions of the task.
     """
 
     min_support: int
@@ -104,6 +117,7 @@ class SCPMParams:
     fanout_depth: int = 2
     task_batch_size: int = DEFAULT_TASK_BATCH_SIZE
     transfer: str = "auto"
+    coverage_memo: bool = True
 
     def __post_init__(self) -> None:
         if self.min_support < 1:

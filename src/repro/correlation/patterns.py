@@ -87,7 +87,19 @@ class AttributeSetResult:
 
 @dataclass
 class MiningCounters:
-    """Work counters collected during a mining run (used by Figure 8)."""
+    """Work counters collected during a mining run (used by Figure 8).
+
+    ``coverage_memo_hits``/``coverage_memo_misses`` count the
+    :class:`~repro.quasiclique.memo.CoverageMemo` consultations of the
+    run and ``kernel_counter_updates`` the incremental-kernel bookkeeping
+    (:mod:`repro.quasiclique.kernel`).  Unlike the other counters these
+    are *instrumentation*, not algorithm output: memo hit totals depend
+    on how the run was partitioned into tasks (sequential runs share one
+    memo across the whole lattice; parallel workers see the fan-out
+    snapshot plus task-local entries), so they may legitimately differ
+    between ``n_jobs``/schedule configurations while the mined records
+    stay byte-identical.
+    """
 
     attribute_sets_evaluated: int = 0
     attribute_sets_qualified: int = 0
@@ -95,6 +107,9 @@ class MiningCounters:
     attribute_sets_pruned: int = 0
     coverage_nodes_expanded: int = 0
     pattern_nodes_expanded: int = 0
+    coverage_memo_hits: int = 0
+    coverage_memo_misses: int = 0
+    kernel_counter_updates: int = 0
     elapsed_seconds: float = 0.0
 
 

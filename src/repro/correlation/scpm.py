@@ -81,6 +81,7 @@ from repro.correlation.structural import (
     top_k_patterns,
 )
 from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.memo import CoverageMemo
 
 Attribute = Hashable
 Vertex = Hashable
@@ -160,6 +161,13 @@ class SCPM:
         )
         self.collect_patterns = collect_patterns
         self.measure_task_bytes = measure_task_bytes
+        #: Lattice-wide coverage memo (None when ``params.coverage_memo``
+        #: is off).  Sequential runs share it across the whole mining
+        #: run; parallel runs snapshot it at fan-out time into the worker
+        #: payload (see :class:`_BranchPayload`).
+        self.coverage_memo: Optional[CoverageMemo] = (
+            CoverageMemo() if params.coverage_memo else None
+        )
         #: Introspection of the last parallel run (None after sequential
         #: runs): the scheduler's SchedulerStats, the per-task wall
         #: durations keyed by (root, phase, position), and the wall time of
@@ -320,6 +328,14 @@ class SCPM:
             null_model=self.null_model,
             collect_patterns=self.collect_patterns,
             candidate_states=[_candidate_state(c) for c in candidates],
+            # Everything the first-level evaluations learned travels once
+            # per worker as a read-only snapshot; workers keep their own
+            # additions task-local (see _branch_task).
+            memo_snapshot=(
+                self.coverage_memo.snapshot()
+                if self.coverage_memo is not None
+                else None
+            ),
         )
         weights = [len(candidate.tidset) for candidate in candidates]
         merged: Dict[Tuple[int, int, int], Tuple[List[AttributeSetResult], MiningCounters]] = {}
@@ -408,6 +424,8 @@ class SCPM:
             order=params.order,
             candidate_vertices=candidate_vertices,
             engine=params.engine,
+            memo=self.coverage_memo,
+            counters=counters,
         )
         expected = self.null_model.expected_epsilon(support)
         delta = normalized_structural_correlation(epsilon, expected)
@@ -521,12 +539,14 @@ class _BranchPayload:
         null_model: object,
         collect_patterns: bool,
         candidate_states: List[_CandidateState],
+        memo_snapshot: Optional[dict] = None,
     ) -> None:
         self.graph = graph
         self.params = params
         self.null_model = null_model
         self.collect_patterns = collect_patterns
         self.candidate_states = candidate_states
+        self.memo_snapshot = memo_snapshot
         self._context: Optional[Tuple[SCPM, List[_Candidate], Any]] = None
 
     def context(self) -> Tuple[SCPM, List[_Candidate], Any]:
@@ -538,6 +558,13 @@ class _BranchPayload:
                 null_model=self.null_model,
                 collect_patterns=self.collect_patterns,
             )
+            if self.memo_snapshot is not None:
+                # The shared layer is the fan-out snapshot; the local
+                # layer is reset at every task boundary so each task's
+                # results (hit counts included) are a pure function of
+                # (payload, task args) — the scheduler's determinism
+                # contract.
+                miner.coverage_memo = CoverageMemo(shared=self.memo_snapshot)
             index = self.graph.bitset_index(self.params.engine)
             candidates = [
                 _bind_candidate(state, index) for state in self.candidate_states
@@ -552,6 +579,7 @@ class _BranchPayload:
             self.null_model,
             self.collect_patterns,
             self.candidate_states,
+            self.memo_snapshot,
         )
 
     def __setstate__(self, state) -> None:
@@ -561,6 +589,7 @@ class _BranchPayload:
             self.null_model,
             self.collect_patterns,
             self.candidate_states,
+            self.memo_snapshot,
         ) = state
         self._context = None
 
@@ -577,16 +606,23 @@ def _branch_task(payload: _BranchPayload, kind: str, *args):
     """
     miner, candidates, index = payload.context()
     algorithm = f"scpm-{payload.params.order}"
+    memo = miner.coverage_memo
     if kind == "roots":
         (roots,) = args
         output: List[Tuple[int, List[AttributeSetResult], MiningCounters]] = []
         for root in roots:
+            if memo is not None:
+                # per-root scoping: a root's counters must not depend on
+                # which other roots happened to share this worker/batch
+                memo.reset_local()
             branch = MiningResult(algorithm=algorithm, counters=MiningCounters())
             miner._extend_branch(candidates, root, branch)
             output.append((root, branch.evaluated, branch.counters))
         return output
     if kind == "level":
         (root,) = args
+        if memo is not None:
+            memo.reset_local()
         branch = MiningResult(algorithm=algorithm, counters=MiningCounters())
         extensions = miner._evaluate_level(candidates, root, branch)
         return (
@@ -596,6 +632,8 @@ def _branch_task(payload: _BranchPayload, kind: str, *args):
         )
     if kind == "subtree":
         (extension_states,) = args
+        if memo is not None:
+            memo.reset_local()
         # The states are the suffix of the prefix class starting at this
         # subtree's own branch, so the branch to explore is position 0.
         extensions = [_bind_candidate(state, index) for state in extension_states]

@@ -22,6 +22,7 @@ from repro.graph.attributed_graph import AttributedGraph
 from repro.graph.vertexset import VertexBitset
 from repro.itemsets.itemset import canonical_itemset
 from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.memo import CoverageMemo
 from repro.quasiclique.search import DFS, QuasiCliqueSearch
 from repro.correlation.patterns import StructuralCorrelationPattern
 
@@ -37,6 +38,8 @@ def structural_correlation_bitset(
     order: str = DFS,
     candidate_vertices: VertexRestriction = None,
     engine: str = "auto",
+    memo: Optional[CoverageMemo] = None,
+    counters=None,
 ) -> Tuple[float, VertexBitset]:
     """Return ``(ε(S), K_S)`` with the covered set as a bitset view.
 
@@ -45,6 +48,14 @@ def structural_correlation_bitset(
     attribute sets is one native ``&`` — an integer AND on the dense engine,
     a chunk-wise AND on the sparse one (``engine`` selects, see
     :mod:`repro.graph.engine`).
+
+    ``memo`` optionally short-circuits the coverage search through a
+    :class:`~repro.quasiclique.memo.CoverageMemo`: identical working sets
+    recur across the attribute lattice (Theorem-3 siblings), and the
+    covered set is a pure function of ``(working set, γ, min_size)``, so
+    a hit returns byte-identical output without constructing a search.
+    ``counters`` (a :class:`~repro.correlation.patterns.MiningCounters`)
+    receives the memo hit/miss and kernel instrumentation.
     """
     index = graph.bitset_index(engine)
     members = index.members_mask(attributes)
@@ -56,11 +67,50 @@ def structural_correlation_bitset(
         working = index.working_mask(candidate_vertices) & members
     if working.bit_count() < params.min_size:
         return 0.0, index.bitset(0)
+    covered, search = covered_native(
+        graph, params, index, working, order=order, engine=engine, memo=memo
+    )
+    if counters is not None:
+        if search is None:
+            counters.coverage_memo_hits += 1
+        else:
+            if memo is not None:
+                counters.coverage_memo_misses += 1
+            counters.kernel_counter_updates += search.stats.counter_updates
+    return covered.bit_count() / members.bit_count(), index.bitset(covered)
+
+
+def covered_native(
+    graph: AttributedGraph,
+    params: QuasiCliqueParams,
+    index,
+    working,
+    order: str = DFS,
+    engine: str = "auto",
+    memo: Optional[CoverageMemo] = None,
+):
+    """Covered set of one working set as an engine native, memo-aware.
+
+    The single place the memo consult/search/populate sequence lives —
+    SCPM's ε evaluation and the simulation null model's per-sample
+    searches both go through it, so the key shape and the covered-native
+    representation can never drift apart between them.  Returns
+    ``(covered_native, search)`` where ``search`` is ``None`` on a memo
+    hit (callers account hit/miss/kernel statistics off it).
+    """
+    if memo is not None:
+        key = memo.key(working, params.gamma, params.min_size)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached, None
     search = QuasiCliqueSearch(
         graph, params, vertices=index.bitset(working), order=order, engine=engine
     )
     covered = search.covered_to_global(search.covered_mask(), index)
-    return covered.bit_count() / members.bit_count(), index.bitset(covered)
+    if memo is not None:
+        search.stats.memo_misses += 1
+        memo.put(key, covered)
+    return covered, search
 
 
 def structural_correlation(
@@ -70,6 +120,7 @@ def structural_correlation(
     order: str = DFS,
     candidate_vertices: VertexRestriction = None,
     engine: str = "auto",
+    memo: Optional[CoverageMemo] = None,
 ) -> Tuple[float, FrozenSet[Vertex]]:
     """Return ``(ε(S), K_S)`` for the attribute set ``attributes``.
 
@@ -88,6 +139,9 @@ def structural_correlation(
         of ``G(S)``.  SCPM passes the intersection of the parents' covered
         sets here (Theorem 3): vertices outside it cannot be covered, so the
         search works on a smaller graph.
+    memo:
+        Optional :class:`~repro.quasiclique.memo.CoverageMemo` consulted
+        before (and populated after) the coverage search.
 
     Examples
     --------
@@ -105,6 +159,7 @@ def structural_correlation(
         order=order,
         candidate_vertices=candidate_vertices,
         engine=engine,
+        memo=memo,
     )
     return epsilon, covered.to_frozenset()
 

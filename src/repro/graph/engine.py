@@ -60,6 +60,14 @@ SPARSE_VERTEX_THRESHOLD = 8192
 #: chunked containers only add overhead.
 SPARSE_DENSITY_THRESHOLD = 1.0 / 64.0
 
+#: Working sets at or below this size take the dense fast path inside the
+#: sparse engine's ``local_adjacency``: the dense local masks being built
+#: are tiny, so per-chunk container intersections and the chunked
+#: low-degree pre-pass cost more than they save — the projection walks
+#: plain neighbour ids against a position table instead, and the caller's
+#: own dense pruning reaches the identical fixpoint.
+LOCAL_DENSE_FAST_PATH_MAX = 2048
+
 
 def resolve_engine(engine: str, num_vertices: int, num_edges: int) -> str:
     """Resolve an engine request to ``"dense"`` or ``"sparse"``.
@@ -168,6 +176,7 @@ __all__ = [
     "AUTO",
     "DENSE",
     "ENGINES",
+    "LOCAL_DENSE_FAST_PATH_MAX",
     "SPARSE",
     "SPARSE_DENSITY_THRESHOLD",
     "SPARSE_VERTEX_THRESHOLD",

@@ -49,6 +49,7 @@ from typing import (
 )
 
 from repro.errors import IndexerMismatchError
+from repro.graph.engine import LOCAL_DENSE_FAST_PATH_MAX
 from repro.graph.vertexset import VertexIndexer, iter_bits
 
 Vertex = Hashable
@@ -607,11 +608,32 @@ class SparseGraphBitsetIndex:
         drops hopeless vertices *before* any dense mask exists; the
         fixpoint is unique, so the caller's own pruning sees identical
         survivors and degrees and the mined output is byte-identical to the
-        dense engine's.
+        dense engine's.  Working sets up to
+        :data:`repro.graph.engine.LOCAL_DENSE_FAST_PATH_MAX` vertices
+        skip the container algebra (and the pre-pass) entirely — see the
+        fast path below.
         """
         if isinstance(working, int):
             working = SparseBitset.from_mask(working)
         adjacency_sets = self.adjacency_sets
+        if working.bit_count() <= LOCAL_DENSE_FAST_PATH_MAX:
+            # Small working set: chunk-wise container intersections (and
+            # the sparse low-degree pre-pass) cost more than the dense
+            # masks they feed.  Project each vertex's raw neighbour list
+            # against a position table instead; skipping the pre-pass is
+            # sound because the caller prunes to the same unique fixpoint
+            # on the dense masks (see prune_low_degree_sparse).
+            global_ids = list(working)
+            position = {g: i for i, g in enumerate(global_ids)}
+            masks = []
+            for g in global_ids:
+                local = 0
+                for h in adjacency_sets[g]:
+                    offset = position.get(h)
+                    if offset is not None:
+                        local |= 1 << offset
+                masks.append(local)
+            return global_ids, masks
         restricted = {g: adjacency_sets[g] & working for g in working}
         if min_degree > 0:
             from repro.quasiclique.pruning import prune_low_degree_sparse

@@ -45,7 +45,11 @@ Determinism contract
     per first-level attribute branch; 2 = additionally one per
     second-level prefix-class subtree), ``SCPMParams.task_batch_size`` is
     forwarded as ``batch_size``, and ``SCPMParams.transfer`` as the
-    transfer strategy.
+    transfer strategy.  Worker-side caches must honour the same purity:
+    SCPM's :class:`~repro.quasiclique.memo.CoverageMemo` reaches workers
+    as a read-only snapshot inside the payload and its mutable layer is
+    reset at every task boundary, so a task's results (memo hit counts
+    included) never depend on which tasks shared its worker.
 
 Fork safety
     The scheduler is not re-entrant, and pools must not be nested — a

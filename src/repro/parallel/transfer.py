@@ -32,7 +32,11 @@ documents is preserved structurally instead of by argument-tuple
 discipline.
 
 Workers read the payload back with :func:`current_payload`; task functions
-therefore carry only their small per-task arguments.
+therefore carry only their small per-task arguments.  Read-only caches
+ride the same payload — SCPM ships its
+:class:`~repro.quasiclique.memo.CoverageMemo` snapshot this way, so every
+worker starts from the coverage results the fan-out already knew without
+any per-task traffic.
 
 Fork-safety caveats
     * The pool must be created while its :class:`PayloadTransfer` is open

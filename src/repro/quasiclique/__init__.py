@@ -6,6 +6,8 @@ from repro.quasiclique.definitions import (
     restricted_adjacency,
     satisfies_degree_condition,
 )
+from repro.quasiclique.kernel import SearchKernel
+from repro.quasiclique.memo import CoverageMemo
 from repro.quasiclique.pruning import (
     DistanceIndex,
     filter_candidates_by_degree,
@@ -32,11 +34,13 @@ from repro.quasiclique.search import (
 
 __all__ = [
     "BFS",
+    "CoverageMemo",
     "DFS",
     "DistanceIndex",
     "QuasiCliqueParams",
     "QuasiCliqueSearch",
     "SearchBudgetExceeded",
+    "SearchKernel",
     "SearchStats",
     "brute_force_covered_vertices",
     "brute_force_maximal_quasi_cliques",

@@ -1,0 +1,502 @@
+"""Incremental-counter search kernel for the quasi-clique enumeration.
+
+Every pruning rule of Sections 3.2.1–3.2.3 (and of the Quick algorithm
+they build on) is a function of two per-vertex counters:
+
+* ``indeg_x[v]``  — neighbours of ``v`` inside the growing set ``X``;
+* ``indeg_ext[v]`` — neighbours of ``v`` inside ``X ∪ candExts(X)`` (the
+  node's *scope*).
+
+The from-scratch mask functions in :mod:`repro.quasiclique.pruning`
+recompute those counters at every search node with an
+``(adjacency[v] & scope).bit_count()`` sweep — one big-int AND plus a
+popcount *per vertex* per node, repeated to a fixpoint by the candidate
+filter.  This kernel instead *maintains* the counters across the
+set-enumeration tree, and it does so bit-parallel: the whole counter
+table is one arbitrary-precision integer of 16-bit lanes
+(``lane v = bits [16v, 16v+16)``), so a counter update or a threshold
+test over *all* vertices at once is a handful of machine-word-level
+big-int operations instead of a per-vertex (or per-edge) Python loop.
+
+The vector invariant:
+
+* ``ext_vec`` — lane ``v`` holds ``|N(v) ∩ scope|`` **for every vertex
+  of the working graph**, in or out of scope.  Removing a vertex ``u``
+  from the scope (exhausted by the sibling sweep, removed by the
+  distance rule, or removed by the degree filter) is one subtraction of
+  the precomputed *spread neighbourhood* ``SPREAD[u]`` (the adjacency
+  mask of ``u`` expanded to one unit per 16-bit lane).  Because every
+  removal subtracts the full neighbourhood, each lane always counts a
+  real set intersection and can never underflow — there are no stale
+  entries to guard.
+
+``indeg_x`` is not carried as a vector: it is only ever read for the
+|X| members of the rare nodes that reach the final degree-condition
+check, where |X| masked popcounts are already O(1)-per-vertex — see
+:meth:`SearchKernel.members_satisfy`.
+
+The vector is an immutable Python int, so a child node *shares* its
+parent's vector at zero cost — the sibling sweep of
+:meth:`SearchKernel.children` produces each child with one subtraction,
+and no copy-on-write machinery exists at all.
+
+Threshold tests use the classic SWAR borrow trick: with ``H`` the mask
+of every lane's top bit and ``r_vec`` the threshold replicated into
+every lane, ``(vec | H) - r_vec`` leaves lane ``v``'s top bit set
+exactly when ``counter[v] ≥ r`` (no borrow ever crosses a lane: counters
+and thresholds stay below 2¹⁵).  Masking the complement with the
+*member lanes* or *candidate lanes* high-bit masks (``members_high``,
+``cand_high`` — maintained incrementally alongside the vertex masks)
+answers "does any member/candidate fall short of the threshold?" in
+O(|V|/64) machine words:
+
+* ``filter_candidates_by_degree_masks`` → one compare per fixpoint
+  round plus one ``SPREAD`` subtraction per actually dropped candidate
+  (the oracle re-popcounts every candidate every round);
+* ``subtree_is_hopeless_masks``, the lookahead check and
+  ``satisfies_degree_condition_mask`` → one compare each.
+
+Counter invariants are asserted by the property suite against the
+from-scratch oracle at every expanded node (see :meth:`unpack` /
+:meth:`recompute_counters`).  The kernel changes *how* the counters are
+produced, never *which* nodes are pruned: the candidate-filter fixpoint
+is unique and every check is a pure function of the counters, so the
+search visits the same tree and the mined output is byte-identical to
+the from-scratch oracle (enforced by the differential fuzz grid with
+``use_incremental_kernel=False`` as the reference).
+
+The 16-bit lanes bound the local id space at :data:`KERNEL_MAX_VERTICES`
+vertices per search — far above any working set the searches materialise
+dense local masks for; :class:`~repro.quasiclique.search.QuasiCliqueSearch`
+falls back to the oracle loop beyond it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.pruning import MaskDistanceIndex
+
+#: Width of one counter lane in bits.
+LANE_BITS = 16
+
+#: Largest vertex count (and therefore largest counter value) one search
+#: kernel supports: counters and thresholds must stay below the 2¹⁵ SWAR
+#: compare bit.
+KERNEL_MAX_VERTICES = (1 << (LANE_BITS - 1)) - 1
+
+#: Vertex sets at or below this size are checked with per-vertex masked
+#: popcounts instead of a full-width SWAR compare: k n-bit ANDs touch
+#: fewer machine words than one 16n-bit lane operation while k ≪ 16.
+_SMALL_SET = 8
+
+#: Below this working-set size a γ ≥ 0.5 search keeps the from-scratch
+#: oracle under automatic kernel selection: its masks span at most a few
+#: machine words, so the counter vectors cannot beat them and the
+#: kernel's per-search setup (the spread-neighbourhood table) would
+#: dominate the many small searches SCPM issues.  γ < 0.5 searches — no
+#: usable diameter bound, fat candidate sets — always profit.
+KERNEL_AUTO_MIN_VERTICES = 256
+
+#: ``_SPREAD_BYTES[b]`` is byte value ``b`` expanded to eight 16-bit
+#: lanes (little-endian) — the building block that turns an adjacency
+#: mask into its spread-neighbourhood vector with one ``bytes.join``.
+_SPREAD_BYTES = []
+for _b in range(256):
+    _lanes = bytearray(2 * 8)
+    for _i in range(8):
+        if _b >> _i & 1:
+            _lanes[2 * _i] = 1
+    _SPREAD_BYTES.append(bytes(_lanes))
+del _b, _lanes, _i
+
+
+def spread_lanes(mask: int) -> int:
+    """Expand a bit mask to one unit per 16-bit lane.
+
+    ``spread_lanes(0b101) == 0x0000_0001_0000_0000_0001`` — bit ``v`` of
+    ``mask`` becomes the unit of lane ``v``.  Runs as one bytes join plus
+    one ``int.from_bytes`` (C speed), not a per-bit Python loop.
+    """
+    if not mask:
+        return 0
+    raw = mask.to_bytes((mask.bit_length() + 7) // 8, "little")
+    table = _SPREAD_BYTES
+    return int.from_bytes(b"".join(table[b] for b in raw), "little")
+
+
+def threshold_table(params: QuasiCliqueParams, max_size: int) -> List[int]:
+    """Precomputed ``ceil(γ(size-1))`` for every ``size`` in ``0..max_size``.
+
+    The kernel consults a degree threshold at every node; indexing a list
+    replaces the per-call ``math.ceil``/``round`` arithmetic of
+    :meth:`~repro.quasiclique.definitions.QuasiCliqueParams.degree_threshold`
+    (whose values these are, exactly).
+    """
+    return [params.degree_threshold(size) for size in range(max_size + 1)]
+
+
+class KernelNode:
+    """One search-tree node plus its incremental counter vectors.
+
+    ``members`` is the extension path as a tuple of local ids,
+    ``members_mask``/``candidates`` are masks in the same local id space
+    (exactly the fields of the historical ``_Node``).  ``ext_vec`` is
+    the lane-packed counter vector and ``members_high`` / ``cand_high``
+    the matching lane-top-bit masks described in the module docstring.
+    All five are plain ints — node state is immutable values, shared
+    freely between relatives.
+    """
+
+    __slots__ = (
+        "members",
+        "members_mask",
+        "candidates",
+        "ext_vec",
+        "members_high",
+        "cand_high",
+    )
+
+    def __init__(
+        self,
+        members: Tuple[int, ...],
+        members_mask: int,
+        candidates: int,
+        ext_vec: int,
+        members_high: int,
+        cand_high: int,
+    ) -> None:
+        self.members = members
+        self.members_mask = members_mask
+        self.candidates = candidates
+        self.ext_vec = ext_vec
+        self.members_high = members_high
+        self.cand_high = cand_high
+
+
+class SearchKernel:
+    """Incremental degree bookkeeping over one search's local adjacency.
+
+    One kernel serves one :class:`~repro.quasiclique.search.QuasiCliqueSearch`
+    instance: it shares the search's local-id adjacency masks and its
+    :class:`~repro.quasiclique.search.SearchStats` (``counter_updates``
+    counts the individual per-vertex counter changes the vector
+    operations perform — one per neighbour lane touched).
+
+    ``debug_hook`` is a class-level test seam: when set to a callable it
+    is invoked as ``debug_hook(kernel, node)`` after every
+    :meth:`restrict`, at which point the counters of every in-scope
+    vertex must equal the from-scratch recomputation
+    (:meth:`recompute_counters`).  It is ``None`` in production.
+    """
+
+    __slots__ = (
+        "adjacency",
+        "params",
+        "distance_index",
+        "stats",
+        "_thresholds",
+        "_spread",
+        "_ones",
+        "_high",
+        "_required_vecs",
+    )
+
+    #: Test seam — see class docstring.  Class-level so the property suite
+    #: can observe every kernel a search builds without threading a
+    #: parameter through the public API.
+    debug_hook: Optional[Callable[["SearchKernel", KernelNode], None]] = None
+
+    def __init__(
+        self,
+        adjacency: Sequence[int],
+        params: QuasiCliqueParams,
+        distance_index: Optional[MaskDistanceIndex],
+        stats,
+    ) -> None:
+        n = len(adjacency)
+        if n > KERNEL_MAX_VERTICES:
+            raise ValueError(
+                f"search kernel supports at most {KERNEL_MAX_VERTICES} working "
+                f"vertices, got {n}"
+            )
+        self.adjacency = adjacency
+        self.params = params
+        self.distance_index = distance_index
+        self.stats = stats
+        # Largest size ever consulted: max(min_size, |X|+1) with |X| ≤ n —
+        # and min_size may exceed a tiny working graph.
+        self._thresholds = threshold_table(
+            params, max(n + 1, params.min_size)
+        )
+        self._spread = [spread_lanes(mask) for mask in adjacency]
+        self._ones = spread_lanes((1 << n) - 1)
+        self._high = self._ones << (LANE_BITS - 1)
+        self._required_vecs: Dict[int, int] = {}
+
+    def _required_vec(self, required: int) -> int:
+        """``required`` replicated into every lane (cached per value)."""
+        vec = self._required_vecs.get(required)
+        if vec is None:
+            vec = required * self._ones
+            self._required_vecs[required] = vec
+        return vec
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+    def root(self) -> KernelNode:
+        """The root node: empty X, every vertex a candidate.
+
+        ``ext_vec`` starts as the plain working-graph degrees packed into
+        lanes.
+        """
+        adjacency = self.adjacency
+        n = len(adjacency)
+        ext_vec = int.from_bytes(
+            b"".join(
+                mask.bit_count().to_bytes(2, "little") for mask in adjacency
+            ),
+            "little",
+        )
+        self.stats.counter_updates += n
+        return KernelNode((), 0, (1 << n) - 1, ext_vec, 0, self._high)
+
+    def children(self, node: KernelNode) -> List[KernelNode]:
+        """Expand a node into its set-enumeration children.
+
+        Candidates are taken in ascending local id order (ascending rank —
+        the relabelling in the search makes the per-node sort free).  The
+        child for extension ``u`` gets ``X ∪ {u}`` and the candidates
+        ranked above ``u``; each later sibling's sweep state is one
+        big-int operation — ``ext_vec - SPREAD[u]`` as ``u`` retires from
+        its scope.  Nothing is copied: vectors are values.
+        """
+        adjacency = self.adjacency
+        spread = self._spread
+        members = node.members
+        members_mask = node.members_mask
+        members_high = node.members_high
+        sweep_ext = node.ext_vec
+        cand_high = node.cand_high
+        updates = 0
+        children: List[KernelNode] = []
+        rest = node.candidates
+        while rest:
+            low = rest & -rest
+            u = low.bit_length() - 1
+            rest ^= low
+            high_bit = low << (LANE_BITS - 1) << (u * (LANE_BITS - 1))
+            # equivalent to 1 << (u*LANE_BITS + LANE_BITS - 1)
+            cand_high &= ~high_bit
+            children.append(
+                KernelNode(
+                    members + (u,),
+                    members_mask | low,
+                    rest,
+                    sweep_ext,
+                    members_high | high_bit,
+                    cand_high,
+                )
+            )
+            if rest:
+                # u leaves the scope of every higher-ranked sibling
+                updates += adjacency[u].bit_count()
+                sweep_ext -= spread[u]
+        self.stats.counter_updates += updates
+        return children
+
+    # ------------------------------------------------------------------
+    # pruning rules (counter-vector forms of repro.quasiclique.pruning)
+    # ------------------------------------------------------------------
+    def restrict(self, node: KernelNode) -> None:
+        """Apply the candidate-level pruning rules to ``node`` in place.
+
+        Counter twin of :func:`repro.quasiclique.pruning.restrict_candidates_masks`:
+        first the diameter rule, then the degree filter — the same unique
+        fixpoint.  Each fixpoint round is **one** SWAR compare exposing
+        every failing candidate at once; only actually dropped candidates
+        cost a ``SPREAD`` subtraction.  Only the *newest* member
+        contributes a fresh distance constraint: the node's candidates are
+        a subset of the parent's already-restricted candidates, so the
+        older members' constraints are already satisfied.
+        """
+        candidates = node.candidates
+        if candidates:
+            distance_index = self.distance_index
+            if distance_index is not None and distance_index.enabled and node.members:
+                allowed = candidates & distance_index.reachable(node.members[-1])
+                dropped = candidates & ~allowed
+                if dropped:
+                    self._remove(node, dropped)
+                    candidates = allowed
+            if candidates:
+                required = self._thresholds[
+                    max(self.params.min_size, len(node.members) + 1)
+                ]
+                required_vec = None
+                high = self._high
+                adjacency = self.adjacency
+                members_mask = node.members_mask
+                while True:
+                    dropped = 0
+                    if candidates.bit_count() <= _SMALL_SET:
+                        # few candidates: masked popcounts beat a lane op
+                        scope = members_mask | candidates
+                        scan = candidates
+                        while scan:
+                            low = scan & -scan
+                            scan ^= low
+                            c = low.bit_length() - 1
+                            if (adjacency[c] & scope).bit_count() < required:
+                                dropped |= low
+                    else:
+                        if required_vec is None:
+                            required_vec = self._required_vec(required)
+                        kept_high = (node.ext_vec | high) - required_vec
+                        failing_high = node.cand_high & ~kept_high
+                        while failing_high:
+                            low = failing_high & -failing_high
+                            failing_high ^= low
+                            dropped |= 1 << ((low.bit_length() - 1) >> 4)
+                    if not dropped:
+                        break
+                    self._remove(node, dropped)
+                    candidates &= ~dropped
+                    if not candidates:
+                        break
+            node.candidates = candidates
+        hook = SearchKernel.debug_hook
+        if hook is not None:
+            hook(self, node)
+
+    def _remove(self, node: KernelNode, dropped: int) -> None:
+        """Retire a candidate mask from the node's scope.
+
+        One ``SPREAD`` subtraction per dropped vertex keeps every lane of
+        ``ext_vec`` exact (see the module docstring — full-neighbourhood
+        subtraction means no lane ever goes stale or underflows).
+        """
+        adjacency = self.adjacency
+        spread = self._spread
+        ext_vec = node.ext_vec
+        cand_high = node.cand_high
+        updates = 0
+        scan = dropped
+        while scan:
+            low = scan & -scan
+            scan ^= low
+            v = low.bit_length() - 1
+            ext_vec -= spread[v]
+            cand_high &= ~(1 << ((v << 4) | 15))
+            updates += adjacency[v].bit_count()
+        node.ext_vec = ext_vec
+        node.cand_high = cand_high
+        self.stats.counter_updates += updates
+
+    def is_hopeless(self, node: KernelNode) -> bool:
+        """Counter twin of :func:`subtree_is_hopeless_masks`.
+
+        One SWAR compare over the member lanes — except for very small
+        member sets, where |X| masked popcounts touch fewer machine words
+        than a full-width lane operation (lanes widen the vector 16×).
+        """
+        params = self.params
+        members = node.members
+        member_count = len(members)
+        if not member_count:
+            return node.candidates.bit_count() < params.min_size
+        if member_count + node.candidates.bit_count() < params.min_size:
+            return True
+        required = self._thresholds[max(params.min_size, member_count)]
+        if member_count <= _SMALL_SET:
+            adjacency = self.adjacency
+            scope = node.members_mask | node.candidates
+            for member in members:
+                if (adjacency[member] & scope).bit_count() < required:
+                    return True
+            return False
+        kept_high = (node.ext_vec | self._high) - self._required_vec(required)
+        return bool(node.members_high & ~kept_high)
+
+    def union_satisfies(self, node: KernelNode) -> bool:
+        """Lookahead: does ``X ∪ candExts(X)`` meet the degree condition?
+
+        Counter twin of ``satisfies_degree_condition_mask(adjacency,
+        members_mask | candidates, params)`` — one SWAR compare over the
+        member and candidate lanes of ``ext_vec`` (or a short masked
+        popcount sweep when the scope is tiny).
+        """
+        candidate_count = node.candidates.bit_count()
+        size = len(node.members) + candidate_count
+        if size < self.params.min_size:
+            return False
+        required = self._thresholds[size]
+        if size <= _SMALL_SET:
+            adjacency = self.adjacency
+            scope = node.members_mask | node.candidates
+            scan = scope
+            while scan:
+                low = scan & -scan
+                scan ^= low
+                if (adjacency[low.bit_length() - 1] & scope).bit_count() < required:
+                    return False
+            return True
+        kept_high = (node.ext_vec | self._high) - self._required_vec(required)
+        return not (node.members_high | node.cand_high) & ~kept_high
+
+    def members_satisfy(self, node: KernelNode) -> bool:
+        """Does ``X`` itself meet the γ degree/size condition?
+
+        Equivalent to ``satisfies_degree_condition_mask(adjacency,
+        members_mask, params)``.  ``indeg_x`` is derived here on demand —
+        |X| masked popcounts at the few nodes that get this far cost less
+        than maintaining a second lane vector at every node.
+        """
+        members = node.members
+        size = len(members)
+        if size < self.params.min_size:
+            return False
+        required = self._thresholds[size]
+        adjacency = self.adjacency
+        members_mask = node.members_mask
+        for member in members:
+            if (adjacency[member] & members_mask).bit_count() < required:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # oracle recomputation (test seam)
+    # ------------------------------------------------------------------
+    def recompute_counters(self, node: KernelNode) -> List[int]:
+        """From-scratch ``indeg_ext`` for every vertex of the working graph.
+
+        The vector invariant covers every vertex, in or out of scope, so
+        the property suite compares the full table against
+        :meth:`unpack` at every expanded node.
+        """
+        adjacency = self.adjacency
+        scope = node.members_mask | node.candidates
+        return [
+            (adjacency[v] & scope).bit_count() for v in range(len(adjacency))
+        ]
+
+    def unpack(self, node: KernelNode) -> List[int]:
+        """The node's live ``indeg_ext`` lane values, one per vertex."""
+        ext_vec = node.ext_vec
+        mask = (1 << LANE_BITS) - 1
+        return [
+            (ext_vec >> (v * LANE_BITS)) & mask
+            for v in range(len(self.adjacency))
+        ]
+
+
+__all__ = [
+    "KERNEL_MAX_VERTICES",
+    "KernelNode",
+    "LANE_BITS",
+    "SearchKernel",
+    "spread_lanes",
+    "threshold_table",
+]

@@ -58,6 +58,11 @@ from repro.quasiclique.definitions import (
     gamma_of_mask,
     satisfies_degree_condition_mask,
 )
+from repro.quasiclique.kernel import (
+    KERNEL_AUTO_MIN_VERTICES,
+    KERNEL_MAX_VERTICES,
+    SearchKernel,
+)
 from repro.quasiclique.pruning import (
     MaskDistanceIndex,
     prune_low_degree_masks,
@@ -79,7 +84,19 @@ class SearchBudgetExceeded(RuntimeError):
 
 @dataclass
 class SearchStats:
-    """Counters describing one quasi-clique search run."""
+    """Counters describing one quasi-clique search run.
+
+    ``counter_updates`` counts the individual ``indeg_x``/``indeg_ext``
+    increments and decrements the incremental kernel performed (0 when the
+    search runs on the from-scratch oracle).  ``memo_hits``/``memo_misses``
+    describe the :class:`~repro.quasiclique.memo.CoverageMemo` consultation
+    that surrounded this search, when a caller such as
+    :func:`repro.correlation.structural.structural_correlation_bitset`
+    consulted one — a search object only ever exists after a miss, so on a
+    search's own stats ``memo_hits`` stays 0 and ``memo_misses`` is at most
+    1; the mining-level totals live in
+    :class:`~repro.correlation.patterns.MiningCounters`.
+    """
 
     nodes_expanded: int = 0
     lookahead_hits: int = 0
@@ -87,6 +104,9 @@ class SearchStats:
     pruned_hopeless: int = 0
     pruned_covered: int = 0
     pruned_by_size: int = 0
+    counter_updates: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
 
 
 @dataclass
@@ -132,6 +152,19 @@ class QuasiCliqueSearch:
         Vertex-set engine of the graph index (``"dense"``, ``"sparse"`` or
         ``"auto"``; see :mod:`repro.graph.engine`).  Either engine yields
         byte-identical results; only memory/speed trade-offs differ.
+    use_incremental_kernel:
+        ``None`` (default) picks automatically: the incremental-counter
+        kernel (:mod:`repro.quasiclique.kernel`) drives DFS searches in
+        the regimes where its lane vectors beat from-scratch masks —
+        every γ < 0.5 search (no usable diameter bound, fat candidate
+        sets) and big-working-set searches
+        (≥ :data:`~repro.quasiclique.kernel.KERNEL_AUTO_MIN_VERTICES`
+        vertices); everything else keeps the historical from-scratch
+        recomputation.  ``True`` forces the kernel (within its
+        :data:`~repro.quasiclique.kernel.KERNEL_MAX_VERTICES` lane
+        capacity), ``False`` forces the oracle — retained as the
+        differential reference the kernel is fuzzed against.  Every
+        choice produces byte-identical results and expansion counts.
     """
 
     def __init__(
@@ -143,6 +176,7 @@ class QuasiCliqueSearch:
         use_distance_pruning: bool = True,
         node_budget: Optional[int] = None,
         engine: str = "auto",
+        use_incremental_kernel: Optional[bool] = None,
     ) -> None:
         if order not in _ORDERS:
             raise ParameterError(f"order must be one of {_ORDERS}, got {order!r}")
@@ -189,6 +223,30 @@ class QuasiCliqueSearch:
             if use_distance_pruning
             else None
         )
+        if use_incremental_kernel is None:
+            # Auto: DFS searches where the kernel's counter vectors beat
+            # the from-scratch masks — the γ < 0.5 regime (no diameter
+            # bound, fat candidate sets) at any size, and big working
+            # sets otherwise.  BFS interleaves siblings of many parents,
+            # keeping every shared counter vector alive at once, so it
+            # stays on the oracle.
+            use_kernel = order == DFS and (
+                params.distance_bound == 0
+                or len(survivors) >= KERNEL_AUTO_MIN_VERTICES
+            )
+        else:
+            use_kernel = use_incremental_kernel
+        # 16-bit counter lanes bound the kernel's local id space; working
+        # sets beyond that (far past anything the dense local masks are
+        # built for) fall back to the from-scratch oracle loop.
+        self._kernel = (
+            SearchKernel(self._adjacency, params, self._distance_index, self.stats)
+            if use_kernel and len(survivors) <= KERNEL_MAX_VERTICES
+            else None
+        )
+        # Per-mask (size, γ, repr-rank) sort keys the top-k re-sorts reuse —
+        # gamma_of_mask and the repr sort are pure functions of the mask.
+        self._pattern_keys: Dict[int, Tuple] = {}
 
     # ------------------------------------------------------------------
     # public modes
@@ -261,15 +319,13 @@ class QuasiCliqueSearch:
         for seed in self._greedy_satisfying_sets(self._universe):
             self._record(seed, "topk", current_top, None, k)
         self._run(mode="topk", emitted=current_top, k=k)
-        adjacency = self._adjacency
-        ranked = sorted(
-            (
-                (self._to_frozenset(mask), gamma_of_mask(adjacency, mask))
-                for mask in current_top
-            ),
-            key=lambda pair: (-len(pair[0]), -pair[1], sorted(map(repr, pair[0]))),
-        )
-        return ranked[:k]
+        ranked = sorted(current_top, key=self._pattern_sort_key)
+        # The cached key already carries -γ; reuse it instead of another
+        # gamma_of_mask sweep per returned pattern.
+        return [
+            (self._to_frozenset(mask), -self._pattern_sort_key(mask)[1])
+            for mask in ranked[:k]
+        ]
 
     # ------------------------------------------------------------------
     # conversions
@@ -352,6 +408,108 @@ class QuasiCliqueSearch:
         """Drive the set-enumeration search in the requested ``mode``."""
         if not self._universe:
             return
+        if self._kernel is not None:
+            self._run_kernel(mode, emitted, covered, targets, k)
+        else:
+            self._run_oracle(mode, emitted, covered, targets, k)
+
+    def _run_kernel(
+        self,
+        mode: str,
+        emitted: Optional[List[int]],
+        covered: Optional[List[int]],
+        targets: int,
+        k: int,
+    ) -> None:
+        """Set-enumeration loop on the incremental-counter kernel.
+
+        Same traversal, same pruning decisions and same emitted sets as
+        :meth:`_run_oracle` — every rule is evaluated from the node's
+        ``indeg_ext`` lane vector instead of from-scratch mask sweeps
+        (see :mod:`repro.quasiclique.kernel` for the invariants).
+
+        One reordering on top of the counters: the cover and top-k size
+        rules are probed *before* candidate restriction, on the
+        unrestricted union.  Restriction only shrinks the union, so a
+        node failing the early probe provably fails the exact post-
+        restriction check too — the pruned set, the traversal and every
+        statistic stay byte-identical to the oracle, but the ~90 % of
+        coverage nodes that die here never pay for the restriction.
+        """
+        kernel = self._kernel
+        frontier: deque = deque()
+        frontier.append(kernel.root())
+
+        while frontier:
+            node = frontier.popleft() if self.order == BFS else frontier.pop()
+            self.stats.nodes_expanded += 1
+            if self.node_budget is not None and self.stats.nodes_expanded > self.node_budget:
+                raise SearchBudgetExceeded(
+                    f"expanded more than {self.node_budget} candidate quasi-cliques"
+                )
+
+            members_mask = node.members_mask
+            if mode == "coverage":
+                assert covered is not None
+                covered_mask = covered[0]
+                if not targets & ~covered_mask:
+                    return
+                union = members_mask | node.candidates
+                if not union & ~covered_mask or not union & targets & ~covered_mask:
+                    self.stats.pruned_covered += 1
+                    continue
+            elif mode == "topk" and emitted is not None and len(emitted) >= k:
+                smallest_top = min(pattern.bit_count() for pattern in emitted)
+                if (members_mask | node.candidates).bit_count() < smallest_top:
+                    self.stats.pruned_by_size += 1
+                    continue
+
+            kernel.restrict(node)
+            candidates = node.candidates
+
+            if mode == "coverage":
+                union = members_mask | candidates
+                if not union & ~covered_mask or not union & targets & ~covered_mask:
+                    self.stats.pruned_covered += 1
+                    continue
+
+            if mode == "topk" and emitted is not None and len(emitted) >= k:
+                smallest_top = min(pattern.bit_count() for pattern in emitted)
+                if (members_mask | candidates).bit_count() < smallest_top:
+                    self.stats.pruned_by_size += 1
+                    continue
+
+            if kernel.is_hopeless(node):
+                self.stats.pruned_hopeless += 1
+                continue
+
+            if candidates and kernel.union_satisfies(node):
+                # Lookahead: X ∪ candExts(X) is itself a quasi-clique — it
+                # subsumes every satisfying set of this subtree.
+                self.stats.lookahead_hits += 1
+                self._record(members_mask | candidates, mode, emitted, covered, k)
+                continue
+
+            if kernel.members_satisfy(node):
+                self._record(members_mask, mode, emitted, covered, k)
+
+            if not candidates:
+                continue
+            children = kernel.children(node)
+            if self.order == DFS:
+                # push in reverse so the smallest-ranked extension is explored first
+                children.reverse()
+            frontier.extend(children)
+
+    def _run_oracle(
+        self,
+        mode: str,
+        emitted: Optional[List[int]],
+        covered: Optional[List[int]],
+        targets: int,
+        k: int,
+    ) -> None:
+        """Historical from-scratch loop — the kernel's differential oracle."""
         params = self.params
         adjacency = self._adjacency
         frontier: deque = deque()
@@ -457,17 +615,25 @@ class QuasiCliqueSearch:
             if not (existing != vertex_mask and existing & ~vertex_mask == 0)
         ]
         emitted.append(vertex_mask)
-        adjacency = self._adjacency
         # Tie-break on vertex reprs (not raw mask order) so the k retained
         # patterns match the naive baseline's ranking when (size, γ) tie.
-        emitted.sort(
-            key=lambda pattern: (
-                -pattern.bit_count(),
-                -gamma_of_mask(adjacency, pattern),
-                sorted(map(repr, self._to_frozenset(pattern))),
-            )
-        )
+        # Keys are cached per mask: the re-sort on every insertion would
+        # otherwise recompute gamma_of_mask and the repr sort for every
+        # retained pattern each time.
+        emitted.sort(key=self._pattern_sort_key)
         del emitted[k:]
+
+    def _pattern_sort_key(self, vertex_mask: int) -> Tuple:
+        """Cached ``(-size, -γ, repr-ranked vertices)`` ranking key."""
+        key = self._pattern_keys.get(vertex_mask)
+        if key is None:
+            key = (
+                -vertex_mask.bit_count(),
+                -gamma_of_mask(self._adjacency, vertex_mask),
+                sorted(map(repr, self._to_frozenset(vertex_mask))),
+            )
+            self._pattern_keys[vertex_mask] = key
+        return key
 
 
 def _maximal_only(masks: Sequence[int]) -> List[int]:

@@ -50,6 +50,27 @@ class TestMainMine:
         assert "top-sigma" in output
         assert "patterns" in output
 
+    def test_mine_verbose_prints_kernel_and_memo_counters(
+        self, graph_files, capsys
+    ):
+        edges, attrs = graph_files
+        code = main(
+            [
+                "mine",
+                "--edges", edges,
+                "--attributes", attrs,
+                "--min-support", "3",
+                "--gamma", "0.6",
+                "--min-size", "4",
+                "--verbose",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "counters: qualified=" in output
+        assert "kernel: counter_updates=" in output
+        assert "coverage memo: hits=" in output
+
     def test_mine_streaming_matches_in_memory(self, graph_files, capsys):
         """--streaming swaps the loader without changing a byte of output."""
         edges, attrs = graph_files

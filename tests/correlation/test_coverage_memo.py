@@ -1,0 +1,182 @@
+"""Coverage-memo differential suite: memo-on vs memo-off byte-identity.
+
+The :class:`~repro.quasiclique.memo.CoverageMemo` may only ever change
+*when* a coverage result is computed, never *what* it is: SCPM with the
+memo enabled (the default) must produce byte-identical
+``MiningResult`` records to a memo-less run across engines × schedules ×
+worker counts, and the :class:`SimulationNullModel` estimates must be
+unchanged.  Seeds are fixed so failures replay; CI appends one more seed
+through ``REPRO_FUZZ_SEED``, like the other differential suites.
+"""
+
+import os
+
+import pytest
+
+from repro.correlation.null_models import SimulationNullModel
+from repro.correlation.parameters import SCPMParams
+from repro.correlation.scpm import SCPM
+from repro.datasets.synthetic import random_attributed_graph
+from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.memo import CoverageMemo
+
+BASE_SEEDS = (11, 29)
+
+PARAMS = SCPMParams(
+    min_support=3, gamma=0.6, min_size=3, min_epsilon=0.1, top_k=4
+)
+
+
+def fuzz_seeds():
+    seeds = list(BASE_SEEDS)
+    extra = os.environ.get("REPRO_FUZZ_SEED")
+    if extra is not None:
+        seeds.append(int(extra))
+    return seeds
+
+
+def fuzz_graph(seed, num_vertices=22, edge_probability=0.35):
+    return random_attributed_graph(
+        num_vertices=num_vertices,
+        edge_probability=edge_probability,
+        attributes=["a", "b", "c", "d"],
+        attribute_probability=0.5,
+        seed=seed * 613 + num_vertices,
+    )
+
+
+def mining_fingerprint(result):
+    """Every observable record field, bit-for-bit comparable."""
+    return [
+        (
+            r.attributes,
+            r.support,
+            r.epsilon,
+            r.expected_epsilon,
+            r.delta,
+            r.covered_vertices,
+            r.qualified,
+            tuple((p.attributes, p.vertices, p.gamma) for p in r.patterns),
+        )
+        for r in result.evaluated
+    ]
+
+
+# ----------------------------------------------------------------------
+# unit behaviour
+# ----------------------------------------------------------------------
+class TestCoverageMemo:
+    def test_miss_then_hit(self):
+        memo = CoverageMemo()
+        key = memo.key(0b111, 0.6, 3)
+        assert memo.get(key) is None
+        memo.put(key, 0b101)
+        assert memo.get(key) == 0b101
+        assert (memo.hits, memo.misses) == (1, 1)
+        assert len(memo) == 1
+
+    def test_empty_covered_set_is_a_hit(self):
+        # 0 (an empty native) must not be confused with "absent"
+        memo = CoverageMemo()
+        key = memo.key(0b11, 0.9, 2)
+        memo.put(key, 0)
+        assert memo.get(key) == 0
+        assert memo.hits == 1
+
+    def test_keys_distinguish_parameters(self):
+        memo = CoverageMemo()
+        memo.put(memo.key(0b111, 0.6, 3), 0b111)
+        assert memo.get(memo.key(0b111, 0.6, 4)) is None
+        assert memo.get(memo.key(0b111, 0.7, 3)) is None
+        assert memo.get(memo.key(0b110, 0.6, 3)) is None
+
+    def test_snapshot_and_local_reset(self):
+        memo = CoverageMemo()
+        memo.put(memo.key(0b1, 0.5, 2), 0b1)
+        worker = CoverageMemo(shared=memo.snapshot())
+        worker.put(worker.key(0b10, 0.5, 2), 0b10)
+        assert len(worker) == 2
+        worker.reset_local()
+        assert len(worker) == 1  # the shared layer survives
+        assert worker.get(worker.key(0b1, 0.5, 2)) == 0b1
+        assert worker.get(worker.key(0b10, 0.5, 2)) is None
+        assert "entries=1" in repr(worker)
+
+
+# ----------------------------------------------------------------------
+# SCPM: memo-on vs memo-off byte identity across the execution grid
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", fuzz_seeds())
+@pytest.mark.parametrize("engine", ["dense", "sparse"])
+def test_scpm_memo_on_off_byte_identical(seed, engine):
+    graph = fuzz_graph(seed)
+    off = SCPM(graph, PARAMS.with_changes(engine=engine, coverage_memo=False)).mine()
+    on_miner = SCPM(graph, PARAMS.with_changes(engine=engine, coverage_memo=True))
+    on = on_miner.mine()
+    assert mining_fingerprint(on) == mining_fingerprint(off)
+    assert off.counters.coverage_memo_hits == 0
+    assert off.counters.coverage_memo_misses == 0
+    assert (
+        on.counters.coverage_memo_hits + on.counters.coverage_memo_misses
+        == len(on_miner.coverage_memo) + on.counters.coverage_memo_hits
+    )
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds())
+@pytest.mark.parametrize("n_jobs,schedule,fanout_depth", [
+    (2, "steal", 2),
+    (2, "steal", 1),
+    (2, "stripe", 2),
+])
+def test_scpm_memo_parallel_byte_identical(seed, n_jobs, schedule, fanout_depth):
+    graph = fuzz_graph(seed)
+    sequential_off = SCPM(
+        graph, PARAMS.with_changes(coverage_memo=False)
+    ).mine()
+    for coverage_memo in (False, True):
+        parallel = SCPM(
+            graph,
+            PARAMS.with_changes(
+                coverage_memo=coverage_memo,
+                n_jobs=n_jobs,
+                schedule=schedule,
+                fanout_depth=fanout_depth,
+            ),
+        ).mine()
+        assert mining_fingerprint(parallel) == mining_fingerprint(sequential_off)
+
+
+def test_scpm_memo_hits_on_sibling_collisions():
+    # Two attributes carried by the same vertices induce identical working
+    # sets at every lattice level — the memo must collapse the repeats.
+    graph = fuzz_graph(7, num_vertices=18, edge_probability=0.45)
+    for vertex in graph.vertices_with("a"):
+        graph.add_attribute(vertex, "twin")
+    miner = SCPM(graph, PARAMS)
+    result = miner.mine()
+    assert result.counters.coverage_memo_hits > 0
+    assert miner.coverage_memo.hits == result.counters.coverage_memo_hits
+
+
+# ----------------------------------------------------------------------
+# SimulationNullModel
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", fuzz_seeds())
+def test_null_model_memo_estimates_identical(seed):
+    graph = fuzz_graph(seed, num_vertices=16, edge_probability=0.4)
+    params = QuasiCliqueParams(gamma=0.6, min_size=3)
+    supports = [4, 7, 16, 20]
+    with SimulationNullModel(
+        graph, params, runs=6, seed=5, use_coverage_memo=False
+    ) as plain:
+        expected = [plain.estimate(s) for s in supports]
+    with SimulationNullModel(
+        graph, params, runs=6, seed=5, use_coverage_memo=True
+    ) as memoised:
+        observed = [memoised.estimate(s) for s in supports]
+        assert observed == expected
+        assert memoised.coverage_memo is not None
+        # σ clamped at |V| draws the identical sample every run: all but
+        # the first of the 6 draws must hit the memo.
+        assert memoised.coverage_memo.hits >= 5
+    assert plain.coverage_memo is None

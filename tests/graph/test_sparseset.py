@@ -250,9 +250,13 @@ class TestSparseGraphBitsetIndex:
         assert sparse_ids == dense_ids
         assert sparse_masks == dense_masks
 
-    def test_local_adjacency_min_degree_prepass_is_sound(self):
+    def test_local_adjacency_min_degree_prepass_is_sound(self, monkeypatch):
         # path a-b-c plus isolated d: with min_degree=2 only nothing survives,
-        # with min_degree=1 the path survives without d.
+        # with min_degree=1 the path survives without d.  The pre-pass only
+        # runs above the dense fast-path bound, so pin the bound to 0 here.
+        import repro.graph.sparseset as sparseset_module
+
+        monkeypatch.setattr(sparseset_module, "LOCAL_DENSE_FAST_PATH_MAX", 0)
         graph = self.make_graph()
         graph.add_vertex("d")
         index = SparseGraphBitsetIndex.build(graph)
@@ -261,3 +265,17 @@ class TestSparseGraphBitsetIndex:
         assert masks == [0b010, 0b101, 0b010]
         ids2, _ = index.local_adjacency(index.full_mask, min_degree=2)
         assert ids2 == []
+
+    def test_local_adjacency_small_working_set_fast_path(self):
+        # Below the fast-path bound min_degree pre-dropping is skipped (the
+        # engine contract allows it: callers prune to the same fixpoint) and
+        # the projected masks must match the chunk-algebra path exactly.
+        import repro.graph.sparseset as sparseset_module
+
+        graph = self.make_graph()
+        graph.add_vertex("d")
+        index = SparseGraphBitsetIndex.build(graph)
+        assert graph.num_vertices <= sparseset_module.LOCAL_DENSE_FAST_PATH_MAX
+        ids, masks = index.local_adjacency(index.full_mask, min_degree=1)
+        assert [index.indexer.vertex_of(i) for i in ids] == ["a", "b", "c", "d"]
+        assert masks == [0b0010, 0b0101, 0b0010, 0b0000]

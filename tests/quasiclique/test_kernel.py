@@ -1,0 +1,291 @@
+"""Property suite for the incremental-counter search kernel.
+
+Two families of guarantees:
+
+* **Counter invariants** — at every expanded node the kernel's
+  ``indeg_ext`` lane vector must equal the from-scratch mask
+  recomputation (checked through the ``SearchKernel.debug_hook`` seam on
+  randomized graphs, every search mode, both traversal orders).
+* **Differential identity** — every search mode must return
+  byte-identical results (and identical expansion/pruning statistics)
+  with the kernel on and off, across a randomized size/density grid,
+  high and low γ (the γ < 0.5 regime disables distance pruning and is
+  the kernel's primary target), both orders, and both engines.
+
+Seeds are fixed so failures replay; CI appends one more seed through the
+``REPRO_FUZZ_SEED`` environment variable, exactly like the sparse/dense
+differential suite.
+"""
+
+import os
+
+import pytest
+
+from repro.datasets.synthetic import random_attributed_graph
+from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.kernel import (
+    KERNEL_MAX_VERTICES,
+    SearchKernel,
+    spread_lanes,
+    threshold_table,
+)
+from repro.quasiclique.search import BFS, DFS, QuasiCliqueSearch
+
+BASE_SEEDS = (5, 23)
+
+#: (num_vertices, edge_probability, γ, min_size) — shapes from
+#: near-empty to dense.  γ < 0.5 rows run without the diameter bound —
+#: the regime where the kernel replaces the oracle's fattest sweeps —
+#: and are paired with sizes/densities whose exhaustive trees stay small.
+CASE_GRID = (
+    (10, 0.1, 0.4, 3),
+    (14, 0.3, 0.4, 3),
+    (16, 0.25, 0.45, 3),
+    (16, 0.25, 0.6, 3),
+    (20, 0.4, 0.6, 3),
+    (18, 0.5, 0.8, 4),
+    (30, 0.2, 0.6, 3),
+    (20, 0.4, 1.0, 3),
+)
+
+
+def fuzz_seeds():
+    seeds = list(BASE_SEEDS)
+    extra = os.environ.get("REPRO_FUZZ_SEED")
+    if extra is not None:
+        seeds.append(int(extra))
+    return seeds
+
+
+def fuzz_graph(seed, num_vertices, edge_probability):
+    return random_attributed_graph(
+        num_vertices=num_vertices,
+        edge_probability=edge_probability,
+        attributes=["a", "b"],
+        attribute_probability=0.6,
+        seed=seed * 977 + num_vertices,
+    )
+
+
+def stats_tuple(stats):
+    """Every statistic both loops must agree on (kernel bookkeeping aside)."""
+    return (
+        stats.nodes_expanded,
+        stats.lookahead_hits,
+        stats.satisfying_sets_found,
+        stats.pruned_hopeless,
+        stats.pruned_covered,
+        stats.pruned_by_size,
+    )
+
+
+# ----------------------------------------------------------------------
+# counter invariants through the debug hook
+# ----------------------------------------------------------------------
+class _InvariantChecker:
+    """debug_hook asserting live lanes == from-scratch at every node."""
+
+    def __init__(self):
+        self.nodes_checked = 0
+
+    def __call__(self, kernel, node):
+        self.nodes_checked += 1
+        live = kernel.unpack(node)
+        oracle = kernel.recompute_counters(node)
+        assert live == oracle, (
+            f"indeg_ext diverged at node X={node.members!r} "
+            f"cand={bin(node.candidates)}: {live} != {oracle}"
+        )
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds())
+@pytest.mark.parametrize(
+    "num_vertices,edge_probability,gamma,min_size", CASE_GRID[:5]
+)
+def test_indeg_ext_invariant_at_every_expanded_node(
+    seed, num_vertices, edge_probability, gamma, min_size
+):
+    params = QuasiCliqueParams(gamma=gamma, min_size=min_size)
+    checker = _InvariantChecker()
+    SearchKernel.debug_hook = checker
+    try:
+        graph = fuzz_graph(seed, num_vertices, edge_probability)
+        for order in (DFS, BFS):
+            for mode in ("coverage", "enumerate", "topk"):
+                search = QuasiCliqueSearch(
+                    graph, params, order=order, use_incremental_kernel=True
+                )
+                if mode == "coverage":
+                    search.covered_vertices()
+                elif mode == "enumerate":
+                    search.enumerate_maximal()
+                else:
+                    search.top_k(3)
+    finally:
+        SearchKernel.debug_hook = None
+    assert checker.nodes_checked > 0
+
+
+# ----------------------------------------------------------------------
+# differential identity: kernel vs from-scratch oracle
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", fuzz_seeds())
+@pytest.mark.parametrize(
+    "num_vertices,edge_probability,gamma,min_size", CASE_GRID
+)
+def test_kernel_byte_identical_to_oracle(
+    seed, num_vertices, edge_probability, gamma, min_size
+):
+    graph = fuzz_graph(seed, num_vertices, edge_probability)
+    params = QuasiCliqueParams(gamma=gamma, min_size=min_size)
+    for order in (DFS, BFS):
+        by_kernel = {}
+        for use_kernel in (False, True):
+            coverage = QuasiCliqueSearch(
+                graph, params, order=order, use_incremental_kernel=use_kernel
+            )
+            enumerate_search = QuasiCliqueSearch(
+                graph, params, order=order, use_incremental_kernel=use_kernel
+            )
+            topk = QuasiCliqueSearch(
+                graph, params, order=order, use_incremental_kernel=use_kernel
+            )
+            by_kernel[use_kernel] = (
+                coverage.covered_vertices(),
+                stats_tuple(coverage.stats),
+                enumerate_search.enumerate_maximal(),  # order included
+                stats_tuple(enumerate_search.stats),
+                topk.top_k(4),
+                stats_tuple(topk.stats),
+            )
+        assert by_kernel[True] == by_kernel[False]
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds())
+def test_kernel_byte_identical_on_both_engines(seed):
+    graph = fuzz_graph(seed, 22, 0.35)
+    params = QuasiCliqueParams(gamma=0.6, min_size=3)
+    results = set()
+    for engine in ("dense", "sparse"):
+        for use_kernel in (False, True):
+            search = QuasiCliqueSearch(
+                graph,
+                params,
+                engine=engine,
+                use_incremental_kernel=use_kernel,
+            )
+            results.add(
+                (search.covered_vertices(), tuple(search.enumerate_maximal()))
+            )
+    assert len(results) == 1
+
+
+def test_vertex_restricted_search_identical(example_graph, example_qc_params):
+    vertices = list(example_graph.vertices())[:8]
+    for use_kernel in (False, True):
+        search = QuasiCliqueSearch(
+            example_graph,
+            example_qc_params,
+            vertices=vertices,
+            use_incremental_kernel=use_kernel,
+        )
+        if use_kernel:
+            kernel_result = search.covered_vertices()
+        else:
+            oracle_result = search.covered_vertices()
+    assert kernel_result == oracle_result
+
+
+# ----------------------------------------------------------------------
+# selection rule and kernel plumbing
+# ----------------------------------------------------------------------
+def test_auto_selection_rule(example_graph):
+    low_gamma = QuasiCliqueParams(gamma=0.4, min_size=3)
+    high_gamma = QuasiCliqueParams(gamma=0.6, min_size=3)
+    # γ < 0.5: no usable diameter bound — the kernel always engages (DFS).
+    assert QuasiCliqueSearch(example_graph, low_gamma)._kernel is not None
+    # BFS never auto-selects the kernel.
+    assert QuasiCliqueSearch(example_graph, low_gamma, order=BFS)._kernel is None
+    # small γ ≥ 0.5 working sets keep the oracle...
+    assert QuasiCliqueSearch(example_graph, high_gamma)._kernel is None
+    # ...unless forced.
+    forced = QuasiCliqueSearch(
+        example_graph, high_gamma, use_incremental_kernel=True
+    )
+    assert forced._kernel is not None
+    disabled = QuasiCliqueSearch(
+        example_graph, low_gamma, use_incremental_kernel=False
+    )
+    assert disabled._kernel is None
+
+
+def test_deep_member_paths_use_the_lane_compare():
+    # A 14-clique forces |X| past the small-set bound, exercising the SWAR
+    # branches of the hopeless/lookahead rules; the oracle stays the
+    # ground truth.
+    from repro.graph.attributed_graph import AttributedGraph
+
+    graph = AttributedGraph()
+    clique = list(range(14))
+    # full 14-clique, except vertex 0 misses four edges — the root
+    # lookahead fails and the search recurses into member paths longer
+    # than the small-set bound
+    missing = {(0, 1), (0, 2), (0, 3), (0, 4)}
+    for v in clique:
+        graph.add_vertex(v)
+    for i in clique:
+        for j in clique[i + 1:]:
+            if (i, j) not in missing:
+                graph.add_edge(i, j)
+    params = QuasiCliqueParams(gamma=0.9, min_size=10)
+    results = {
+        use_kernel: (
+            QuasiCliqueSearch(
+                graph, params, use_incremental_kernel=use_kernel
+            ).enumerate_maximal(),
+            QuasiCliqueSearch(
+                graph, params, use_incremental_kernel=use_kernel
+            ).covered_vertices(),
+        )
+        for use_kernel in (False, True)
+    }
+    assert results[True] == results[False]
+    assert frozenset(clique[1:]) in results[True][0]
+
+
+def test_counter_updates_stat_counts_kernel_work(example_graph):
+    params = QuasiCliqueParams(gamma=0.6, min_size=4)
+    kernel_search = QuasiCliqueSearch(
+        example_graph, params, use_incremental_kernel=True
+    )
+    kernel_search.covered_vertices()
+    oracle_search = QuasiCliqueSearch(
+        example_graph, params, use_incremental_kernel=False
+    )
+    oracle_search.covered_vertices()
+    assert kernel_search.stats.counter_updates > 0
+    assert oracle_search.stats.counter_updates == 0
+
+
+def test_kernel_refuses_oversized_local_space():
+    table = threshold_table(QuasiCliqueParams(gamma=0.5, min_size=2), 4)
+    assert table == [0, 0, 1, 1, 2]
+    with pytest.raises(ValueError):
+        SearchKernel(
+            [0] * (KERNEL_MAX_VERTICES + 1),
+            QuasiCliqueParams(gamma=0.5, min_size=2),
+            None,
+            None,
+        )
+
+
+def test_spread_lanes():
+    assert spread_lanes(0) == 0
+    assert spread_lanes(0b1) == 1
+    assert spread_lanes(0b101) == (1 << 32) | 1
+    # every bit lands at 16×its position, nothing else is set
+    mask = 0b1101001
+    spread = spread_lanes(mask)
+    for v in range(8):
+        expected = 1 if mask >> v & 1 else 0
+        assert (spread >> (16 * v)) & 0xFFFF == expected
