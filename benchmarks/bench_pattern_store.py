@@ -1,0 +1,165 @@
+"""Pattern-store read-path load test — WAL concurrency and LRU warmth.
+
+The serving tier's pitch is "mine once, serve millions": lookups against
+a stored run must stay cheap and *stay up* while the next batch run is
+being appended.  Two acceptance bars, both CI-gated (benchmark-trajectory
+job):
+
+* **concurrency** — ≥ 8 parallel reader threads issue
+  ``patterns_with_vertex`` / ``top_k`` against the WAL store while a
+  writer appends a second mining run, with **zero**
+  ``database is locked`` errors and every snapshot complete;
+* **LRU warmth** — repeated hot-pattern lookups served from the
+  per-reader LRU are faster than the cold path that hits SQLite and the
+  codec every time (measured with caching disabled).
+
+The report prints save cost, cold/warm lookup throughput and the
+concurrent-read aggregate so the trajectory catches read-path
+regressions the way ``run_benchmarks.py`` pins the mine path.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+
+from repro.correlation.parameters import SCPMParams
+from repro.correlation.scpm import SCPM
+from repro.datasets.synthetic import random_attributed_graph
+from repro.serve import PatternStoreReader
+from repro.store import PatternStore
+
+from conftest import bench_scale
+
+NUM_READERS = 8
+READ_SECONDS = 1.0
+LOOKUP_ROUNDS = 30
+
+PARAMS = SCPMParams(
+    min_support=3, gamma=0.6, min_size=3, min_epsilon=0.1, top_k=6
+)
+
+
+def build_result(scale: float, seed: int = 7):
+    graph = random_attributed_graph(
+        num_vertices=max(24, int(56 * scale)),
+        edge_probability=0.3,
+        attributes=["a", "b", "c", "d", "e"],
+        attribute_probability=0.45,
+        seed=seed,
+    )
+    return SCPM(graph, PARAMS).mine()
+
+
+def _pattern_ids(reader):
+    result = reader.load_result(run_id=1)
+    ids = []
+    for pattern in result.patterns:
+        vertex = next(iter(pattern.vertices))
+        ids.extend(
+            s.pattern_id for s in reader.patterns_with_vertex(vertex)
+        )
+    return sorted(set(ids))
+
+
+def _time_lookups(reader, ids, rounds):
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for pattern_id in ids:
+            reader.get_pattern(pattern_id)
+    return time.perf_counter() - started
+
+
+def test_pattern_store_read_path(tmp_path, emit):
+    scale = bench_scale()
+    path = tmp_path / "bench_store.sqlite"
+    result = build_result(scale)
+    assert result.patterns, "bench workload must mine patterns"
+
+    started = time.perf_counter()
+    with PatternStore(path) as store:
+        store.save(result, params=PARAMS)
+    save_seconds = time.perf_counter() - started
+
+    # ---- cold vs LRU-warm point lookups -----------------------------
+    with PatternStoreReader(path, cache_size=0) as cold_reader:
+        ids = _pattern_ids(cold_reader)
+        cold_seconds = _time_lookups(cold_reader, ids, LOOKUP_ROUNDS)
+        assert cold_reader.cache.hits == 0  # caching really was disabled
+    with PatternStoreReader(path, cache_size=4096) as warm_reader:
+        _time_lookups(warm_reader, ids, 1)  # prime the LRU
+        warm_seconds = _time_lookups(warm_reader, ids, LOOKUP_ROUNDS)
+        assert warm_reader.cache.hits >= len(ids) * LOOKUP_ROUNDS
+
+    lookups = len(ids) * LOOKUP_ROUNDS
+
+    # ---- ≥8 concurrent readers against WAL with a live writer -------
+    # The second run is mined up front: the race under test is
+    # readers-vs-*writer*, not readers-vs-GIL-bound mining.
+    second_result = build_result(scale, seed=11)
+    lock_errors, reader_errors = [], []
+    query_counts = [0] * NUM_READERS
+    stop = threading.Event()
+
+    def read_loop(reader_index):
+        try:
+            with PatternStoreReader(path) as reader:
+                vertex = next(iter(result.patterns[0].vertices))
+                while not stop.is_set():
+                    reader.patterns_with_vertex(vertex)
+                    reader.top_k(5)
+                    query_counts[reader_index] += 2
+        except sqlite3.OperationalError as error:
+            lock_errors.append(repr(error))
+        except BaseException as error:  # pragma: no cover — reporting
+            reader_errors.append(repr(error))
+
+    threads = [
+        threading.Thread(target=read_loop, args=(i,), daemon=True)
+        for i in range(NUM_READERS)
+    ]
+    concurrent_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    with PatternStore(path) as store:
+        store.save(second_result)  # writer racing the readers
+    time.sleep(max(0.0, READ_SECONDS - (time.perf_counter() - concurrent_started)))
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30)
+    concurrent_seconds = time.perf_counter() - concurrent_started
+    total_queries = sum(query_counts)
+
+    emit(
+        "bench_pattern_store",
+        "\n".join(
+            [
+                "pattern store read path — WAL serving under load",
+                f"{'stored patterns':>22}: {len(result.patterns)}",
+                f"{'save':>22}: {save_seconds:.3f}s",
+                f"{'cold lookups':>22}: {lookups} in {cold_seconds:.3f}s "
+                f"({lookups / cold_seconds:,.0f}/s)",
+                f"{'LRU-warm lookups':>22}: {lookups} in {warm_seconds:.3f}s "
+                f"({lookups / warm_seconds:,.0f}/s)",
+                f"{'warm speedup':>22}: {cold_seconds / warm_seconds:.1f}x",
+                f"{'concurrent readers':>22}: {NUM_READERS} threads, "
+                f"{total_queries} queries in {concurrent_seconds:.2f}s "
+                f"({total_queries / concurrent_seconds:,.0f}/s), "
+                f"writer appended 1 run",
+                f"{'lock errors':>22}: {len(lock_errors)}",
+            ]
+        ),
+    )
+
+    # acceptance bars
+    assert not lock_errors, f"database-lock errors under load: {lock_errors}"
+    assert not reader_errors, f"reader errors under load: {reader_errors}"
+    assert all(count > 0 for count in query_counts), (
+        f"every one of the {NUM_READERS} readers must make progress "
+        f"against the live writer: {query_counts}"
+    )
+    assert warm_seconds < cold_seconds, (
+        f"LRU-warm lookups ({warm_seconds:.3f}s) must beat the cold path "
+        f"({cold_seconds:.3f}s)"
+    )

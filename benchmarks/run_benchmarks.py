@@ -23,6 +23,8 @@ import json
 import os
 import platform
 import sys
+import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -33,6 +35,8 @@ from repro.datasets.synthetic import CommunitySpec, SyntheticSpec, generate
 from repro.itemsets.eclat import EclatConfig, EclatMiner
 from repro.quasiclique.definitions import QuasiCliqueParams
 from repro.quasiclique.search import QuasiCliqueSearch
+from repro.serve import PatternStoreReader
+from repro.store import PatternStore
 
 DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_results.json"
 
@@ -158,6 +162,101 @@ def run_grid(scale: float, jobs_grid, engines, schedules):
                         kernel_counter_updates=counters.kernel_counter_updates,
                     )
                 )
+
+    entries.extend(store_entries(scale))
+    return entries
+
+
+# Pattern collection (the store needs full patterns, unlike the
+# collect_patterns=False scpm_mine rows above) enumerates top-k
+# quasi-cliques per qualified set, and that cost explodes with the
+# community block size: ~0.8s at scale 0.2, ~3s at 0.35, minutes at
+# 0.5+.  The store rows time the store, not the mine, so the feeder
+# workload is capped here.
+STORE_WORKLOAD_MAX_SCALE = 0.35
+
+
+def store_entries(scale, readers=8, reader_queries=150):
+    """Pattern-store rows: save cost plus the serving read path.
+
+    One mine with patterns feeds a throwaway WAL store; the rows time
+    the atomic save, cold vs LRU-warm point lookups, the materialised
+    top-k listing, and ``readers`` concurrent reader threads issuing a
+    fixed query budget (wall seconds recorded; lock errors would fail
+    the gating benchmark, ``bench_pattern_store.py``, before this runs).
+    """
+    graph, block = build_graph(min(scale, STORE_WORKLOAD_MAX_SCALE))
+    params = SCPMParams(
+        min_support=block - 2, gamma=0.6, min_size=4, min_epsilon=0.2, top_k=5
+    )
+    result = mine_scpm(graph, params)
+    entries = []
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench_store.sqlite"
+        with PatternStore(path) as store:
+            seconds = timed(lambda: store.save(result, params=params))
+        entries.append(
+            entry("store_save", graph, seconds, num_patterns=len(result.patterns))
+        )
+
+        with PatternStoreReader(path, cache_size=0) as reader:
+            ids = [
+                stored.pattern_id
+                for record in result.qualified
+                for stored in reader.patterns_with_attributes(
+                    record.attributes, mode="all"
+                )
+            ]
+            ids = sorted(set(ids)) or []
+            rounds = 20
+            seconds = timed(
+                lambda: [reader.get_pattern(i) for _ in range(rounds) for i in ids]
+            )
+        entries.append(
+            entry("store_get_pattern_cold", graph, seconds,
+                  lookups=len(ids) * rounds)
+        )
+        with PatternStoreReader(path, cache_size=4096) as reader:
+            for pattern_id in ids:
+                reader.get_pattern(pattern_id)  # prime the LRU
+            seconds = timed(
+                lambda: [reader.get_pattern(i) for _ in range(rounds) for i in ids]
+            )
+            entries.append(
+                entry("store_get_pattern_warm", graph, seconds,
+                      lookups=len(ids) * rounds, lru_hits=reader.cache.hits)
+            )
+            seconds = timed(lambda: [reader.top_k(10) for _ in range(rounds)])
+            entries.append(entry("store_top_k", graph, seconds, lookups=rounds))
+
+        def reader_load():
+            with PatternStoreReader(path) as reader:
+                for index in range(reader_queries):
+                    if index % 2:
+                        reader.top_k(5)
+                    else:
+                        reader.patterns_with_attributes(
+                            result.qualified[0].attributes, mode="any"
+                        )
+
+        threads = [
+            threading.Thread(target=reader_load, daemon=True)
+            for _ in range(readers)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        entries.append(
+            entry(
+                "store_concurrent_read",
+                graph,
+                time.perf_counter() - started,
+                readers=readers,
+                queries=readers * reader_queries,
+            )
+        )
     return entries
 
 

@@ -41,6 +41,8 @@ from repro.quasiclique.search import (
     top_k_quasi_cliques,
     vertices_in_quasi_cliques,
 )
+from repro.serve import PatternStoreReader
+from repro.store import PatternStore, save_result
 
 __version__ = "1.0.0"
 
@@ -50,6 +52,8 @@ __all__ = [
     "AttributedGraph",
     "MiningResult",
     "NaiveMiner",
+    "PatternStore",
+    "PatternStoreReader",
     "PayloadTransfer",
     "QuasiCliqueParams",
     "QuasiCliqueSearch",
@@ -69,6 +73,7 @@ __all__ = [
     "mine_scpm",
     "mine_scpm_files",
     "paper_example_graph",
+    "save_result",
     "stream_attributed_graph",
     "small_dblp_like",
     "structural_correlation",

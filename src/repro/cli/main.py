@@ -1,14 +1,23 @@
 """Command-line interface for structural correlation pattern mining.
 
-Two sub-commands are provided::
+Three sub-commands are provided::
 
     scpm mine  --edges g.edges --attributes g.attrs --min-support 100 ...
     scpm demo  --profile dblp  [--scale 0.5]
+    scpm query --store patterns.sqlite --vertex 42
 
 ``mine`` runs SCPM (or the naive baseline) on a graph read from disk and
 prints the ranking tables; ``demo`` generates one of the built-in synthetic
 profiles and does the same, which is the quickest way to see the library end
 to end without any input files.
+
+``mine --store out.sqlite`` (also on ``demo``) additionally persists the
+complete mining run into a pattern store (:mod:`repro.store` — SQLite in
+WAL mode), and ``query`` serves a stored run back without re-mining
+anything (:mod:`repro.serve`): one pattern by id, patterns containing a
+vertex, patterns whose attribute set matches a filter (``--mode all|any``),
+or the materialised top-k-by-ε ranking.  Exactly one of the four lookups
+must be chosen per invocation.
 
 ``mine --streaming`` swaps the in-memory loader for the bounded-memory
 streaming ingest (:mod:`repro.graph.streaming`): the files are folded
@@ -72,6 +81,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=1.0, help="size multiplier for the profile"
     )
     _add_mining_arguments(demo, required=False)
+
+    query = subparsers.add_parser(
+        "query", help="serve lookups from a stored mining run"
+    )
+    query.add_argument(
+        "--store", required=True, help="pattern store written by mine --store"
+    )
+    query.add_argument(
+        "--run",
+        type=int,
+        default=None,
+        help="stored run id (default: the latest run)",
+    )
+    query.add_argument(
+        "--pattern-id", type=int, default=None, help="fetch one pattern by id"
+    )
+    query.add_argument(
+        "--vertex", default=None, help="patterns whose quasi-clique contains "
+        "this vertex (int-like tokens are parsed as integers, like the file "
+        "grammar)"
+    )
+    query.add_argument(
+        "--attributes",
+        nargs="+",
+        default=None,
+        help="patterns whose attribute set matches these attributes",
+    )
+    query.add_argument(
+        "--mode",
+        choices=("all", "any"),
+        default=None,
+        help="attribute filter mode: all = set contains every attribute "
+        "(default), any = at least one; only valid with --attributes",
+    )
+    query.add_argument(
+        "--top-k",
+        type=int,
+        default=None,
+        help="top-k attribute sets by epsilon from the materialised listing",
+    )
     return parser
 
 
@@ -123,6 +172,12 @@ def _add_mining_arguments(
         help="also print the work counters (attribute-set pruning, "
         "coverage-memo hits/misses, incremental-kernel counter updates)",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="also persist the complete run into this pattern store "
+        "(SQLite, WAL; query it later with `scpm query`)",
+    )
 
 
 def _params_from_args(args: argparse.Namespace, defaults: Optional[SCPMParams]) -> SCPMParams:
@@ -155,6 +210,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``scpm`` command."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.command == "query":
+        return _run_query(args, parser)
 
     if args.command == "mine":
         if args.streaming:
@@ -198,20 +256,110 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     if args.verbose:
         c = result.counters
+        if c.attribute_sets_evaluated == 0:
+            # Nothing reached min-support: every counter is zero and the
+            # kernel/memo block would be noise, so say what happened.
+            print("counters: no attribute sets evaluated "
+                  "(no attribute reached min-support)")
+        else:
+            print(
+                f"counters: qualified={c.attribute_sets_qualified} "
+                f"extended={c.attribute_sets_extended} pruned={c.attribute_sets_pruned}"
+            )
+            print(
+                f"kernel: counter_updates={c.kernel_counter_updates}  "
+                f"coverage memo: hits={c.coverage_memo_hits} "
+                f"misses={c.coverage_memo_misses}"
+            )
+    if args.store:
+        from repro.store import save_result
+
+        run_id = save_result(args.store, result, params=params)
         print(
-            f"counters: qualified={c.attribute_sets_qualified} "
-            f"extended={c.attribute_sets_extended} pruned={c.attribute_sets_pruned}"
-        )
-        print(
-            f"kernel: counter_updates={c.kernel_counter_updates}  "
-            f"coverage memo: hits={c.coverage_memo_hits} "
-            f"misses={c.coverage_memo_misses}"
+            f"stored run #{run_id} in {args.store} "
+            f"({len(result.evaluated)} attribute sets, "
+            f"{len(result.patterns)} patterns)"
         )
     print()
     print(render_case_study_table(result, title, n=args.rows))
     if args.show_patterns:
         print()
         print(render_pattern_table(result, title=f"{title} — patterns"))
+    return 0
+
+
+def _run_query(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """The ``scpm query`` subcommand: serve one lookup from a stored run.
+
+    Usage-level mistakes (no lookup chosen, several at once, ``--mode``
+    without ``--attributes``) exit 2 through ``parser.error`` like any
+    other argparse problem; store-level problems (missing file, unknown
+    run or pattern id) print to stderr and exit 1.
+    """
+    from repro.errors import StoreError
+    from repro.graph.io import parse_vertex_token
+    from repro.serve import PatternStoreReader
+
+    chosen = [
+        name
+        for name, value in (
+            ("--pattern-id", args.pattern_id),
+            ("--vertex", args.vertex),
+            ("--attributes", args.attributes),
+            ("--top-k", args.top_k),
+        )
+        if value is not None
+    ]
+    if len(chosen) != 1:
+        parser.error(
+            "query needs exactly one of --pattern-id / --vertex / "
+            "--attributes / --top-k"
+            + (f" (got {', '.join(chosen)})" if chosen else "")
+        )
+    if args.mode is not None and args.attributes is None:
+        parser.error("--mode is only valid together with --attributes")
+
+    try:
+        with PatternStoreReader(args.store) as reader:
+            if args.pattern_id is not None:
+                stored = reader.get_pattern(args.pattern_id)
+                print(
+                    f"pattern {stored.pattern_id} "
+                    f"(run {stored.run_id}, set {stored.set_id}): "
+                    f"{stored.pattern}"
+                )
+            elif args.vertex is not None:
+                vertex = parse_vertex_token(args.vertex)
+                matches = reader.patterns_with_vertex(vertex)
+                if not matches and vertex != args.vertex:
+                    # A store mined programmatically may key this vertex
+                    # as the raw string; try the unparsed form too.
+                    matches = reader.patterns_with_vertex(args.vertex)
+                print(f"{len(matches)} pattern(s) contain vertex {args.vertex}")
+                for stored in matches:
+                    print(f"pattern {stored.pattern_id}: {stored.pattern}")
+            elif args.attributes is not None:
+                mode = args.mode or "all"
+                matches = reader.patterns_with_attributes(
+                    args.attributes, mode=mode
+                )
+                print(
+                    f"{len(matches)} pattern(s) match "
+                    f"{mode}({', '.join(args.attributes)})"
+                )
+                for stored in matches:
+                    print(f"pattern {stored.pattern_id}: {stored.pattern}")
+            else:
+                entries = reader.top_k(args.top_k, run_id=args.run)
+                print(f"{'rank':>5} {'epsilon':>9} {'support':>8}  label")
+                for entry in entries:
+                    print(
+                        f"{entry.rank:>5} {entry.epsilon:>9.4f} "
+                        f"{entry.support:>8}  {entry.label}"
+                    )
+    except StoreError as error:
+        print(f"scpm query: error: {error}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -11,7 +11,7 @@ Three levels of result are produced by the miners:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
 Attribute = Hashable
@@ -112,6 +112,23 @@ class MiningCounters:
     kernel_counter_updates: int = 0
     elapsed_seconds: float = 0.0
 
+    # ------------------------------------------------------------------
+    # serialization hooks (used by the persistent pattern store)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain field dict — JSON-safe, loses nothing."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MiningCounters":
+        """Rebuild counters from :meth:`to_dict` output.
+
+        Unknown keys are ignored so stores written by a future version
+        with extra counters still load (the known fields round-trip).
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
 
 @dataclass
 class MiningResult:
@@ -176,6 +193,29 @@ class MiningResult:
         return sorted(
             self.patterns, key=lambda p: (-p.size, -p.gamma, p.attributes)
         )[:n]
+
+    def fingerprint(self) -> List[Tuple]:
+        """Every observable record field, bit-for-bit comparable.
+
+        The canonical form the differential suites (memo on/off,
+        parallel determinism, store round-trip) compare: two runs are
+        "byte-identical" exactly when their fingerprints — record order
+        included — are equal.  Floats are compared as-is (no rounding),
+        so this only holds for genuinely identical computations.
+        """
+        return [
+            (
+                r.attributes,
+                r.support,
+                r.epsilon,
+                r.expected_epsilon,
+                r.delta,
+                r.covered_vertices,
+                r.qualified,
+                tuple((p.attributes, p.vertices, p.gamma) for p in r.patterns),
+            )
+            for r in self.evaluated
+        ]
 
     def find(self, attributes: Iterable[Attribute]) -> Optional[AttributeSetResult]:
         """Return the result for one attribute set, if it was evaluated."""

@@ -75,6 +75,20 @@ class TransferError(ParallelError):
     """Raised when a worker payload cannot be transferred or attached."""
 
 
+class StoreError(ReproError):
+    """Raised when the persistent pattern store is misused or corrupt.
+
+    Covers both halves of the persistence layer: writing
+    (:mod:`repro.store` — unsupported value types, schema mismatches)
+    and serving (:mod:`repro.serve` — opening a store that does not
+    exist, referencing unknown runs or pattern ids).
+    """
+
+
+class QueryError(StoreError, ValueError):
+    """Raised when a read-path query is malformed (bad mode, empty filter)."""
+
+
 class DatasetError(ReproError):
     """Raised when a dataset cannot be generated or parsed."""
 

@@ -1,0 +1,32 @@
+"""Query serving layer — the read half of mine-once / serve-many.
+
+Serves pattern stores written by :mod:`repro.store` to concurrent
+readers: :class:`~repro.serve.reader.PatternStoreReader` is the Python
+API (point lookups, vertex/attribute filters, the materialised top-k-
+by-ε ranking, full lossless :class:`~repro.correlation.patterns.MiningResult`
+reconstruction), with a per-reader
+:class:`~repro.serve.cache.LRUCache` keeping hot deserialized patterns
+in memory.  The ``scpm query`` CLI subcommand
+(:mod:`repro.cli.main`) fronts the same four lookups from the shell.
+
+WAL mode means any number of these readers run against a store while
+``scpm mine --store`` appends the next run — no locks, no partial runs
+(``tests/store/test_concurrency.py``,
+``benchmarks/bench_pattern_store.py``).
+"""
+
+from repro.serve.cache import LRUCache
+from repro.serve.reader import (
+    ListingEntry,
+    PatternStoreReader,
+    RunInfo,
+    StoredPattern,
+)
+
+__all__ = [
+    "PatternStoreReader",
+    "StoredPattern",
+    "ListingEntry",
+    "RunInfo",
+    "LRUCache",
+]

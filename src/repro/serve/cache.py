@@ -1,0 +1,62 @@
+"""A small instrumented LRU cache for hot deserialized patterns.
+
+``functools.lru_cache`` memoizes per-function, not per-store, and hides
+its eviction policy behind an opaque wrapper; the serving layer instead
+uses this explicit ``OrderedDict``-based cache so each
+:class:`~repro.serve.reader.PatternStoreReader` owns its own bounded
+working set and the benchmarks can read hit/miss counters directly
+(cold-vs-warm lookup rows in ``benchmarks/bench_pattern_store.py``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    ``capacity <= 0`` disables caching entirely (every lookup misses),
+    which is how the benchmarks measure the cold path without reopening
+    the store.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, default: Optional[Any] = None) -> Any:
+        """Return the cached value (refreshing its recency) or ``default``."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh ``key``, evicting the stalest entry when full."""
+        if self.capacity <= 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

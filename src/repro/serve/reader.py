@@ -1,0 +1,422 @@
+"""Read path of the pattern store — point lookups, filters, rankings.
+
+:class:`PatternStoreReader` answers the four serving queries without
+re-mining anything:
+
+* :meth:`~PatternStoreReader.get_pattern` — one pattern by id (LRU-hot);
+* :meth:`~PatternStoreReader.patterns_with_vertex` — membership lookup
+  through the ``pattern_vertices`` index;
+* :meth:`~PatternStoreReader.patterns_with_attributes` — attribute-set
+  filter, ``mode="all"`` (⊇) or ``mode="any"`` (∩ ≠ ∅), narrowed by the
+  FTS5 token index when available and always verified exactly against
+  the relational ``set_attributes`` table (FTS tokenization is lossy —
+  it is a candidate filter, never the authority);
+* :meth:`~PatternStoreReader.top_k` — the materialised ε ranking.
+
+Every multi-statement read runs inside one deferred transaction, so a
+concurrent ``scpm mine --store`` appending the next run can never show
+a reader half a run: WAL gives each read transaction a stable snapshot
+(pinned by ``tests/store/test_concurrency.py``).
+
+Deserialized patterns are kept in a per-reader
+:class:`~repro.serve.cache.LRUCache`; repeated hot lookups skip the
+row fetch and codec work entirely (cold-vs-warm rows in
+``benchmarks/bench_pattern_store.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Hashable, List, Optional, Sequence, Tuple, Union
+
+from repro.correlation.patterns import (
+    AttributeSetResult,
+    MiningCounters,
+    MiningResult,
+    StructuralCorrelationPattern,
+)
+from repro.errors import QueryError, StoreError
+from repro.store import schema
+from repro.store.codec import decode_value, encode_value
+from repro.serve.cache import LRUCache
+
+PathLike = Union[str, Path]
+
+MODES = ("all", "any")
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """One stored mining run (header row, no records)."""
+
+    run_id: int
+    algorithm: str
+    created_utc: str
+    num_evaluated: int
+    num_qualified: int
+    num_patterns: int
+
+
+@dataclass(frozen=True)
+class StoredPattern:
+    """A pattern row with enough context to cite it (run, set, id)."""
+
+    pattern_id: int
+    set_id: int
+    run_id: int
+    pattern: StructuralCorrelationPattern
+
+
+@dataclass(frozen=True)
+class ListingEntry:
+    """One row of the materialised top-by-ε ranking."""
+
+    rank: int
+    set_id: int
+    label: str
+    epsilon: float
+    support: int
+
+
+def _decode_attributes(attributes_json: str) -> Tuple[Hashable, ...]:
+    return tuple(decode_value(item) for item in json.loads(attributes_json))
+
+
+def _fts_phrase(token: str) -> str:
+    return '"' + token.replace('"', '""') + '"'
+
+
+class PatternStoreReader:
+    """Concurrent-read client of one pattern store file.
+
+    Instances are cheap; the concurrency model is one reader (one SQLite
+    connection) per thread.  Opening a path that does not exist raises
+    :class:`~repro.errors.StoreError` — the read path never creates
+    stores.
+    """
+
+    def __init__(self, path: PathLike, cache_size: int = 256) -> None:
+        self.path = Path(path)
+        self._connection = schema.connect(self.path, create=False)
+        try:
+            schema.check_schema_version(self._connection)
+            self.fts_enabled = (
+                schema.read_meta(self._connection, "fts_enabled") == "1"
+            )
+        except sqlite3.OperationalError as error:
+            raise StoreError(
+                f"{str(self.path)!r} is not a pattern store: {error}"
+            ) from error
+        self.cache = LRUCache(cache_size)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "PatternStoreReader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @contextmanager
+    def _snapshot(self):
+        """One stable WAL snapshot across several SELECTs."""
+        if self._connection is None:
+            raise StoreError("pattern store reader is closed")
+        fresh = self._connection.in_transaction is False
+        if fresh:
+            self._connection.execute("BEGIN")
+        try:
+            yield self._connection
+        finally:
+            if fresh and self._connection is not None:
+                self._connection.commit()
+
+    # ------------------------------------------------------------------
+    # run metadata
+    # ------------------------------------------------------------------
+    def runs(self) -> List[RunInfo]:
+        """All stored runs, oldest first."""
+        with self._snapshot() as connection:
+            rows = connection.execute(
+                "SELECT run_id, algorithm, created_utc, num_evaluated, "
+                "num_qualified, num_patterns FROM runs ORDER BY run_id"
+            ).fetchall()
+        return [RunInfo(*row) for row in rows]
+
+    def latest_run_id(self) -> int:
+        with self._snapshot() as connection:
+            row = connection.execute("SELECT MAX(run_id) FROM runs").fetchone()
+        if row[0] is None:
+            raise StoreError(f"pattern store {str(self.path)!r} holds no runs")
+        return row[0]
+
+    # ------------------------------------------------------------------
+    # the four serving lookups
+    # ------------------------------------------------------------------
+    def get_pattern(self, pattern_id: int) -> StoredPattern:
+        """One pattern by id; hot ids come straight from the LRU."""
+        cached = self.cache.get(pattern_id)
+        if cached is not None:
+            return cached
+        with self._snapshot() as connection:
+            stored = self._fetch_pattern(connection, pattern_id)
+        if stored is None:
+            raise StoreError(
+                f"pattern id {pattern_id} is not in store {str(self.path)!r}"
+            )
+        return stored
+
+    def patterns_with_vertex(self, vertex: Hashable) -> List[StoredPattern]:
+        """All stored patterns whose quasi-clique contains ``vertex``."""
+        encoded = encode_value(vertex)
+        with self._snapshot() as connection:
+            ids = [
+                row[0]
+                for row in connection.execute(
+                    "SELECT pattern_id FROM pattern_vertices "
+                    "WHERE vertex = ? ORDER BY pattern_id",
+                    (encoded,),
+                )
+            ]
+            return self._fetch_many(connection, ids)
+
+    def patterns_with_attributes(
+        self, attributes: Sequence[Hashable], mode: str = "all"
+    ) -> List[StoredPattern]:
+        """Patterns of attribute sets matching an attribute filter.
+
+        ``mode="all"`` keeps sets containing *every* filter attribute
+        (the filter is a subset of the set); ``mode="any"`` keeps sets
+        containing at least one.
+        """
+        attributes = tuple(attributes)
+        if mode not in MODES:
+            raise QueryError(
+                f"unknown attribute-filter mode {mode!r} (expected one of "
+                f"{MODES})"
+            )
+        if not attributes:
+            raise QueryError("attribute filter must name at least one attribute")
+        encoded = [encode_value(attribute) for attribute in attributes]
+        placeholders = ", ".join("?" for _ in encoded)
+        with self._snapshot() as connection:
+            narrowing, fts_args = self._fts_narrowing(
+                connection, attributes, mode
+            )
+            if mode == "any":
+                set_query = (
+                    "SELECT DISTINCT set_id FROM set_attributes "
+                    f"WHERE attribute IN ({placeholders}){narrowing}"
+                )
+                set_args = (*encoded, *fts_args)
+            else:
+                set_query = (
+                    "SELECT set_id FROM set_attributes "
+                    f"WHERE attribute IN ({placeholders}){narrowing} "
+                    "GROUP BY set_id "
+                    "HAVING COUNT(DISTINCT attribute) = ?"
+                )
+                set_args = (*encoded, *fts_args, len(set(encoded)))
+            set_ids = sorted(row[0] for row in connection.execute(set_query, set_args))
+            ids: List[int] = []
+            for set_id in set_ids:
+                ids.extend(
+                    row[0]
+                    for row in connection.execute(
+                        "SELECT pattern_id FROM patterns WHERE set_id = ? "
+                        "ORDER BY position",
+                        (set_id,),
+                    )
+                )
+            return self._fetch_many(connection, ids)
+
+    def top_k(self, k: int, run_id: Optional[int] = None) -> List[ListingEntry]:
+        """Top-``k`` attribute sets by ε from the materialised listing.
+
+        Ordering is exactly ``MiningResult.top_by_epsilon`` (ε desc,
+        support desc, label asc), frozen at write time.  ``run_id``
+        defaults to the latest stored run.
+        """
+        if k <= 0:
+            raise QueryError(f"top_k needs a positive k, got {k}")
+        with self._snapshot() as connection:
+            if run_id is None:
+                run_id = self.latest_run_id()
+            rows = connection.execute(
+                "SELECT rank, set_id, label, epsilon, support "
+                "FROM epsilon_listing WHERE run_id = ? "
+                "ORDER BY rank LIMIT ?",
+                (run_id, k),
+            ).fetchall()
+            if not rows and not self._run_exists(connection, run_id):
+                raise StoreError(
+                    f"run {run_id} is not in store {str(self.path)!r}"
+                )
+        return [
+            ListingEntry(rank, set_id, label, epsilon, support)
+            for rank, set_id, label, epsilon, support in rows
+        ]
+
+    # ------------------------------------------------------------------
+    # full reconstruction
+    # ------------------------------------------------------------------
+    def load_result(self, run_id: Optional[int] = None) -> MiningResult:
+        """Rebuild one run as a byte-identical :class:`MiningResult`."""
+        with self._snapshot() as connection:
+            if run_id is None:
+                run_id = self.latest_run_id()
+            header = connection.execute(
+                "SELECT algorithm, counters_json FROM runs WHERE run_id = ?",
+                (run_id,),
+            ).fetchone()
+            if header is None:
+                raise StoreError(
+                    f"run {run_id} is not in store {str(self.path)!r}"
+                )
+            algorithm, counters_json = header
+            result = MiningResult(
+                algorithm=algorithm,
+                counters=MiningCounters.from_dict(json.loads(counters_json)),
+            )
+            for (
+                set_id,
+                attributes_json,
+                support,
+                epsilon_text,
+                expected_epsilon_text,
+                delta_text,
+                qualified,
+            ) in connection.execute(
+                "SELECT set_id, attributes_json, support, epsilon_text, "
+                "expected_epsilon_text, delta_text, qualified "
+                "FROM attribute_sets WHERE run_id = ? ORDER BY position",
+                (run_id,),
+            ).fetchall():
+                covered = frozenset(
+                    decode_value(row[0])
+                    for row in connection.execute(
+                        "SELECT vertex FROM set_vertices WHERE set_id = ?",
+                        (set_id,),
+                    )
+                )
+                patterns = tuple(
+                    self._fetch_pattern_row(connection, pattern_row)
+                    for pattern_row in connection.execute(
+                        "SELECT pattern_id, attributes_json, gamma_text "
+                        "FROM patterns WHERE set_id = ? ORDER BY position",
+                        (set_id,),
+                    ).fetchall()
+                )
+                result.evaluated.append(
+                    AttributeSetResult(
+                        attributes=_decode_attributes(attributes_json),
+                        support=support,
+                        epsilon=float(epsilon_text),
+                        expected_epsilon=float(expected_epsilon_text),
+                        delta=float(delta_text),
+                        covered_vertices=covered,
+                        patterns=patterns,
+                        qualified=bool(qualified),
+                    )
+                )
+        return result
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _run_exists(self, connection, run_id: int) -> bool:
+        return (
+            connection.execute(
+                "SELECT 1 FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+            is not None
+        )
+
+    def _fts_narrowing(
+        self, connection, attributes: Tuple[Hashable, ...], mode: str
+    ) -> Tuple[str, Tuple]:
+        """FTS5 candidate clause (``AND set_id IN (...)``) when usable.
+
+        The token index can only *shrink* the scan — matches are still
+        verified against ``set_attributes``.  Filters whose display
+        tokens the FTS tokenizer cannot represent (punctuation-only
+        attributes) skip the narrowing rather than mis-filter.
+        """
+        if not self.fts_enabled:
+            return "", ()
+        joiner = " AND " if mode == "all" else " OR "
+        match = joiner.join(
+            _fts_phrase(str(attribute)) for attribute in attributes
+        )
+        try:
+            connection.execute(
+                "SELECT rowid FROM attribute_search WHERE attribute_search "
+                "MATCH ? LIMIT 0",
+                (match,),
+            )
+        except sqlite3.OperationalError:
+            return "", ()
+        return (
+            " AND set_id IN (SELECT rowid FROM attribute_search "
+            "WHERE attribute_search MATCH ?)",
+            (match,),
+        )
+
+    def _fetch_pattern(
+        self, connection, pattern_id: int
+    ) -> Optional[StoredPattern]:
+        row = connection.execute(
+            "SELECT pattern_id, set_id, run_id, attributes_json, gamma_text "
+            "FROM patterns WHERE pattern_id = ?",
+            (pattern_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        pattern_id, set_id, run_id, attributes_json, gamma_text = row
+        pattern = self._fetch_pattern_row(
+            connection, (pattern_id, attributes_json, gamma_text)
+        )
+        stored = StoredPattern(
+            pattern_id=pattern_id, set_id=set_id, run_id=run_id, pattern=pattern
+        )
+        self.cache.put(pattern_id, stored)
+        return stored
+
+    def _fetch_many(self, connection, pattern_ids) -> List[StoredPattern]:
+        """Resolve ids through the LRU, fetching only the cold ones."""
+        resolved = []
+        for pattern_id in pattern_ids:
+            cached = self.cache.get(pattern_id)
+            if cached is None:
+                cached = self._fetch_pattern(connection, pattern_id)
+                if cached is None:  # pragma: no cover — ids come from the db
+                    raise StoreError(f"pattern id {pattern_id} vanished")
+            resolved.append(cached)
+        return resolved
+
+    def _fetch_pattern_row(
+        self, connection, row
+    ) -> StructuralCorrelationPattern:
+        pattern_id, attributes_json, gamma_text = row
+        vertices = frozenset(
+            decode_value(vertex_row[0])
+            for vertex_row in connection.execute(
+                "SELECT vertex FROM pattern_vertices WHERE pattern_id = ?",
+                (pattern_id,),
+            )
+        )
+        return StructuralCorrelationPattern(
+            attributes=_decode_attributes(attributes_json),
+            vertices=vertices,
+            gamma=float(gamma_text),
+        )

@@ -1,0 +1,33 @@
+"""Persistent pattern store — the write half of mine-once / serve-many.
+
+Until this package existed every mining run was batch-and-discard: the
+:class:`~repro.correlation.patterns.MiningResult` died with the process
+and any lookup ("which patterns contain vertex *v*?") meant a full
+re-mine.  The store persists complete runs into one SQLite file in WAL
+mode, written by ``scpm mine --store`` and served by :mod:`repro.serve`
+(Python API and the ``scpm query`` CLI) to any number of concurrent
+readers.
+
+Layout: :mod:`~repro.store.schema` (DDL + connection pragmas),
+:mod:`~repro.store.codec` (lossless typed text codec for vertex and
+attribute values), :mod:`~repro.store.writer` (atomic per-run batch
+writes, the materialised ε ranking and the FTS5 attribute index).
+
+The round-trip is lossless: a result loaded back through
+:class:`repro.serve.PatternStoreReader.load_result` compares
+byte-identical — record order included — to the in-memory result, for
+every engine × schedule × ``n_jobs`` configuration (differential suite
+in ``tests/store/test_roundtrip.py``).
+"""
+
+from repro.store.codec import decode_value, encode_value
+from repro.store.schema import SCHEMA_VERSION
+from repro.store.writer import PatternStore, save_result
+
+__all__ = [
+    "PatternStore",
+    "save_result",
+    "encode_value",
+    "decode_value",
+    "SCHEMA_VERSION",
+]

@@ -1,0 +1,78 @@
+"""Lossless text codec for vertex and attribute values.
+
+The mining layer treats vertices and attributes as opaque ``Hashable``
+values — in practice the integers and strings the file grammar produces
+(:func:`repro.graph.io.parse_vertex_token`), plus the occasional float,
+bool, ``None`` or tuple from programmatic graphs.  The store persists
+them in ``TEXT`` columns, so the round-trip contract ("a loaded
+``MiningResult`` is byte-identical to the in-memory one") needs an
+encoding that is *injective across types*: the integer ``5`` and the
+string ``"5"`` must map to different cells and decode back to exactly
+what was mined.
+
+The encoding is a one-character type tag, a colon, and a type-specific
+body::
+
+    i:5        int      (decimal text, arbitrary precision)
+    s:alice    str      (verbatim — everything after the colon)
+    f:0.25     float    (repr(); round-trips exactly, handles inf/nan)
+    b:1        bool     (before int — bool is an int subclass)
+    n:         None
+    t:[...]    tuple    (JSON array of encoded elements, recursively)
+
+Anything else raises :class:`~repro.errors.StoreError` rather than
+silently degrading to ``str()`` — a store that cannot reproduce its
+input is worse than no store.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Hashable
+
+from repro.errors import StoreError
+
+__all__ = ["encode_value", "decode_value"]
+
+
+def encode_value(value: Hashable) -> str:
+    """Encode one vertex/attribute value into its tagged text form."""
+    if value is None:
+        return "n:"
+    if value is True:
+        return "b:1"
+    if value is False:
+        return "b:0"
+    if isinstance(value, int):
+        return f"i:{value}"
+    if isinstance(value, float):
+        return f"f:{value!r}"
+    if isinstance(value, str):
+        return "s:" + value
+    if isinstance(value, tuple):
+        return "t:" + json.dumps([encode_value(item) for item in value])
+    raise StoreError(
+        f"cannot persist value {value!r} of type {type(value).__name__}; "
+        "the pattern store supports int, str, float, bool, None and "
+        "tuples thereof"
+    )
+
+
+def decode_value(text: str) -> Hashable:
+    """Invert :func:`encode_value`."""
+    tag, separator, body = text.partition(":")
+    if not separator:
+        raise StoreError(f"malformed stored value {text!r} (no type tag)")
+    if tag == "s":
+        return body
+    if tag == "i":
+        return int(body)
+    if tag == "f":
+        return float(body)
+    if tag == "b":
+        return body == "1"
+    if tag == "n":
+        return None
+    if tag == "t":
+        return tuple(decode_value(item) for item in json.loads(body))
+    raise StoreError(f"malformed stored value {text!r} (unknown tag {tag!r})")

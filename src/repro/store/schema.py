@@ -1,0 +1,207 @@
+"""SQLite schema and connection policy of the persistent pattern store.
+
+One store file holds any number of mining **runs**.  The layout follows
+the batch-write / concurrent-read split of the serving tier: normalized
+row tables written once per run inside a single transaction, plus two
+read-optimised structures materialised at write time —
+
+* ``epsilon_listing`` — the complete ``top_by_epsilon`` ranking of every
+  run (rank, label, ε, σ), so ``top_k`` is an index walk instead of a
+  sort over the run;
+* ``attribute_search`` — a contentless FTS5 table over the attribute
+  tokens of each attribute set (rowid = ``set_id``), used to narrow
+  attribute-filter queries before the exact relational verification.
+
+Connection policy (applied by :func:`connect`): ``journal_mode=WAL`` so
+readers never block the writer and vice versa, ``synchronous=NORMAL``
+(safe with WAL, avoids an fsync per commit), a 30 s ``busy_timeout`` so
+rare write-lock collisions wait instead of raising ``database is
+locked``, and ``foreign_keys=ON``.
+
+Float columns that feed queries (``epsilon``, ``delta``, ``gamma``) are
+stored twice: as ``REAL`` for ordering/filtering and as ``repr()`` text
+for lossless reconstruction (SQLite REALs cannot represent NaN, and the
+text form round-trips ``inf`` and every IEEE double exactly — the
+byte-identity contract of the round-trip suite).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Union
+
+from repro.errors import StoreError
+
+PathLike = Union[str, Path]
+
+SCHEMA_VERSION = 1
+
+#: Pragmas applied to every connection (writer and reader alike).
+PRAGMAS = (
+    "PRAGMA journal_mode=WAL",
+    "PRAGMA synchronous=NORMAL",
+    "PRAGMA busy_timeout=30000",
+    "PRAGMA foreign_keys=ON",
+)
+
+DDL = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS runs (
+    run_id        INTEGER PRIMARY KEY,
+    algorithm     TEXT NOT NULL,
+    created_utc   TEXT NOT NULL,
+    params_json   TEXT,
+    counters_json TEXT NOT NULL,
+    num_evaluated INTEGER NOT NULL,
+    num_qualified INTEGER NOT NULL,
+    num_patterns  INTEGER NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS attribute_sets (
+    set_id                INTEGER PRIMARY KEY,
+    run_id                INTEGER NOT NULL REFERENCES runs(run_id)
+                          ON DELETE CASCADE,
+    position              INTEGER NOT NULL,
+    attributes_json       TEXT NOT NULL,
+    label                 TEXT NOT NULL,
+    support               INTEGER NOT NULL,
+    epsilon               REAL NOT NULL,
+    epsilon_text          TEXT NOT NULL,
+    expected_epsilon_text TEXT NOT NULL,
+    delta                 REAL,
+    delta_text            TEXT NOT NULL,
+    qualified             INTEGER NOT NULL,
+    UNIQUE (run_id, position)
+);
+
+CREATE TABLE IF NOT EXISTS set_attributes (
+    set_id    INTEGER NOT NULL REFERENCES attribute_sets(set_id)
+              ON DELETE CASCADE,
+    position  INTEGER NOT NULL,
+    attribute TEXT NOT NULL,
+    PRIMARY KEY (set_id, position)
+);
+CREATE INDEX IF NOT EXISTS idx_set_attributes_attribute
+    ON set_attributes(attribute);
+
+CREATE TABLE IF NOT EXISTS set_vertices (
+    set_id INTEGER NOT NULL REFERENCES attribute_sets(set_id)
+           ON DELETE CASCADE,
+    vertex TEXT NOT NULL,
+    PRIMARY KEY (set_id, vertex)
+);
+
+CREATE TABLE IF NOT EXISTS patterns (
+    pattern_id      INTEGER PRIMARY KEY,
+    set_id          INTEGER NOT NULL REFERENCES attribute_sets(set_id)
+                    ON DELETE CASCADE,
+    run_id          INTEGER NOT NULL REFERENCES runs(run_id)
+                    ON DELETE CASCADE,
+    position        INTEGER NOT NULL,
+    attributes_json TEXT NOT NULL,
+    gamma           REAL NOT NULL,
+    gamma_text      TEXT NOT NULL,
+    size            INTEGER NOT NULL,
+    UNIQUE (set_id, position)
+);
+
+CREATE TABLE IF NOT EXISTS pattern_vertices (
+    pattern_id INTEGER NOT NULL REFERENCES patterns(pattern_id)
+               ON DELETE CASCADE,
+    vertex     TEXT NOT NULL,
+    PRIMARY KEY (pattern_id, vertex)
+);
+CREATE INDEX IF NOT EXISTS idx_pattern_vertices_vertex
+    ON pattern_vertices(vertex);
+
+CREATE TABLE IF NOT EXISTS epsilon_listing (
+    run_id  INTEGER NOT NULL REFERENCES runs(run_id) ON DELETE CASCADE,
+    rank    INTEGER NOT NULL,
+    set_id  INTEGER NOT NULL REFERENCES attribute_sets(set_id),
+    epsilon REAL NOT NULL,
+    support INTEGER NOT NULL,
+    label   TEXT NOT NULL,
+    PRIMARY KEY (run_id, rank)
+);
+"""
+
+FTS_DDL = (
+    "CREATE VIRTUAL TABLE IF NOT EXISTS attribute_search "
+    "USING fts5(tokens, content='')"
+)
+
+
+def fts5_available(connection: sqlite3.Connection) -> bool:
+    """True when this SQLite build can create FTS5 virtual tables."""
+    try:
+        connection.execute(
+            "CREATE VIRTUAL TABLE temp.fts5_probe USING fts5(x)"
+        )
+        connection.execute("DROP TABLE temp.fts5_probe")
+        return True
+    except sqlite3.OperationalError:
+        return False
+
+
+def apply_pragmas(connection: sqlite3.Connection) -> None:
+    for pragma in PRAGMAS:
+        connection.execute(pragma)
+
+
+def connect(path: PathLike, create: bool = False) -> sqlite3.Connection:
+    """Open a store connection with the WAL/read-concurrency pragmas.
+
+    With ``create=False`` (the reader path) a missing file raises
+    :class:`~repro.errors.StoreError` instead of letting SQLite conjure
+    an empty database — a typo'd ``--store`` must fail loudly, not
+    serve zero patterns.  ``check_same_thread`` is disabled; the serving
+    layer hands one connection per thread anyway, and the concurrency
+    suite opens its own readers.
+    """
+    path = Path(path)
+    if not create and not path.exists():
+        raise StoreError(f"pattern store {str(path)!r} does not exist")
+    connection = sqlite3.connect(str(path), check_same_thread=False)
+    apply_pragmas(connection)
+    return connection
+
+
+def initialize(connection: sqlite3.Connection) -> None:
+    """Create the schema (idempotent) and record the store metadata."""
+    connection.executescript(DDL)
+    fts_enabled = fts5_available(connection)
+    if fts_enabled:
+        connection.execute(FTS_DDL)
+    connection.execute(
+        "INSERT OR IGNORE INTO store_meta (key, value) VALUES (?, ?)",
+        ("schema_version", str(SCHEMA_VERSION)),
+    )
+    connection.execute(
+        "INSERT OR IGNORE INTO store_meta (key, value) VALUES (?, ?)",
+        ("fts_enabled", "1" if fts_enabled else "0"),
+    )
+    connection.commit()
+
+
+def read_meta(connection: sqlite3.Connection, key: str) -> str:
+    row = connection.execute(
+        "SELECT value FROM store_meta WHERE key = ?", (key,)
+    ).fetchone()
+    if row is None:
+        raise StoreError(f"store metadata key {key!r} missing — not a "
+                         "pattern store or written by a newer version")
+    return row[0]
+
+
+def check_schema_version(connection: sqlite3.Connection) -> None:
+    version = read_meta(connection, "schema_version")
+    if version != str(SCHEMA_VERSION):
+        raise StoreError(
+            f"pattern store schema version {version} is not supported "
+            f"(expected {SCHEMA_VERSION})"
+        )

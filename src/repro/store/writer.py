@@ -1,0 +1,205 @@
+"""Batch writer of the persistent pattern store.
+
+:class:`PatternStore` is the write half of the mine-once / serve-many
+split: ``scpm mine --store out.sqlite`` (or :func:`save_result`) appends
+one complete :class:`~repro.correlation.patterns.MiningResult` per
+:meth:`PatternStore.save` call, inside a single ``BEGIN IMMEDIATE``
+transaction.  Readers on the same WAL store therefore see each run
+atomically — either none of it or all of it — which is what the
+concurrency suite (``tests/store/test_concurrency.py``) pins down.
+
+Everything needed to reconstruct the result bit-for-bit is persisted:
+record order (``position`` columns), per-record floats as ``repr()``
+text, covered-vertex and pattern-vertex memberships through the typed
+codec, and the work counters as JSON.  The two read-optimised
+structures — the materialised ε ranking and the FTS5 attribute-token
+index — are populated in the same transaction, so they can never drift
+from the rows they index.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.correlation.patterns import MiningResult
+from repro.errors import StoreError
+from repro.store import schema
+from repro.store.codec import encode_value
+
+PathLike = Union[str, Path]
+
+
+def _fts_tokens(attributes) -> str:
+    """Space-joined display tokens of one attribute set (FTS5 content)."""
+    return " ".join(str(attribute) for attribute in attributes)
+
+
+def _params_json(params) -> Optional[str]:
+    if params is None:
+        return None
+    data = asdict(params) if is_dataclass(params) else dict(params)
+    return json.dumps(data, sort_keys=True, default=str)
+
+
+class PatternStore:
+    """Writable pattern store (one SQLite file, any number of runs).
+
+    Usage::
+
+        with PatternStore("patterns.sqlite") as store:
+            run_id = store.save(result, params=params)
+
+    Opening creates the file and schema when missing and validates the
+    schema version otherwise.  One instance holds one connection; it is
+    not itself thread-safe (WAL serialises writers anyway) — concurrent
+    *readers* open their own :class:`~repro.serve.reader.PatternStoreReader`.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self._connection = schema.connect(self.path, create=True)
+        schema.initialize(self._connection)
+        schema.check_schema_version(self._connection)
+        self.fts_enabled = schema.read_meta(self._connection, "fts_enabled") == "1"
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "PatternStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def save(self, result: MiningResult, params: Optional[object] = None) -> int:
+        """Persist one mining run atomically; return its ``run_id``."""
+        if self._connection is None:
+            raise StoreError("pattern store is closed")
+        connection = self._connection
+        cursor = connection.cursor()
+        cursor.execute("BEGIN IMMEDIATE")
+        try:
+            cursor.execute(
+                "INSERT INTO runs (algorithm, created_utc, params_json, "
+                "counters_json, num_evaluated, num_qualified, num_patterns) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    result.algorithm,
+                    datetime.now(timezone.utc).isoformat(),
+                    _params_json(params),
+                    json.dumps(result.counters.to_dict(), sort_keys=True),
+                    len(result.evaluated),
+                    len(result.qualified),
+                    len(result.patterns),
+                ),
+            )
+            run_id = cursor.lastrowid
+            listing = []
+            for position, record in enumerate(result.evaluated):
+                cursor.execute(
+                    "INSERT INTO attribute_sets (run_id, position, "
+                    "attributes_json, label, support, epsilon, epsilon_text, "
+                    "expected_epsilon_text, delta, delta_text, qualified) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        run_id,
+                        position,
+                        json.dumps([encode_value(a) for a in record.attributes]),
+                        record.label(),
+                        record.support,
+                        record.epsilon,
+                        repr(record.epsilon),
+                        repr(record.expected_epsilon),
+                        # NaN has no REAL representation in SQLite; the
+                        # text column is authoritative either way.
+                        None if record.delta != record.delta else record.delta,
+                        repr(record.delta),
+                        int(record.qualified),
+                    ),
+                )
+                set_id = cursor.lastrowid
+                cursor.executemany(
+                    "INSERT INTO set_attributes (set_id, position, attribute) "
+                    "VALUES (?, ?, ?)",
+                    [
+                        (set_id, i, encode_value(attribute))
+                        for i, attribute in enumerate(record.attributes)
+                    ],
+                )
+                cursor.executemany(
+                    "INSERT INTO set_vertices (set_id, vertex) VALUES (?, ?)",
+                    [(set_id, encode_value(v)) for v in record.covered_vertices],
+                )
+                if self.fts_enabled:
+                    cursor.execute(
+                        "INSERT INTO attribute_search (rowid, tokens) "
+                        "VALUES (?, ?)",
+                        (set_id, _fts_tokens(record.attributes)),
+                    )
+                for pattern_position, pattern in enumerate(record.patterns):
+                    cursor.execute(
+                        "INSERT INTO patterns (set_id, run_id, position, "
+                        "attributes_json, gamma, gamma_text, size) "
+                        "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                        (
+                            set_id,
+                            run_id,
+                            pattern_position,
+                            json.dumps(
+                                [encode_value(a) for a in pattern.attributes]
+                            ),
+                            pattern.gamma,
+                            repr(pattern.gamma),
+                            pattern.size,
+                        ),
+                    )
+                    pattern_id = cursor.lastrowid
+                    cursor.executemany(
+                        "INSERT INTO pattern_vertices (pattern_id, vertex) "
+                        "VALUES (?, ?)",
+                        [
+                            (pattern_id, encode_value(v))
+                            for v in pattern.vertices
+                        ],
+                    )
+                listing.append(
+                    (record.epsilon, record.support, record.label(), set_id)
+                )
+            # Materialised top-by-ε ranking: the exact ordering contract
+            # of MiningResult.top_by_epsilon, frozen at write time.
+            listing.sort(key=lambda row: (-row[0], -row[1], row[2]))
+            cursor.executemany(
+                "INSERT INTO epsilon_listing (run_id, rank, set_id, epsilon, "
+                "support, label) VALUES (?, ?, ?, ?, ?, ?)",
+                [
+                    (run_id, rank, set_id, epsilon, support, label)
+                    for rank, (epsilon, support, label, set_id) in enumerate(
+                        listing, start=1
+                    )
+                ],
+            )
+            connection.commit()
+        except BaseException:
+            connection.rollback()
+            raise
+        return run_id
+
+
+def save_result(
+    path: PathLike, result: MiningResult, params: Optional[object] = None
+) -> int:
+    """One-shot convenience: open (or create) ``path`` and save ``result``."""
+    with PatternStore(path) as store:
+        return store.save(result, params=params)

@@ -1,4 +1,10 @@
-"""Tests for the command-line interface."""
+"""Tests for the command-line interface.
+
+Exit-code contract (pinned by :class:`TestMainQuery`): ``0`` success,
+``1`` store-level errors (missing store, unknown run/pattern id,
+malformed filter values), ``2`` argparse usage errors (unknown flags,
+missing/conflicting lookup modes) — argparse raises ``SystemExit``.
+"""
 
 import pytest
 
@@ -129,6 +135,52 @@ class TestMainMine:
         assert "naive" in capsys.readouterr().out
 
 
+    def test_mine_verbose_empty_result_skips_counter_block(
+        self, graph_files, capsys
+    ):
+        """Regression: zero evaluated sets must not print the counter block.
+
+        With ``--min-support`` above every attribute's support the run
+        evaluates nothing; ``--verbose`` used to print the all-zero
+        kernel/memo counter lines anyway.  Now it says what happened.
+        """
+        edges, attrs = graph_files
+        code = main(
+            [
+                "mine",
+                "--edges", edges,
+                "--attributes", attrs,
+                "--min-support", "9999",
+                "--verbose",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "evaluated 0 attribute sets" in output
+        assert "kernel: counter_updates=" not in output
+        assert "counters: qualified=" not in output
+        assert "no attribute sets evaluated" in output
+
+    def test_mine_store_writes_a_pattern_store(self, graph_files, tmp_path, capsys):
+        edges, attrs = graph_files
+        store = tmp_path / "patterns.sqlite"
+        code = main(
+            [
+                "mine",
+                "--edges", edges,
+                "--attributes", attrs,
+                "--min-support", "3",
+                "--gamma", "0.6",
+                "--min-size", "4",
+                "--min-epsilon", "0.5",
+                "--store", str(store),
+            ]
+        )
+        assert code == 0
+        assert "stored run #1" in capsys.readouterr().out
+        assert store.exists()
+
+
 class TestMainDemo:
     def test_demo_small_profile(self, capsys):
         code = main(["demo", "--profile", "small-dblp", "--scale", "0.4", "--rows", "3"])
@@ -136,3 +188,110 @@ class TestMainDemo:
         output = capsys.readouterr().out
         assert "small-dblp-like" in output
         assert "top-delta" in output
+
+
+class TestMainQuery:
+    @pytest.fixture
+    def store(self, tmp_path, capsys):
+        """A store holding one mined run of the paper's example graph."""
+        edges = tmp_path / "g.edges"
+        attrs = tmp_path / "g.attrs"
+        write_attributed_graph(paper_example_graph(), edges, attrs)
+        path = tmp_path / "patterns.sqlite"
+        assert main(
+            [
+                "mine",
+                "--edges", str(edges),
+                "--attributes", str(attrs),
+                "--min-support", "3",
+                "--gamma", "0.6",
+                "--min-size", "4",
+                "--min-epsilon", "0.5",
+                "--store", str(path),
+            ]
+        ) == 0
+        capsys.readouterr()  # drop the mine output
+        return str(path)
+
+    # ---- the four lookup modes -------------------------------------
+    def test_query_pattern_id(self, store, capsys):
+        assert main(["query", "--store", store, "--pattern-id", "1"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("pattern 1 (run 1, set ")
+        assert "gamma=" in output
+
+    def test_query_vertex(self, store, capsys):
+        assert main(["query", "--store", store, "--vertex", "6"]) == 0
+        output = capsys.readouterr().out
+        assert "pattern(s) contain vertex 6" in output
+        assert "pattern 1:" in output
+
+    def test_query_attributes_all_and_any(self, store, capsys):
+        assert main(["query", "--store", store, "--attributes", "A", "B"]) == 0
+        all_output = capsys.readouterr().out
+        assert "match all(A, B)" in all_output
+        assert main(
+            ["query", "--store", store, "--attributes", "A", "B", "--mode", "any"]
+        ) == 0
+        any_output = capsys.readouterr().out
+        assert "match any(A, B)" in any_output
+        # "any" can only widen the match set
+        assert int(any_output.split()[0]) >= int(all_output.split()[0])
+
+    def test_query_top_k(self, store, capsys):
+        assert main(["query", "--store", store, "--top-k", "3"]) == 0
+        output = capsys.readouterr().out.splitlines()
+        assert output[0].split() == ["rank", "epsilon", "support", "label"]
+        assert len(output) == 4  # header + 3 rows
+        assert output[1].startswith("    1")
+
+    # ---- error paths ------------------------------------------------
+    def test_query_missing_store_exits_1(self, tmp_path, capsys):
+        missing = tmp_path / "nope.sqlite"
+        assert main(["query", "--store", str(missing), "--top-k", "3"]) == 1
+        assert "does not exist" in capsys.readouterr().err
+        assert not missing.exists()
+
+    def test_query_unknown_pattern_id_exits_1(self, store, capsys):
+        assert main(["query", "--store", store, "--pattern-id", "999"]) == 1
+        assert "not in store" in capsys.readouterr().err
+
+    def test_query_malformed_top_k_exits_1(self, store, capsys):
+        assert main(["query", "--store", store, "--top-k", "0"]) == 1
+        assert "positive k" in capsys.readouterr().err
+
+    def test_query_unknown_run_exits_1(self, store, capsys):
+        assert main(
+            ["query", "--store", store, "--top-k", "3", "--run", "99"]
+        ) == 1
+        assert "run 99" in capsys.readouterr().err
+
+    # ---- usage contract (argparse exits 2) --------------------------
+    def test_query_requires_exactly_one_mode(self, store, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["query", "--store", store])
+        assert exit_info.value.code == 2
+        assert "exactly one of" in capsys.readouterr().err
+
+        with pytest.raises(SystemExit) as exit_info:
+            main(["query", "--store", store, "--vertex", "6", "--top-k", "2"])
+        assert exit_info.value.code == 2
+
+    def test_query_mode_requires_attributes(self, store, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["query", "--store", store, "--top-k", "2", "--mode", "any"])
+        assert exit_info.value.code == 2
+        assert "--mode is only valid" in capsys.readouterr().err
+
+    def test_query_requires_store_flag(self):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["query", "--top-k", "2"])
+        assert exit_info.value.code == 2
+
+    def test_query_rejects_bad_mode_value(self, store):
+        with pytest.raises(SystemExit) as exit_info:
+            main(
+                ["query", "--store", store, "--attributes", "A",
+                 "--mode", "sometimes"]
+            )
+        assert exit_info.value.code == 2

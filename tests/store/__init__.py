@@ -1,0 +1,1 @@
+"""Tests for the persistent pattern store and the serving read path."""

@@ -1,0 +1,168 @@
+"""Concurrent-read suite: WAL serving under a live writer.
+
+The store's whole reason to exist is the batch-write / concurrent-read
+split: any number of readers issue ``patterns_with_vertex`` / ``top_k``
+/ ``load_result`` against the WAL file while ``scpm mine --store``
+appends the next run.  Two properties are pinned here:
+
+* **no lock errors** — no reader or writer ever surfaces ``database is
+  locked`` (WAL + busy_timeout make readers and the one writer fully
+  concurrent);
+* **stable snapshots** — a reader never observes half a run: every run
+  visible to a read transaction is complete (its header counts match
+  the rows reconstructed from it), because each ``save`` commits
+  atomically and every multi-statement read runs in one snapshot.
+
+Both thread readers (shared process, one connection each) and process
+readers (fresh connections in worker processes) are exercised.
+"""
+
+import multiprocessing
+import sqlite3
+import threading
+import time
+
+import pytest
+
+from repro.correlation.parameters import SCPMParams
+from repro.correlation.scpm import SCPM
+from repro.datasets.synthetic import random_attributed_graph
+from repro.serve import PatternStoreReader
+from repro.store import PatternStore
+
+PARAMS = SCPMParams(
+    min_support=3, gamma=0.6, min_size=3, min_epsilon=0.1, top_k=4
+)
+
+NUM_THREAD_READERS = 8
+
+
+def build_result(seed):
+    graph = random_attributed_graph(
+        num_vertices=20,
+        edge_probability=0.35,
+        attributes=["a", "b", "c", "d"],
+        attribute_probability=0.5,
+        seed=seed,
+    )
+    return SCPM(graph, PARAMS).mine()
+
+
+def check_visible_runs_are_complete(reader):
+    """Every run a snapshot shows must reconstruct to its header counts."""
+    observed = []
+    with reader._snapshot():  # one snapshot across runs() + load_result()
+        for info in reader.runs():
+            result = reader.load_result(info.run_id)
+            assert len(result.evaluated) == info.num_evaluated, info
+            assert len(result.qualified) == info.num_qualified, info
+            assert len(result.patterns) == info.num_patterns, info
+            observed.append(info.run_id)
+    return observed
+
+
+def _process_reader(path, stop_unix, queue):
+    """Worker-process reader loop (fresh connection, own LRU)."""
+    try:
+        runs_seen = set()
+        queries = 0
+        while time.time() < stop_unix:
+            with PatternStoreReader(path) as reader:
+                runs_seen.update(check_visible_runs_are_complete(reader))
+                reader.top_k(5)
+                queries += 2
+        queue.put(("ok", queries, sorted(runs_seen)))
+    except BaseException as error:  # pragma: no cover — failure reporting
+        queue.put(("error", repr(error), []))
+
+
+class TestConcurrentReads:
+    @pytest.fixture
+    def store_path(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        with PatternStore(path) as store:
+            store.save(build_result(seed=7))
+        return path
+
+    def test_threads_read_while_writer_appends(self, store_path):
+        """8 reader threads vs a writer appending two more runs: no locks."""
+        errors = []
+        lock_errors = []
+        snapshots = []
+        stop = threading.Event()
+
+        def read_loop(thread_index):
+            try:
+                with PatternStoreReader(store_path) as reader:
+                    first = reader.load_result(run_id=1)
+                    vertex = next(iter(first.patterns[0].vertices))
+                    while not stop.is_set():
+                        reader.patterns_with_vertex(vertex)
+                        reader.top_k(3)
+                        snapshots.append(
+                            tuple(check_visible_runs_are_complete(reader))
+                        )
+            except sqlite3.OperationalError as error:
+                lock_errors.append(repr(error))
+            except BaseException as error:
+                errors.append(repr(error))
+
+        threads = [
+            threading.Thread(target=read_loop, args=(i,), daemon=True)
+            for i in range(NUM_THREAD_READERS)
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            # the writer appends two runs while the readers hammer away
+            with PatternStore(store_path) as store:
+                for seed in (19, 23):
+                    store.save(build_result(seed=seed))
+                    time.sleep(0.05)
+            time.sleep(0.2)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not lock_errors, f"database-lock errors: {lock_errors}"
+        assert not errors, f"reader errors: {errors}"
+        assert snapshots, "readers must have completed queries during the write"
+        # every snapshot saw a complete prefix of the run sequence
+        seen = {snap for snap in snapshots}
+        assert all(snap in {(1,), (1, 2), (1, 2, 3)} for snap in seen), seen
+        # and at least one reader observed the store both before and after
+        # an append (the writer really was concurrent with the readers)
+        assert len(seen) >= 2, seen
+
+    def test_processes_read_while_writer_appends(self, store_path):
+        """Reader *processes* against the WAL file while a writer appends."""
+        context = multiprocessing.get_context()
+        queue = context.Queue()
+        stop_unix = time.time() + 1.5
+        workers = [
+            context.Process(
+                target=_process_reader,
+                args=(str(store_path), stop_unix, queue),
+                daemon=True,
+            )
+            for _ in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        with PatternStore(store_path) as store:
+            store.save(build_result(seed=31))
+        outcomes = [queue.get(timeout=60) for _ in workers]
+        for worker in workers:
+            worker.join(timeout=30)
+        failures = [o for o in outcomes if o[0] != "ok"]
+        assert not failures, failures
+        assert all(queries > 0 for _, queries, _ in outcomes)
+
+    def test_writers_queue_behind_each_other(self, store_path):
+        """Two writer connections appending serially never deadlock."""
+        with PatternStore(store_path) as first, PatternStore(store_path) as second:
+            run_a = first.save(build_result(seed=43))
+            run_b = second.save(build_result(seed=47))
+        assert run_b == run_a + 1
+        with PatternStoreReader(store_path) as reader:
+            assert [info.run_id for info in reader.runs()] == [1, run_a, run_b]

@@ -1,0 +1,328 @@
+"""Store-parity differential suite: mine → persist → load → byte-identical.
+
+The pattern store may never change *what* was mined, only *where* it
+lives: a :class:`~repro.correlation.patterns.MiningResult` loaded back
+through :class:`~repro.serve.PatternStoreReader.load_result` must
+compare bit-for-bit equal — record order included, the keyed-merge
+ordering contract — to the in-memory result it was saved from, across
+engines × schedules × worker counts and for both miners.  Seeds are
+fixed so failures replay; CI appends one more seed through
+``REPRO_FUZZ_SEED``, like the other differential suites.
+
+The suite also pins the serving queries against their in-memory
+oracles (``top_k`` vs ``top_by_epsilon``, vertex/attribute filters vs
+set comprehensions) and the typed value codec's injectivity.
+"""
+
+import dataclasses
+import math
+import os
+
+import pytest
+
+from repro.correlation.naive import NaiveMiner
+from repro.correlation.parameters import SCPMParams
+from repro.correlation.patterns import (
+    AttributeSetResult,
+    MiningCounters,
+    MiningResult,
+    StructuralCorrelationPattern,
+)
+from repro.correlation.scpm import SCPM
+from repro.datasets.synthetic import random_attributed_graph
+from repro.errors import QueryError, StoreError
+from repro.serve import LRUCache, PatternStoreReader
+from repro.store import PatternStore, decode_value, encode_value, save_result
+
+BASE_SEEDS = (13, 41)
+
+#: engine × schedule × n_jobs corners (sequential, parallel steal, stripe).
+CONFIGS = (
+    ("dense", "steal", 1),
+    ("sparse", "steal", 2),
+    ("auto", "stripe", 2),
+)
+
+PARAMS = SCPMParams(
+    min_support=3, gamma=0.6, min_size=3, min_epsilon=0.1, top_k=4
+)
+
+
+def fuzz_seeds():
+    seeds = list(BASE_SEEDS)
+    extra = os.environ.get("REPRO_FUZZ_SEED")
+    if extra is not None:
+        seeds.append(int(extra))
+    return seeds
+
+
+def fuzz_graph(seed, num_vertices=22):
+    return random_attributed_graph(
+        num_vertices=num_vertices,
+        edge_probability=0.35,
+        attributes=["a", "b", "c", "d"],
+        attribute_probability=0.5,
+        seed=seed * 769 + num_vertices,
+    )
+
+
+def assert_byte_identical(loaded, original):
+    assert loaded.algorithm == original.algorithm
+    assert loaded.counters == original.counters
+    assert loaded.fingerprint() == original.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# the differential grid
+# ----------------------------------------------------------------------
+class TestRoundTripGrid:
+    @pytest.mark.parametrize("seed", fuzz_seeds())
+    @pytest.mark.parametrize("engine,schedule,n_jobs", CONFIGS)
+    def test_scpm_round_trip(self, tmp_path, seed, engine, schedule, n_jobs):
+        graph = fuzz_graph(seed)
+        params = dataclasses.replace(
+            PARAMS, engine=engine, schedule=schedule, n_jobs=n_jobs
+        )
+        result = SCPM(graph, params).mine()
+        path = tmp_path / "store.sqlite"
+        save_result(path, result, params=params)
+        with PatternStoreReader(path) as reader:
+            assert_byte_identical(reader.load_result(), result)
+
+    @pytest.mark.parametrize("seed", fuzz_seeds())
+    def test_naive_round_trip(self, tmp_path, seed):
+        graph = fuzz_graph(seed, num_vertices=16)
+        result = NaiveMiner(graph, PARAMS).mine()
+        path = tmp_path / "store.sqlite"
+        save_result(path, result)
+        with PatternStoreReader(path) as reader:
+            assert_byte_identical(reader.load_result(), result)
+
+    def test_multiple_runs_round_trip_independently(self, tmp_path):
+        """Several runs share one store; each loads back bit-for-bit."""
+        path = tmp_path / "store.sqlite"
+        results = {}
+        with PatternStore(path) as store:
+            for seed in fuzz_seeds()[:2]:
+                result = SCPM(fuzz_graph(seed), PARAMS).mine()
+                results[store.save(result)] = result
+        with PatternStoreReader(path) as reader:
+            infos = reader.runs()
+            assert [info.run_id for info in infos] == sorted(results)
+            for info in infos:
+                assert info.num_evaluated == len(results[info.run_id].evaluated)
+                assert_byte_identical(
+                    reader.load_result(info.run_id), results[info.run_id]
+                )
+            # the default run is the latest one
+            assert reader.latest_run_id() == max(results)
+            assert_byte_identical(
+                reader.load_result(), results[max(results)]
+            )
+
+
+# ----------------------------------------------------------------------
+# serving queries vs in-memory oracles
+# ----------------------------------------------------------------------
+class TestServingQueries:
+    @pytest.fixture
+    def served(self, tmp_path):
+        result = SCPM(fuzz_graph(fuzz_seeds()[0]), PARAMS).mine()
+        path = tmp_path / "store.sqlite"
+        save_result(path, result)
+        with PatternStoreReader(path) as reader:
+            yield reader, result
+
+    def test_top_k_matches_top_by_epsilon(self, served):
+        reader, result = served
+        for k in (1, 3, 10_000):
+            expected = [
+                (r.label(), r.epsilon, r.support)
+                for r in result.top_by_epsilon(k)
+            ]
+            got = [
+                (e.label, e.epsilon, e.support) for e in reader.top_k(k)
+            ]
+            assert got == expected
+
+    def test_patterns_with_vertex_matches_oracle(self, served):
+        reader, result = served
+        vertices = {v for p in result.patterns for v in p.vertices}
+        assert vertices, "fuzz workload must produce patterns"
+        for vertex in sorted(vertices):
+            expected = [p for p in result.patterns if vertex in p.vertices]
+            got = [s.pattern for s in reader.patterns_with_vertex(vertex)]
+            assert sorted(got, key=str) == sorted(expected, key=str)
+        assert reader.patterns_with_vertex("no-such-vertex") == []
+
+    def test_patterns_with_attributes_matches_oracle(self, served):
+        reader, result = served
+        filters = [("a",), ("a", "b"), ("c", "d")]
+        for attrs in filters:
+            for mode, keep in (
+                ("all", lambda p: set(attrs) <= set(p.attributes)),
+                ("any", lambda p: set(attrs) & set(p.attributes)),
+            ):
+                expected = [p for p in result.patterns if keep(p)]
+                got = [
+                    s.pattern
+                    for s in reader.patterns_with_attributes(attrs, mode=mode)
+                ]
+                assert sorted(got, key=str) == sorted(expected, key=str), (
+                    attrs,
+                    mode,
+                )
+
+    def test_get_pattern_round_trips_and_caches(self, served):
+        reader, result = served
+        stored = reader.patterns_with_vertex(
+            next(iter(result.patterns[0].vertices))
+        )[0]
+        reader.cache.clear()
+        fetched = reader.get_pattern(stored.pattern_id)
+        assert fetched.pattern == stored.pattern
+        assert reader.cache.misses == 1
+        again = reader.get_pattern(stored.pattern_id)
+        assert again is fetched  # served from the LRU, not re-deserialized
+        assert reader.cache.hits == 1
+
+    def test_query_error_paths(self, served):
+        reader, _ = served
+        with pytest.raises(StoreError):
+            reader.get_pattern(10_000_000)
+        with pytest.raises(QueryError):
+            reader.patterns_with_attributes([], mode="all")
+        with pytest.raises(QueryError):
+            reader.patterns_with_attributes(["a"], mode="some")
+        with pytest.raises(QueryError):
+            reader.top_k(0)
+        with pytest.raises(StoreError):
+            reader.top_k(3, run_id=999)
+        with pytest.raises(StoreError):
+            reader.load_result(run_id=999)
+
+    def test_missing_store_never_created(self, tmp_path):
+        missing = tmp_path / "nope.sqlite"
+        with pytest.raises(StoreError):
+            PatternStoreReader(missing)
+        assert not missing.exists()  # the read path must not conjure files
+
+
+# ----------------------------------------------------------------------
+# typed value codec
+# ----------------------------------------------------------------------
+class TestCodec:
+    VALUES = (
+        0,
+        -17,
+        2**80,
+        "alice",
+        "5",  # must stay distinct from int 5
+        5,
+        "",
+        'quo"ted',
+        "multi word",
+        0.25,
+        -0.0,
+        float("inf"),
+        True,
+        False,
+        None,
+        ("a", 1, (2.5, None)),
+        (),
+    )
+
+    def test_round_trip_every_supported_type(self):
+        for value in self.VALUES:
+            decoded = decode_value(encode_value(value))
+            assert decoded == value and type(decoded) is type(value), value
+
+    def test_nan_round_trips(self):
+        assert math.isnan(decode_value(encode_value(float("nan"))))
+
+    def test_encoding_is_injective_across_types(self):
+        encoded = [encode_value(v) for v in self.VALUES]
+        assert len(set(encoded)) == len(encoded)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(StoreError):
+            encode_value(object())
+        with pytest.raises(StoreError):
+            encode_value(frozenset({1}))
+
+    def test_malformed_text_raises(self):
+        with pytest.raises(StoreError):
+            decode_value("no-tag")
+        with pytest.raises(StoreError):
+            decode_value("z:whatever")
+
+
+class TestAwkwardValuesThroughTheStore:
+    def test_exotic_result_round_trips(self, tmp_path):
+        """Typed vertices/attributes and non-finite floats survive SQLite."""
+        pattern = StructuralCorrelationPattern(
+            attributes=(("topic", 3), "db"),
+            vertices=frozenset([5, "5", 2.5, None, True]),
+            gamma=0.625,
+        )
+        record = AttributeSetResult(
+            attributes=(("topic", 3), "db"),
+            support=7,
+            epsilon=0.1 + 0.2,  # a float repr() must preserve exactly
+            expected_epsilon=3e-321,  # subnormal
+            delta=float("inf"),
+            covered_vertices=frozenset([5, "5", None]),
+            patterns=(pattern,),
+            qualified=True,
+        )
+        result = MiningResult(
+            algorithm="hand-built",
+            evaluated=[record],
+            counters=MiningCounters(
+                attribute_sets_evaluated=1, elapsed_seconds=0.125
+            ),
+        )
+        path = tmp_path / "store.sqlite"
+        save_result(path, result)
+        with PatternStoreReader(path) as reader:
+            loaded = reader.load_result()
+            assert_byte_identical(loaded, result)
+            assert loaded.evaluated[0].delta == float("inf")
+            assert loaded.evaluated[0].expected_epsilon == 3e-321
+            # typed lookups distinguish int 5 from str "5"
+            assert len(reader.patterns_with_vertex(5)) == 1
+            assert len(reader.patterns_with_vertex("5")) == 1
+            assert len(reader.patterns_with_vertex(7)) == 0
+            # tuple attribute filter, through FTS narrowing + exact check
+            assert (
+                len(reader.patterns_with_attributes([("topic", 3)], mode="all"))
+                == 1
+            )
+
+
+# ----------------------------------------------------------------------
+# LRU cache unit behaviour
+# ----------------------------------------------------------------------
+class TestLRUCache:
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now stalest
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.get("b") is None
+        assert (cache.hits, cache.misses) == (3, 1)
+
+    def test_zero_capacity_disables_caching(self):
+        cache = LRUCache(capacity=0)
+        cache.put("a", 1)
+        assert len(cache) == 0 and cache.get("a") is None
+
+    def test_clear_resets_counters(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert (len(cache), cache.hits, cache.misses) == (0, 0, 0)
