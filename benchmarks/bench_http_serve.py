@@ -1,0 +1,182 @@
+"""HTTP serving-tier load test — concurrent clients over a real socket.
+
+``bench_pattern_store.py`` gates the in-process read path; this gate
+covers the full ``scpm serve`` stack above it — routing, JSON bodies,
+keep-alive connections, the reader pool and the metrics layer — under
+the same "mine once, serve millions" pitch.  Acceptance bars, CI-gated
+(benchmark-trajectory job):
+
+* **concurrency** — ≥ 8 keep-alive clients hammer the four lookup
+  endpoints while a writer appends a second mining run, with **zero**
+  5xx responses, zero client-side errors and every client making
+  progress;
+* **warm cache** — after the load, the pool's aggregated LRU hit ratio
+  is positive and the server's own ``/metrics`` agrees that no request
+  ever became a 500.
+
+The report prints sequential and concurrent HTTP throughput plus the
+pool/metrics aggregates so the trajectory catches serving-tier
+regressions (slow JSON encoding, per-request reader churn, lock
+contention) the way the store benchmark pins the reader beneath it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.client import HTTPConnection
+
+from repro.correlation.parameters import SCPMParams
+from repro.correlation.scpm import SCPM
+from repro.datasets.synthetic import random_attributed_graph
+from repro.serve.http import create_server
+from repro.store import PatternStore
+
+from conftest import bench_scale
+
+NUM_CLIENTS = 8
+LOAD_SECONDS = 1.0
+SEQUENTIAL_ROUNDS = 40
+
+PARAMS = SCPMParams(
+    min_support=3, gamma=0.6, min_size=3, min_epsilon=0.1, top_k=6
+)
+
+
+def build_result(scale: float, seed: int = 7):
+    graph = random_attributed_graph(
+        num_vertices=max(24, int(56 * scale)),
+        edge_probability=0.3,
+        attributes=["a", "b", "c", "d", "e"],
+        attribute_probability=0.45,
+        seed=seed,
+    )
+    return SCPM(graph, PARAMS).mine()
+
+
+def _get(connection, path):
+    connection.request("GET", path)
+    response = connection.getresponse()
+    body = response.read()
+    return response.status, json.loads(body.decode("utf-8"))
+
+
+def test_http_serving_under_load(tmp_path, emit):
+    scale = bench_scale()
+    path = tmp_path / "bench_serve.sqlite"
+    result = build_result(scale)
+    assert result.patterns, "bench workload must mine patterns"
+    with PatternStore(path) as store:
+        store.save(result, params=PARAMS)
+
+    server = create_server(path)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(
+        target=lambda: server.serve_forever(poll_interval=0.05), daemon=True
+    )
+    thread.start()
+    try:
+        # ---- warm sequential throughput on one keep-alive client ----
+        probe = HTTPConnection(host, port, timeout=10)
+        status, top = _get(probe, "/top?k=5")
+        assert status == 200 and top["entries"]
+        label = top["entries"][0]["label"].split()[0]
+        paths = (
+            "/patterns/1",
+            "/top?k=5",
+            f"/patterns?attributes={label}&mode=any",
+            "/runs",
+        )
+        for p in paths:  # prime the pool's LRU before timing
+            _get(probe, p)
+        started = time.perf_counter()
+        for _ in range(SEQUENTIAL_ROUNDS):
+            for p in paths:
+                status, _ = _get(probe, p)
+                assert status == 200
+        sequential_seconds = time.perf_counter() - started
+        sequential_requests = SEQUENTIAL_ROUNDS * len(paths)
+        probe.close()
+
+        # ---- ≥8 concurrent clients racing a live writer -------------
+        second_result = build_result(scale, seed=11)
+        request_counts = [0] * NUM_CLIENTS
+        bad_statuses, client_errors = [], []
+        stop = threading.Event()
+
+        def client_loop(index):
+            try:
+                connection = HTTPConnection(host, port, timeout=10)
+                while not stop.is_set():
+                    for p in paths:
+                        status, _ = _get(connection, p)
+                        if status >= 500:
+                            bad_statuses.append((p, status))
+                        request_counts[index] += 1
+                connection.close()
+            except BaseException as error:  # pragma: no cover — reporting
+                client_errors.append(repr(error))
+
+        threads = [
+            threading.Thread(target=client_loop, args=(i,), daemon=True)
+            for i in range(NUM_CLIENTS)
+        ]
+        concurrent_started = time.perf_counter()
+        for worker in threads:
+            worker.start()
+        with PatternStore(path) as store:
+            store.save(second_result)  # writer racing the HTTP clients
+        time.sleep(
+            max(0.0, LOAD_SECONDS - (time.perf_counter() - concurrent_started))
+        )
+        stop.set()
+        for worker in threads:
+            worker.join(timeout=30)
+        concurrent_seconds = time.perf_counter() - concurrent_started
+        total_requests = sum(request_counts)
+
+        check = HTTPConnection(host, port, timeout=10)
+        status, metrics = _get(check, "/metrics")
+        assert status == 200
+        status, runs = _get(check, "/runs")
+        assert status == 200
+        check.close()
+    finally:
+        server.stop()
+        thread.join(timeout=30)
+
+    pool = metrics["pool"]
+    emit(
+        "bench_http_serve",
+        "\n".join(
+            [
+                "scpm serve — HTTP serving tier under load",
+                f"{'stored patterns':>22}: {len(result.patterns)}",
+                f"{'sequential':>22}: {sequential_requests} requests in "
+                f"{sequential_seconds:.3f}s "
+                f"({sequential_requests / sequential_seconds:,.0f}/s)",
+                f"{'concurrent clients':>22}: {NUM_CLIENTS} threads, "
+                f"{total_requests} requests in {concurrent_seconds:.2f}s "
+                f"({total_requests / concurrent_seconds:,.0f}/s), "
+                f"writer appended 1 run",
+                f"{'5xx responses':>22}: {metrics['errors_5xx']}",
+                f"{'pool readers':>22}: {pool['readers']} "
+                f"(hit ratio {pool['hit_ratio']:.2f})",
+            ]
+        ),
+    )
+
+    # acceptance bars
+    assert not client_errors, f"client errors under load: {client_errors}"
+    assert not bad_statuses, f"5xx responses under load: {bad_statuses}"
+    assert metrics["errors_5xx"] == 0, metrics
+    assert all(count > 0 for count in request_counts), (
+        f"every one of the {NUM_CLIENTS} clients must make progress "
+        f"against the live writer: {request_counts}"
+    )
+    assert len(runs["runs"]) == 2  # the appended run became visible
+    assert pool["hit_ratio"] > 0.0, (
+        f"the serving tier must answer repeated lookups from a warm "
+        f"LRU: {pool}"
+    )

@@ -164,6 +164,7 @@ def run_grid(scale: float, jobs_grid, engines, schedules):
                 )
 
     entries.extend(store_entries(scale))
+    entries.extend(http_entries(scale))
     return entries
 
 
@@ -257,6 +258,99 @@ def store_entries(scale, readers=8, reader_queries=150):
                 queries=readers * reader_queries,
             )
         )
+    return entries
+
+
+def http_entries(scale, clients=8, client_requests=60):
+    """HTTP serving rows: the ``scpm serve`` stack over a real socket.
+
+    The same feeder workload as :func:`store_entries` is served by
+    :mod:`repro.serve.http` on an ephemeral loopback port; the rows time
+    warm sequential request throughput on one keep-alive connection and
+    ``clients`` concurrent connections each issuing a fixed request
+    budget (zero-5xx gating lives in ``bench_http_serve.py``).
+    """
+    import json as json_module
+    from http.client import HTTPConnection
+
+    from repro.serve.http import create_server
+
+    graph, block = build_graph(min(scale, STORE_WORKLOAD_MAX_SCALE))
+    params = SCPMParams(
+        min_support=block - 2, gamma=0.6, min_size=4, min_epsilon=0.2, top_k=5
+    )
+    result = mine_scpm(graph, params)
+    entries = []
+
+    def get(connection, request_path):
+        connection.request("GET", request_path)
+        response = connection.getresponse()
+        return response.status, json_module.loads(response.read())
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench_store.sqlite"
+        with PatternStore(path) as store:
+            store.save(result, params=params)
+        server = create_server(path)
+        host, port = server.server_address[:2]
+        server_thread = threading.Thread(
+            target=lambda: server.serve_forever(poll_interval=0.05),
+            daemon=True,
+        )
+        server_thread.start()
+        try:
+            probe = HTTPConnection(host, port, timeout=10)
+            status, top = get(probe, "/top?k=5")
+            label = top["entries"][0]["label"].split()[0]
+            paths = (
+                "/patterns/1",
+                "/top?k=5",
+                f"/patterns?attributes={label}&mode=any",
+                "/runs",
+            )
+            for request_path in paths:  # warm the pool's LRU
+                get(probe, request_path)
+            rounds = 30
+            seconds = timed(
+                lambda: [
+                    get(probe, request_path)
+                    for _ in range(rounds)
+                    for request_path in paths
+                ]
+            )
+            probe.close()
+            entries.append(
+                entry("http_sequential_read", graph, seconds,
+                      requests=rounds * len(paths))
+            )
+
+            def client_load():
+                connection = HTTPConnection(host, port, timeout=10)
+                for index in range(client_requests):
+                    get(connection, paths[index % len(paths)])
+                connection.close()
+
+            client_threads = [
+                threading.Thread(target=client_load, daemon=True)
+                for _ in range(clients)
+            ]
+            started = time.perf_counter()
+            for client_thread in client_threads:
+                client_thread.start()
+            for client_thread in client_threads:
+                client_thread.join()
+            entries.append(
+                entry(
+                    "http_concurrent_read",
+                    graph,
+                    time.perf_counter() - started,
+                    clients=clients,
+                    requests=clients * client_requests,
+                )
+            )
+        finally:
+            server.stop()
+            server_thread.join(timeout=30)
     return entries
 
 

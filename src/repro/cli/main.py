@@ -1,10 +1,11 @@
 """Command-line interface for structural correlation pattern mining.
 
-Three sub-commands are provided::
+Four sub-commands are provided::
 
     scpm mine  --edges g.edges --attributes g.attrs --min-support 100 ...
     scpm demo  --profile dblp  [--scale 0.5]
     scpm query --store patterns.sqlite --vertex 42
+    scpm serve --store patterns.sqlite --port 8765
 
 ``mine`` runs SCPM (or the naive baseline) on a graph read from disk and
 prints the ranking tables; ``demo`` generates one of the built-in synthetic
@@ -17,7 +18,12 @@ WAL mode), and ``query`` serves a stored run back without re-mining
 anything (:mod:`repro.serve`): one pattern by id, patterns containing a
 vertex, patterns whose attribute set matches a filter (``--mode all|any``),
 or the materialised top-k-by-ε ranking.  Exactly one of the four lookups
-must be chosen per invocation.
+must be chosen per invocation.  ``serve`` keeps the same four lookups up
+as a threaded HTTP/JSON server (:mod:`repro.serve.http`) until
+interrupted — ``GET /patterns/<id>``, ``/patterns?vertex=`` /
+``?attributes=&mode=``, ``/top?k=``, plus ``/runs``, ``/healthz`` and
+``/metrics`` — so a store mined once can take concurrent read traffic
+while later ``mine --store`` runs append to it.
 
 ``mine --streaming`` swaps the in-memory loader for the bounded-memory
 streaming ingest (:mod:`repro.graph.streaming`): the files are folded
@@ -121,6 +127,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="top-k attribute sets by epsilon from the materialised listing",
     )
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a pattern store over HTTP (JSON endpoints)"
+    )
+    serve.add_argument(
+        "--store", required=True, help="pattern store written by mine --store"
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port to bind; 0 picks a free ephemeral port "
+        "(default: 8765)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        help="LRU capacity of each pooled reader (default: 256; "
+        "0 disables caching)",
+    )
     return parser
 
 
@@ -213,6 +245,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "query":
         return _run_query(args, parser)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "mine":
         if args.streaming:
@@ -360,6 +395,45 @@ def _run_query(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
     except StoreError as error:
         print(f"scpm query: error: {error}", file=sys.stderr)
         return 1
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``scpm serve`` subcommand: HTTP serving until interrupted.
+
+    Store-level problems (missing file, not a store) and bind failures
+    (port in use, bad interface) print to stderr and exit 1; Ctrl-C
+    shuts down gracefully — in-flight requests drain, readers close —
+    and exits 0.
+    """
+    from repro.errors import StoreError
+    from repro.serve.http import create_server
+
+    try:
+        server = create_server(
+            args.store,
+            host=args.host,
+            port=args.port,
+            cache_size=args.cache_size,
+        )
+    except StoreError as error:
+        print(f"scpm serve: error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(
+            f"scpm serve: error: cannot bind {args.host}:{args.port}: {error}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"serving pattern store {args.store} on {server.url}")
+    print("endpoints: /patterns/<id>  /patterns?vertex=|attributes=&mode=  "
+          "/top?k=  /runs  /healthz  /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (draining in-flight requests) ...")
+    finally:
+        server.stop()
     return 0
 
 

@@ -89,6 +89,17 @@ class QueryError(StoreError, ValueError):
     """Raised when a read-path query is malformed (bad mode, empty filter)."""
 
 
+class NotFoundError(StoreError, LookupError):
+    """Raised when a lookup names a run or pattern the store does not hold.
+
+    Splits "you asked for something that is not there" from the rest of
+    :class:`StoreError` ("the store itself is broken / misused"), so the
+    serving front ends can map lookups onto their own error vocabulary —
+    the HTTP tier answers 404 for this class and 500 for any other
+    ``StoreError``.  Catching :class:`StoreError` still covers both.
+    """
+
+
 class DatasetError(ReproError):
     """Raised when a dataset cannot be generated or parsed."""
 

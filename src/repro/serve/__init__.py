@@ -6,22 +6,32 @@ API (point lookups, vertex/attribute filters, the materialised top-k-
 by-ε ranking, full lossless :class:`~repro.correlation.patterns.MiningResult`
 reconstruction), with a per-reader
 :class:`~repro.serve.cache.LRUCache` keeping hot deserialized patterns
-in memory.  The ``scpm query`` CLI subcommand
-(:mod:`repro.cli.main`) fronts the same four lookups from the shell.
+in memory.  Two front ends share that API: the ``scpm query`` CLI
+subcommand (:mod:`repro.cli.main`) for one-shot lookups from the shell,
+and the ``scpm serve`` threaded HTTP/JSON server
+(:mod:`repro.serve.http`) that keeps a whole
+:class:`~repro.serve.pool.ReaderPool` of warm readers — one leased per
+in-flight request — and reports per-endpoint request/latency counters
+plus pool-wide cache hit ratios through ``/metrics``
+(:mod:`repro.serve.metrics`).
 
 WAL mode means any number of these readers run against a store while
 ``scpm mine --store`` appends the next run — no locks, no partial runs
 (``tests/store/test_concurrency.py``,
-``benchmarks/bench_pattern_store.py``).
+``benchmarks/bench_pattern_store.py``,
+``benchmarks/bench_http_serve.py``).
 """
 
 from repro.serve.cache import LRUCache
+from repro.serve.metrics import LatencyHistogram, ServingMetrics
+from repro.serve.pool import ReaderPool
 from repro.serve.reader import (
     ListingEntry,
     PatternStoreReader,
     RunInfo,
     StoredPattern,
 )
+from repro.serve.http import PatternStoreServer, create_server
 
 __all__ = [
     "PatternStoreReader",
@@ -29,4 +39,9 @@ __all__ = [
     "ListingEntry",
     "RunInfo",
     "LRUCache",
+    "ReaderPool",
+    "ServingMetrics",
+    "LatencyHistogram",
+    "PatternStoreServer",
+    "create_server",
 ]

@@ -1,4 +1,4 @@
-"""A small instrumented LRU cache for hot deserialized patterns.
+"""A small instrumented, thread-safe LRU cache for hot deserialized patterns.
 
 ``functools.lru_cache`` memoizes per-function, not per-store, and hides
 its eviction policy behind an opaque wrapper; the serving layer instead
@@ -6,12 +6,22 @@ uses this explicit ``OrderedDict``-based cache so each
 :class:`~repro.serve.reader.PatternStoreReader` owns its own bounded
 working set and the benchmarks can read hit/miss counters directly
 (cold-vs-warm lookup rows in ``benchmarks/bench_pattern_store.py``).
+
+Every operation — lookup, insert, eviction, counter update — runs under
+one internal lock.  The HTTP tier leases each reader to one request at a
+time (:mod:`repro.serve.pool`), but the metrics endpoint reads cache
+counters from *other* threads while requests are in flight; without the
+lock those reads could tear an ``OrderedDict`` mid-``move_to_end`` and
+the hit/miss totals could drop increments.  The lock is uncontended in
+the common case (one reader = one thread), so the overhead is one
+``RLock`` acquire per lookup.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Any, Hashable, Optional
+from typing import Any, Dict, Hashable, Optional
 
 _MISSING = object()
 
@@ -27,36 +37,52 @@ class LRUCache:
     def __init__(self, capacity: int = 256) -> None:
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable, default: Optional[Any] = None) -> Any:
         """Return the cached value (refreshing its recency) or ``default``."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self.misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/refresh ``key``, evicting the stalest entry when full."""
         if self.capacity <= 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        """One consistent snapshot of the counters (for aggregation)."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+            }

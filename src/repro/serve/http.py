@@ -1,0 +1,422 @@
+"""HTTP serving front end over the pattern store — stdlib only.
+
+:class:`PatternStoreServer` turns the four PR-6 read-path lookups into
+JSON endpoints so mined patterns can be served to many clients without
+linking the library::
+
+    GET /patterns/<id>                     one pattern by id
+    GET /patterns?vertex=V                 patterns containing a vertex
+    GET /patterns?attributes=a,b&mode=all  attribute filter (all|any)
+    GET /top?k=K[&run=R]                   materialised top-k-by-ε
+    GET /runs                              stored run headers
+    GET /healthz                           liveness + store reachability
+    GET /metrics                           request/error/latency counters
+                                           + pool-wide cache hit ratios
+
+The server is ``http.server.ThreadingHTTPServer`` (one handler thread
+per connection, HTTP/1.1 keep-alive) over a
+:class:`~repro.serve.pool.ReaderPool`: each request leases a
+thread-affine :class:`~repro.serve.reader.PatternStoreReader` — with
+its warm LRU — for exactly the duration of the lookup, so concurrent
+clients never share a SQLite connection and WAL keeps them from ever
+blocking a live ``scpm mine --store`` writer
+(``benchmarks/bench_http_serve.py`` gates ≥8 clients, zero 5xx, zero
+lock errors).
+
+Error contract (all bodies are JSON, ``{"error": {...}}``):
+
+* ``400`` — the request is malformed: unknown/conflicting query
+  parameters, non-integer ids, a bad ``mode`` …
+  (:class:`~repro.errors.QueryError`);
+* ``404`` — well-formed but naming something the store does not hold:
+  unknown endpoint, unknown pattern id or run
+  (:class:`~repro.errors.NotFoundError`);
+* ``500`` — the store is broken or the server is mid-shutdown (any
+  other :class:`~repro.errors.StoreError`, or an unexpected exception).
+
+:meth:`PatternStoreServer.stop` is the graceful-shutdown path: stop
+accepting, join every in-flight handler thread, then close the reader
+pool — in that order, so no request ever observes a closed reader.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import NotFoundError, QueryError, StoreError
+from repro.graph.io import parse_vertex_token
+from repro.serve.metrics import ServingMetrics
+from repro.serve.pool import ReaderPool
+from repro.serve.reader import ListingEntry, RunInfo, StoredPattern
+from repro.store.codec import encode_value
+
+PathLike = Union[str, Path]
+
+SERVER_NAME = "scpm-serve"
+
+
+# ----------------------------------------------------------------------
+# JSON payload shapes
+# ----------------------------------------------------------------------
+def _jsonable(value):
+    """Codec-supported value → JSON-native form.
+
+    Tuples become arrays; non-finite floats (which JSON cannot carry)
+    become their ``repr`` strings (``"nan"``, ``"inf"``); everything
+    else the codec admits is already JSON-native.
+    """
+    if isinstance(value, tuple):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    return value
+
+
+def _vertex_sort_key(vertex) -> Tuple[str, float, str]:
+    """Deterministic total order over mixed-type vertex sets.
+
+    Groups by codec type tag, then orders numerics numerically and
+    strings lexicographically — so the common all-int case lists as
+    ``6, 7, …, 10, 11`` instead of the encoded-text order.
+    """
+    encoded = encode_value(vertex)
+    tag = encoded[0]
+    if tag in "ifb":
+        numeric = float(vertex)
+        if math.isnan(numeric):
+            return (tag, math.inf, encoded)
+        # encoded text breaks ties between huge ints that collapse to
+        # the same float, keeping the order total and deterministic.
+        return (tag, numeric, encoded)
+    if tag == "s":
+        return (tag, 0.0, vertex)
+    return (tag, 0.0, encoded)  # None and tuples fall back to the codec
+
+
+def pattern_payload(stored: StoredPattern) -> Dict[str, object]:
+    pattern = stored.pattern
+    return {
+        "pattern_id": stored.pattern_id,
+        "set_id": stored.set_id,
+        "run_id": stored.run_id,
+        "attributes": [_jsonable(a) for a in pattern.attributes],
+        "gamma": _jsonable(pattern.gamma),
+        "size": len(pattern.vertices),
+        "vertices": [
+            _jsonable(v)
+            for v in sorted(pattern.vertices, key=_vertex_sort_key)
+        ],
+    }
+
+
+def listing_payload(entry: ListingEntry) -> Dict[str, object]:
+    return {
+        "rank": entry.rank,
+        "set_id": entry.set_id,
+        "label": entry.label,
+        "epsilon": _jsonable(entry.epsilon),
+        "support": entry.support,
+    }
+
+
+def run_payload(info: RunInfo) -> Dict[str, object]:
+    return {
+        "run_id": info.run_id,
+        "algorithm": info.algorithm,
+        "created_utc": info.created_utc,
+        "num_evaluated": info.num_evaluated,
+        "num_qualified": info.num_qualified,
+        "num_patterns": info.num_patterns,
+    }
+
+
+def _error_payload(status: int, error: BaseException) -> Dict[str, object]:
+    return {
+        "error": {
+            "status": status,
+            "type": type(error).__name__,
+            "message": str(error),
+        }
+    }
+
+
+# ----------------------------------------------------------------------
+# request handler
+# ----------------------------------------------------------------------
+def _single_param(
+    params: Dict[str, List[str]], name: str
+) -> Optional[str]:
+    values = params.get(name)
+    if not values:
+        return None
+    if len(values) > 1:
+        raise QueryError(f"query parameter {name!r} given more than once")
+    return values[0]
+
+
+def _int_param(params: Dict[str, List[str]], name: str) -> Optional[int]:
+    text = _single_param(params, name)
+    if text is None:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        raise QueryError(
+            f"query parameter {name!r} must be an integer, got {text!r}"
+        ) from None
+
+
+def _reject_unknown_params(
+    params: Dict[str, List[str]], allowed: Tuple[str, ...]
+) -> None:
+    unknown = sorted(set(params) - set(allowed))
+    if unknown:
+        raise QueryError(
+            f"unknown query parameter(s) {', '.join(map(repr, unknown))} "
+            f"(expected only {', '.join(map(repr, allowed)) or 'none'})"
+        )
+
+
+class PatternStoreHandler(BaseHTTPRequestHandler):
+    """One GET-only JSON handler; all state lives on the server object."""
+
+    server_version = SERVER_NAME + "/1"
+    protocol_version = "HTTP/1.1"
+    # Idle keep-alive connections release their handler thread after
+    # this many seconds, bounding how long a graceful stop can drain.
+    timeout = 10.0
+    # Headers and body go out as separate writes; with Nagle on, the
+    # body segment waits on the client's delayed ACK (~40ms per
+    # keep-alive request on loopback).  TCP_NODELAY sends both at once.
+    disable_nagle_algorithm = True
+
+    server: "PatternStoreServer"  # narrowed from socketserver.BaseServer
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # metrics replace the default per-request stderr chatter
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server naming contract
+        split = urlsplit(self.path)
+        endpoint = self._endpoint_name(split.path)
+        started = perf_counter()
+        try:
+            status, payload = self._dispatch(split.path, split.query)
+        except QueryError as error:
+            status, payload = 400, _error_payload(400, error)
+        except NotFoundError as error:
+            status, payload = 404, _error_payload(404, error)
+        except StoreError as error:
+            status, payload = 500, _error_payload(500, error)
+        except Exception as error:  # pragma: no cover — defensive 500
+            status, payload = 500, _error_payload(500, error)
+        elapsed = perf_counter() - started
+        self.server.metrics.observe(endpoint, status, elapsed)
+        try:
+            body = json.dumps(payload, allow_nan=False).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True  # client went away mid-response
+
+    # -- routing -------------------------------------------------------
+    @staticmethod
+    def _endpoint_name(path: str) -> str:
+        path = path.rstrip("/") or "/"
+        if path.startswith("/patterns/"):
+            return "get_pattern"
+        return {
+            "/patterns": "patterns",
+            "/top": "top_k",
+            "/runs": "runs",
+            "/healthz": "healthz",
+            "/metrics": "metrics",
+        }.get(path, "unknown")
+
+    def _dispatch(
+        self, raw_path: str, raw_query: str
+    ) -> Tuple[int, Dict[str, object]]:
+        path = raw_path.rstrip("/") or "/"
+        params = parse_qs(raw_query, keep_blank_values=True)
+        if path == "/healthz":
+            return self._healthz(params)
+        if path == "/metrics":
+            return self._metrics(params)
+        if path == "/runs":
+            return self._runs(params)
+        if path == "/top":
+            return self._top(params)
+        if path == "/patterns":
+            return self._patterns(params)
+        if path.startswith("/patterns/"):
+            return self._pattern_by_id(path, params)
+        raise NotFoundError(f"no such endpoint: {raw_path!r}")
+
+    # -- endpoints -----------------------------------------------------
+    def _healthz(self, params) -> Tuple[int, Dict[str, object]]:
+        _reject_unknown_params(params, ())
+        with self.server.pool.lease() as reader:
+            num_runs = len(reader.runs())  # proves the store is readable
+        return 200, {
+            "status": "ok",
+            "store": str(self.server.store_path),
+            "runs": num_runs,
+        }
+
+    def _metrics(self, params) -> Tuple[int, Dict[str, object]]:
+        _reject_unknown_params(params, ())
+        snapshot = self.server.metrics.snapshot()
+        snapshot["pool"] = self.server.pool.cache_stats()
+        snapshot["store"] = str(self.server.store_path)
+        return 200, snapshot
+
+    def _runs(self, params) -> Tuple[int, Dict[str, object]]:
+        _reject_unknown_params(params, ())
+        with self.server.pool.lease() as reader:
+            runs = reader.runs()
+        return 200, {"runs": [run_payload(info) for info in runs]}
+
+    def _top(self, params) -> Tuple[int, Dict[str, object]]:
+        _reject_unknown_params(params, ("k", "run"))
+        k = _int_param(params, "k")
+        if k is None:
+            raise QueryError("/top needs a k= query parameter")
+        run_id = _int_param(params, "run")
+        with self.server.pool.lease() as reader:
+            if run_id is None:
+                run_id = reader.latest_run_id()
+            entries = reader.top_k(k, run_id=run_id)
+        return 200, {
+            "run_id": run_id,
+            "k": k,
+            "entries": [listing_payload(entry) for entry in entries],
+        }
+
+    def _patterns(self, params) -> Tuple[int, Dict[str, object]]:
+        _reject_unknown_params(params, ("vertex", "attributes", "mode"))
+        vertex = _single_param(params, "vertex")
+        attributes = _single_param(params, "attributes")
+        if (vertex is None) == (attributes is None):
+            raise QueryError(
+                "/patterns needs exactly one of vertex= or attributes="
+            )
+        mode = _single_param(params, "mode")
+        if mode is not None and attributes is None:
+            raise QueryError("mode= is only valid together with attributes=")
+        with self.server.pool.lease() as reader:
+            if vertex is not None:
+                parsed = parse_vertex_token(vertex)
+                matches = reader.patterns_with_vertex(parsed)
+                if not matches and parsed != vertex:
+                    # Mirror the CLI: a programmatic store may key this
+                    # vertex as the raw string, not the parsed integer.
+                    matches = reader.patterns_with_vertex(vertex)
+            else:
+                filters = [
+                    token for token in attributes.split(",") if token != ""
+                ]
+                matches = reader.patterns_with_attributes(
+                    filters, mode=mode or "all"
+                )
+        return 200, {
+            "count": len(matches),
+            "patterns": [pattern_payload(stored) for stored in matches],
+        }
+
+    def _pattern_by_id(self, path: str, params) -> Tuple[int, Dict[str, object]]:
+        _reject_unknown_params(params, ())
+        suffix = path[len("/patterns/"):]
+        if "/" in suffix:
+            raise NotFoundError(f"no such endpoint: {path!r}")
+        try:
+            pattern_id = int(suffix)
+        except ValueError:
+            raise QueryError(
+                f"pattern id must be an integer, got {suffix!r}"
+            ) from None
+        with self.server.pool.lease() as reader:
+            stored = reader.get_pattern(pattern_id)
+        return 200, pattern_payload(stored)
+
+
+# ----------------------------------------------------------------------
+# server
+# ----------------------------------------------------------------------
+class PatternStoreServer(ThreadingHTTPServer):
+    """Threaded HTTP server over one pattern store file.
+
+    ``port=0`` binds an ephemeral port (see :attr:`url`).  The store is
+    opened once up front so a missing/corrupt path fails at construction
+    (:class:`~repro.errors.StoreError`) instead of on the first request.
+    """
+
+    # Drain semantics: handler threads are joined by server_close(), so
+    # stop() can close the reader pool only after the last request left.
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(
+        self,
+        store_path: PathLike,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_size: int = 256,
+    ) -> None:
+        self.store_path = Path(store_path)
+        self.pool = ReaderPool(self.store_path, cache_size=cache_size)
+        self.metrics = ServingMetrics()
+        self._stopped = threading.Event()
+        self._serving = threading.Event()
+        try:
+            with self.pool.lease() as reader:
+                reader.runs()  # fail fast: not-a-store, schema mismatch …
+            super().__init__((host, port), PatternStoreHandler)
+        except BaseException:
+            self.pool.close()
+            raise
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        self._serving.set()
+        try:
+            super().serve_forever(poll_interval)
+        finally:
+            self._serving.clear()
+
+    def stop(self) -> None:
+        """Graceful shutdown: drain in-flight requests, close readers."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        if self._serving.is_set():
+            # shutdown() blocks forever unless serve_forever is (or was)
+            # running — guard so stop() also works on a never-started
+            # or already-interrupted server.
+            self.shutdown()
+        self.server_close()  # close socket + join handler threads
+        self.pool.close()
+
+
+def create_server(
+    store_path: PathLike,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache_size: int = 256,
+) -> PatternStoreServer:
+    """Construct (but do not start) a :class:`PatternStoreServer`."""
+    return PatternStoreServer(
+        store_path, host=host, port=port, cache_size=cache_size
+    )

@@ -1,0 +1,171 @@
+"""Serving-tier metrics — request/error counters and latency histograms.
+
+The HTTP front end (:mod:`repro.serve.http`) records one observation
+per request: which endpoint, which status code, how many wall seconds.
+:class:`ServingMetrics` aggregates those under one lock into the shape
+the ``/metrics`` endpoint reports:
+
+* per-endpoint request totals and error totals (split 4xx vs 5xx, plus
+  the exact status-code breakdown);
+* per-endpoint latency histograms with fixed log-spaced bucket bounds
+  (Prometheus-style ``le`` buckets, cumulative), count/total/max so the
+  mean is recoverable;
+* server-wide totals.
+
+Pool-wide cache hit ratios are *not* tracked here — they live with the
+readers and are aggregated by
+:meth:`repro.serve.pool.ReaderPool.cache_stats`; the HTTP layer merges
+both views into one ``/metrics`` document.
+
+Everything is stdlib, counters only — no sampling, no background
+threads — so the cost per request is one lock acquire and a handful of
+integer increments.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, List, Optional, Tuple
+
+#: Log-spaced latency bucket upper bounds, in seconds (plus +inf).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (seconds, cumulative ``le`` form).
+
+    Not thread-safe by itself — :class:`ServingMetrics` serialises all
+    mutation under its own lock.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total_seconds", "max_seconds")
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 = the +inf bucket
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, seconds)] += 1
+        self.count += 1
+        self.total_seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile (0 < q <= 1).
+
+        Returns the upper bound of the bucket holding the quantile
+        observation; observations above the last bound report
+        ``max_seconds``.  Zero observations report 0.0.
+        """
+        if self.count == 0:
+            return 0.0
+        target = max(1, int(q * self.count + 0.5))
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= target:
+                if index >= len(self.bounds):
+                    return self.max_seconds
+                return self.bounds[index]
+        return self.max_seconds  # pragma: no cover — seen always reaches count
+
+    def snapshot(self) -> Dict[str, object]:
+        cumulative: List[Tuple[str, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            running += bucket_count
+            cumulative.append((repr(bound), running))
+        cumulative.append(("+inf", self.count))
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "max_seconds": self.max_seconds,
+            "mean_seconds": (self.total_seconds / self.count)
+            if self.count
+            else 0.0,
+            "p50_seconds": self.quantile(0.5),
+            "p99_seconds": self.quantile(0.99),
+            "buckets_le": dict(cumulative),
+        }
+
+
+class _EndpointMetrics:
+    __slots__ = ("requests", "errors_4xx", "errors_5xx", "by_status", "latency")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.errors_4xx = 0
+        self.errors_5xx = 0
+        self.by_status: Dict[int, int] = {}
+        self.latency = LatencyHistogram()
+
+
+class ServingMetrics:
+    """Thread-safe per-endpoint request metrics for one server."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: Dict[str, _EndpointMetrics] = {}
+
+    def observe(self, endpoint: str, status: int, seconds: float) -> None:
+        """Record one finished request."""
+        with self._lock:
+            metrics = self._endpoints.get(endpoint)
+            if metrics is None:
+                metrics = self._endpoints[endpoint] = _EndpointMetrics()
+            metrics.requests += 1
+            if 400 <= status < 500:
+                metrics.errors_4xx += 1
+            elif status >= 500:
+                metrics.errors_5xx += 1
+            metrics.by_status[status] = metrics.by_status.get(status, 0) + 1
+            metrics.latency.observe(seconds)
+
+    def requests_total(self, endpoint: Optional[str] = None) -> int:
+        with self._lock:
+            if endpoint is not None:
+                metrics = self._endpoints.get(endpoint)
+                return metrics.requests if metrics else 0
+            return sum(m.requests for m in self._endpoints.values())
+
+    def errors_total(self, server_errors_only: bool = False) -> int:
+        with self._lock:
+            if server_errors_only:
+                return sum(m.errors_5xx for m in self._endpoints.values())
+            return sum(
+                m.errors_4xx + m.errors_5xx for m in self._endpoints.values()
+            )
+
+    def snapshot(self) -> Dict[str, object]:
+        """One consistent JSON-ready view of every endpoint's counters."""
+        with self._lock:
+            endpoints = {}
+            total_requests = total_4xx = total_5xx = 0
+            for name in sorted(self._endpoints):
+                metrics = self._endpoints[name]
+                total_requests += metrics.requests
+                total_4xx += metrics.errors_4xx
+                total_5xx += metrics.errors_5xx
+                endpoints[name] = {
+                    "requests": metrics.requests,
+                    "errors_4xx": metrics.errors_4xx,
+                    "errors_5xx": metrics.errors_5xx,
+                    "by_status": {
+                        str(status): count
+                        for status, count in sorted(metrics.by_status.items())
+                    },
+                    "latency": metrics.latency.snapshot(),
+                }
+            return {
+                "requests": total_requests,
+                "errors_4xx": total_4xx,
+                "errors_5xx": total_5xx,
+                "endpoints": endpoints,
+            }

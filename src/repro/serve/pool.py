@@ -1,0 +1,161 @@
+"""Reader pool of the HTTP serving tier — one leased reader per thread.
+
+SQLite connections are thread-affine in practice (one statement stream,
+one transaction state), so the threaded HTTP server cannot share a
+single :class:`~repro.serve.reader.PatternStoreReader` across handler
+threads.  Opening a fresh reader per request would work but throws away
+the per-reader LRU exactly when it matters — a hot pattern would be
+deserialized again on every request.
+
+:class:`ReaderPool` sits in between: readers are created on demand,
+**leased** to one thread at a time (so no two threads ever touch the
+same connection concurrently), and parked in a LIFO free list on
+release so the most recently warmed LRU is handed out first.  The pool
+never holds more readers than the peak number of concurrent leases —
+with ``http.server.ThreadingHTTPServer`` that is the peak number of
+in-flight requests, i.e. effectively one reader per busy worker thread.
+
+The pool also owns the aggregate view the ``/metrics`` endpoint
+reports: :meth:`cache_stats` sums hit/miss counters across every reader
+ever created (leased or parked), which is the pool-wide cache hit
+ratio, and :meth:`close` drains the whole population — the graceful-
+shutdown path of :class:`~repro.serve.http.PatternStoreServer` calls it
+after the in-flight requests have finished.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Union
+
+from repro.errors import StoreError
+from repro.serve.reader import PatternStoreReader
+
+PathLike = Union[str, Path]
+
+
+class ReaderPool:
+    """Bounded-by-concurrency pool of :class:`PatternStoreReader`.
+
+    Usage::
+
+        pool = ReaderPool("patterns.sqlite")
+        with pool.lease() as reader:
+            reader.top_k(5)
+        ...
+        pool.close()
+
+    Leasing from a closed pool raises :class:`~repro.errors.StoreError`;
+    a reader returned to a closed pool is closed on the spot instead of
+    being parked (covers requests still in flight when shutdown starts).
+    """
+
+    def __init__(self, path: PathLike, cache_size: int = 256) -> None:
+        self.path = Path(path)
+        self.cache_size = cache_size
+        self._lock = threading.Lock()
+        self._free: List[PatternStoreReader] = []
+        self._all: List[PatternStoreReader] = []
+        self._closed = False
+        self._peak_leases = 0
+        self._active_leases = 0
+
+    # ------------------------------------------------------------------
+    # leasing
+    # ------------------------------------------------------------------
+    @contextmanager
+    def lease(self) -> Iterator[PatternStoreReader]:
+        """Borrow a reader for the current thread, then park it again."""
+        reader = self._checkout()
+        try:
+            yield reader
+        finally:
+            self._checkin(reader)
+
+    def _checkout(self) -> PatternStoreReader:
+        with self._lock:
+            if self._closed:
+                raise StoreError("reader pool is closed")
+            self._active_leases += 1
+            self._peak_leases = max(self._peak_leases, self._active_leases)
+            if self._free:
+                return self._free.pop()
+        # Opening the store happens outside the lock (it does real I/O).
+        reader = PatternStoreReader(self.path, cache_size=self.cache_size)
+        with self._lock:
+            if self._closed:
+                self._active_leases -= 1
+                reader.close()
+                raise StoreError("reader pool is closed")
+            self._all.append(reader)
+        return reader
+
+    def _checkin(self, reader: PatternStoreReader) -> None:
+        with self._lock:
+            self._active_leases -= 1
+            if not self._closed:
+                self._free.append(reader)
+                return
+        reader.close()  # pool shut down while this lease was out
+
+    # ------------------------------------------------------------------
+    # aggregate view / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def num_readers(self) -> int:
+        """Readers currently alive (parked + leased)."""
+        with self._lock:
+            return len(self._all)
+
+    @property
+    def peak_leases(self) -> int:
+        """Most readers ever leased at once (= peak request concurrency)."""
+        with self._lock:
+            return self._peak_leases
+
+    def cache_stats(self) -> Dict[str, float]:
+        """Hit/miss totals and hit ratio aggregated across the pool."""
+        with self._lock:
+            readers = list(self._all)
+            num_readers = len(readers)
+        hits = misses = entries = 0
+        for reader in readers:
+            stats = reader.cache.stats()
+            hits += stats["hits"]
+            misses += stats["misses"]
+            entries += stats["entries"]
+        lookups = hits + misses
+        return {
+            "readers": num_readers,
+            "hits": hits,
+            "misses": misses,
+            "entries": entries,
+            "hit_ratio": (hits / lookups) if lookups else 0.0,
+        }
+
+    def close(self) -> None:
+        """Close every parked reader and refuse new leases (idempotent).
+
+        Readers still leased are closed by their ``_checkin``; callers
+        coordinating shutdown should drain in-flight work first (the
+        HTTP server joins its handler threads before calling this).
+        """
+        with self._lock:
+            self._closed = True
+            to_close = list(self._free)
+            self._free.clear()
+        for reader in to_close:
+            reader.close()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __enter__(self) -> "ReaderPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -39,7 +39,7 @@ from repro.correlation.patterns import (
     MiningResult,
     StructuralCorrelationPattern,
 )
-from repro.errors import QueryError, StoreError
+from repro.errors import NotFoundError, QueryError, StoreError
 from repro.store import schema
 from repro.store.codec import decode_value, encode_value
 from repro.serve.cache import LRUCache
@@ -90,6 +90,21 @@ def _fts_phrase(token: str) -> str:
     return '"' + token.replace('"', '""') + '"'
 
 
+def _fts_tokenizable(attribute: Hashable) -> bool:
+    """True when the display token yields at least one FTS5 token.
+
+    The default ``unicode61`` tokenizer keeps Unicode letters and digits
+    (categories ``L*``/``N*``) and treats everything else as a
+    separator, which is exactly what :meth:`str.isalnum` tests
+    character-wise.  A filter value with no token characters at all
+    (``"!!!"``, ``""``, ``"--"``) tokenizes to an *empty phrase*, and an
+    empty phrase silently MATCHes nothing — as a narrowing clause it
+    would exclude every set the exact relational check keeps, so such
+    filters must skip FTS narrowing entirely.
+    """
+    return any(character.isalnum() for character in str(attribute))
+
+
 class PatternStoreReader:
     """Concurrent-read client of one pattern store file.
 
@@ -101,6 +116,7 @@ class PatternStoreReader:
 
     def __init__(self, path: PathLike, cache_size: int = 256) -> None:
         self.path = Path(path)
+        self.cache = LRUCache(cache_size)
         self._connection = schema.connect(self.path, create=False)
         try:
             schema.check_schema_version(self._connection)
@@ -108,18 +124,28 @@ class PatternStoreReader:
                 schema.read_meta(self._connection, "fts_enabled") == "1"
             )
         except sqlite3.OperationalError as error:
+            self.close()
             raise StoreError(
                 f"{str(self.path)!r} is not a pattern store: {error}"
             ) from error
-        self.cache = LRUCache(cache_size)
+        except BaseException:
+            self.close()
+            raise
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        if self._connection is not None:
-            self._connection.close()
-            self._connection = None
+        """Release the connection (idempotent).
+
+        After closing, *every* public method raises
+        :class:`~repro.errors.StoreError` — including cache-served
+        lookups, so a closed reader can never hand out stale patterns.
+        """
+        connection, self._connection = self._connection, None
+        if connection is not None:
+            connection.close()
+            self.cache.clear()
 
     def __enter__(self) -> "PatternStoreReader":
         return self
@@ -127,19 +153,45 @@ class PatternStoreReader:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _require_open(self) -> sqlite3.Connection:
+        """The live connection, or :class:`StoreError` once closed.
+
+        Returning the connection (instead of touching ``self._connection``
+        again later) keeps a concurrent ``close()`` from turning in-flight
+        statements into ``AttributeError: 'NoneType' ...``.
+        """
+        connection = self._connection
+        if connection is None:
+            raise StoreError("pattern store reader is closed")
+        return connection
+
     @contextmanager
     def _snapshot(self):
-        """One stable WAL snapshot across several SELECTs."""
-        if self._connection is None:
-            raise StoreError("pattern store reader is closed")
-        fresh = self._connection.in_transaction is False
+        """One stable WAL snapshot across several SELECTs.
+
+        The deferred transaction is committed only when the body
+        succeeded; when it raised, the snapshot is rolled back so the
+        reader is immediately usable again (a commit attempt on a
+        half-failed transaction could itself raise and mask the body's
+        exception — rollback failures are swallowed for the same
+        reason).
+        """
+        connection = self._require_open()
+        fresh = connection.in_transaction is False
         if fresh:
-            self._connection.execute("BEGIN")
+            connection.execute("BEGIN")
         try:
-            yield self._connection
-        finally:
-            if fresh and self._connection is not None:
-                self._connection.commit()
+            yield connection
+        except BaseException:
+            if fresh:
+                try:
+                    connection.rollback()
+                except sqlite3.Error:
+                    pass  # never mask the body's exception
+            raise
+        else:
+            if fresh:
+                connection.commit()
 
     # ------------------------------------------------------------------
     # run metadata
@@ -157,7 +209,9 @@ class PatternStoreReader:
         with self._snapshot() as connection:
             row = connection.execute("SELECT MAX(run_id) FROM runs").fetchone()
         if row[0] is None:
-            raise StoreError(f"pattern store {str(self.path)!r} holds no runs")
+            raise NotFoundError(
+                f"pattern store {str(self.path)!r} holds no runs"
+            )
         return row[0]
 
     # ------------------------------------------------------------------
@@ -165,13 +219,14 @@ class PatternStoreReader:
     # ------------------------------------------------------------------
     def get_pattern(self, pattern_id: int) -> StoredPattern:
         """One pattern by id; hot ids come straight from the LRU."""
+        self._require_open()  # a closed reader must not serve cache hits
         cached = self.cache.get(pattern_id)
         if cached is not None:
             return cached
         with self._snapshot() as connection:
             stored = self._fetch_pattern(connection, pattern_id)
         if stored is None:
-            raise StoreError(
+            raise NotFoundError(
                 f"pattern id {pattern_id} is not in store {str(self.path)!r}"
             )
         return stored
@@ -259,7 +314,7 @@ class PatternStoreReader:
                 (run_id, k),
             ).fetchall()
             if not rows and not self._run_exists(connection, run_id):
-                raise StoreError(
+                raise NotFoundError(
                     f"run {run_id} is not in store {str(self.path)!r}"
                 )
         return [
@@ -280,7 +335,7 @@ class PatternStoreReader:
                 (run_id,),
             ).fetchone()
             if header is None:
-                raise StoreError(
+                raise NotFoundError(
                     f"run {run_id} is not in store {str(self.path)!r}"
                 )
             algorithm, counters_json = header
@@ -349,10 +404,20 @@ class PatternStoreReader:
 
         The token index can only *shrink* the scan — matches are still
         verified against ``set_attributes``.  Filters whose display
-        tokens the FTS tokenizer cannot represent (punctuation-only
-        attributes) skip the narrowing rather than mis-filter.
+        tokens the FTS tokenizer cannot represent (punctuation-only or
+        empty attributes, which tokenize to zero tokens and MATCH
+        nothing) skip the narrowing rather than mis-filter: the
+        ``LIMIT 0`` probe below only catches *syntax-level*
+        ``OperationalError``, and a zero-token phrase is syntactically
+        valid — it would silently exclude sets the exact relational
+        check keeps, in ``"all"`` mode (the phrase ANDs the candidate
+        set down to nothing) and in ``"any"`` mode alike (a set whose
+        only matching attribute is the untokenizable one never enters
+        the candidate set).
         """
         if not self.fts_enabled:
+            return "", ()
+        if not all(_fts_tokenizable(attribute) for attribute in attributes):
             return "", ()
         joiner = " AND " if mode == "all" else " OR "
         match = joiner.join(

@@ -59,20 +59,37 @@ def encode_value(value: Hashable) -> str:
 
 
 def decode_value(text: str) -> Hashable:
-    """Invert :func:`encode_value`."""
+    """Invert :func:`encode_value`.
+
+    Any malformed input — missing tag, unknown tag, or a body that does
+    not parse under its tag (``i:abc``, ``f:garbage``, ``t:not-json``) —
+    raises :class:`~repro.errors.StoreError`.  The CLI and HTTP error
+    paths rely on that taxonomy: a corrupt cell must surface as a store
+    problem, never as a raw ``ValueError`` from ``int()``/``float()`` or
+    a ``json.JSONDecodeError``.
+    """
     tag, separator, body = text.partition(":")
     if not separator:
         raise StoreError(f"malformed stored value {text!r} (no type tag)")
     if tag == "s":
         return body
-    if tag == "i":
-        return int(body)
-    if tag == "f":
-        return float(body)
     if tag == "b":
         return body == "1"
     if tag == "n":
         return None
-    if tag == "t":
-        return tuple(decode_value(item) for item in json.loads(body))
+    try:
+        if tag == "i":
+            return int(body)
+        if tag == "f":
+            return float(body)
+        if tag == "t":
+            return tuple(decode_value(item) for item in json.loads(body))
+    except StoreError:
+        raise  # a nested tuple element already carries the right error
+    except (ValueError, TypeError, AttributeError) as error:
+        # json.JSONDecodeError is a ValueError; TypeError/AttributeError
+        # cover t:-array elements that are not strings (e.g. ``t:[1]``).
+        raise StoreError(
+            f"malformed stored value {text!r} (bad {tag!r} body): {error}"
+        ) from error
     raise StoreError(f"malformed stored value {text!r} (unknown tag {tag!r})")

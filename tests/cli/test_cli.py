@@ -295,3 +295,73 @@ class TestMainQuery:
                  "--mode", "sometimes"]
             )
         assert exit_info.value.code == 2
+
+
+class TestMainServe:
+    """``scpm serve`` argument handling and exit codes.
+
+    The live HTTP behaviour is covered end-to-end in
+    ``tests/serve/test_http.py``; here we pin the CLI contract only —
+    usage errors exit 2, store/bind failures exit 1, and a keyboard
+    interrupt drains and exits 0.
+    """
+
+    @pytest.fixture
+    def store(self, tmp_path):
+        from repro.store import save_result
+
+        from tests.serve.test_reader_fixes import handmade_result
+
+        path = tmp_path / "patterns.sqlite"
+        save_result(path, handmade_result(attributes=("db",)))
+        return str(path)
+
+    def test_serve_requires_store_flag(self):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["serve"])
+        assert exit_info.value.code == 2
+
+    def test_serve_rejects_non_integer_port(self, store):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["serve", "--store", store, "--port", "abc"])
+        assert exit_info.value.code == 2
+
+    def test_serve_missing_store_exits_1(self, tmp_path, capsys):
+        missing = tmp_path / "nope.sqlite"
+        assert main(["serve", "--store", str(missing), "--port", "0"]) == 1
+        assert "scpm serve: error:" in capsys.readouterr().err
+        assert not missing.exists()  # serving must never create a store
+
+    def test_serve_bind_failure_exits_1(self, store, capsys):
+        import socket
+
+        blocker = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            assert main(
+                ["serve", "--store", store, "--port", str(port)]
+            ) == 1
+            err = capsys.readouterr().err
+            assert f"cannot bind 127.0.0.1:{port}" in err
+        finally:
+            blocker.close()
+
+    def test_serve_interrupt_drains_and_exits_0(
+        self, store, capsys, monkeypatch
+    ):
+        from repro.serve.http import PatternStoreServer
+
+        monkeypatch.setattr(
+            PatternStoreServer,
+            "serve_forever",
+            lambda self, poll_interval=0.5: (_ for _ in ()).throw(
+                KeyboardInterrupt()
+            ),
+        )
+        assert main(["serve", "--store", store, "--port", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "serving pattern store" in out
+        assert "/healthz" in out
+        assert "shutting down (draining in-flight requests)" in out

@@ -1,0 +1,361 @@
+"""HTTP serving front end — endpoint round-trips, error contract,
+metrics, graceful shutdown, and a concurrent-client smoke vs a live
+writer.
+
+The server under test runs in-process on an ephemeral port
+(``port=0``); clients are plain ``http.client`` connections so the
+whole request/response path — routing, JSON bodies, keep-alive,
+status codes — is exercised over a real socket.
+
+Error contract pinned here (mirrors ``scpm query``'s 0/1/2 exit
+contract at the HTTP level): ``400`` for malformed requests
+(:class:`~repro.errors.QueryError`), ``404`` for well-formed lookups
+naming things the store does not hold
+(:class:`~repro.errors.NotFoundError`), ``500`` never during normal
+serving (the concurrent smoke asserts zero).
+"""
+
+import json
+import threading
+import time
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.correlation.parameters import SCPMParams
+from repro.correlation.scpm import SCPM
+from repro.datasets.synthetic import random_attributed_graph
+from repro.errors import StoreError
+from repro.serve import create_server
+from repro.store import PatternStore, save_result
+
+from tests.serve.test_reader_fixes import handmade_result
+
+PARAMS = SCPMParams(
+    min_support=3, gamma=0.6, min_size=3, min_epsilon=0.1, top_k=4
+)
+
+
+def build_result(seed):
+    graph = random_attributed_graph(
+        num_vertices=20,
+        edge_probability=0.35,
+        attributes=["a", "b", "c", "d"],
+        attribute_probability=0.5,
+        seed=seed,
+    )
+    return SCPM(graph, PARAMS).mine()
+
+
+@pytest.fixture(scope="module")
+def mined_result():
+    # Module-scoped: mining dominates suite wall time, and every test
+    # treats the result as read-only (stores are re-saved per test).
+    result = build_result(seed=13)
+    assert result.patterns, "fixture workload must mine patterns"
+    return result
+
+
+@pytest.fixture
+def store_path(tmp_path, mined_result):
+    path = tmp_path / "store.sqlite"
+    save_result(path, mined_result, params=PARAMS)
+    return path
+
+
+@pytest.fixture
+def server(store_path):
+    server = create_server(store_path)
+    thread = threading.Thread(
+        target=lambda: server.serve_forever(poll_interval=0.05), daemon=True
+    )
+    thread.start()
+    yield server
+    server.stop()
+    thread.join(timeout=30)
+
+
+class Client:
+    """Tiny JSON client over one keep-alive connection."""
+
+    def __init__(self, server, timeout=10):
+        host, port = server.server_address[:2]
+        self.connection = HTTPConnection(host, port, timeout=timeout)
+
+    def get(self, path):
+        self.connection.request("GET", path)
+        response = self.connection.getresponse()
+        body = response.read().decode("utf-8")
+        return response.status, json.loads(body)
+
+    def close(self):
+        self.connection.close()
+
+
+@pytest.fixture
+def client(server):
+    client = Client(server)
+    yield client
+    client.close()
+
+
+class TestEndpointRoundTrips:
+    def test_healthz(self, client):
+        status, body = client.get("/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["runs"] == 1
+
+    def test_runs(self, client, mined_result):
+        status, body = client.get("/runs")
+        assert status == 200
+        (run,) = body["runs"]
+        assert run["run_id"] == 1
+        assert run["algorithm"] == mined_result.algorithm
+        assert run["num_patterns"] == len(mined_result.patterns)
+
+    def test_top_k_matches_in_memory_ranking(self, client, mined_result):
+        status, body = client.get("/top?k=3")
+        assert status == 200
+        assert body["run_id"] == 1
+        expected = mined_result.top_by_epsilon(3)
+        assert [entry["label"] for entry in body["entries"]] == [
+            " ".join(str(a) for a in record.attributes)
+            for record in expected
+        ]
+        assert [entry["epsilon"] for entry in body["entries"]] == [
+            record.epsilon for record in expected
+        ]
+
+    def test_pattern_by_id_round_trips(self, client, mined_result):
+        pattern = mined_result.patterns[0]
+        vertex = next(iter(pattern.vertices))
+        status, body = client.get(f"/patterns?vertex={vertex}")
+        assert status == 200
+        assert body["count"] == len(
+            [p for p in mined_result.patterns if vertex in p.vertices]
+        )
+        first = body["patterns"][0]
+        status, single = client.get(f"/patterns/{first['pattern_id']}")
+        assert status == 200
+        assert single == first
+        assert single["size"] == len(single["vertices"])
+        assert single["vertices"] == sorted(single["vertices"])
+
+    def test_patterns_by_attributes_both_modes(self, client, mined_result):
+        record = next(r for r in mined_result.qualified if r.patterns)
+        filters = ",".join(str(a) for a in record.attributes)
+        status, all_body = client.get(f"/patterns?attributes={filters}")
+        assert status == 200
+        status, any_body = client.get(
+            f"/patterns?attributes={filters}&mode=any"
+        )
+        assert status == 200
+        # every all-mode match is also an any-mode match
+        all_ids = {p["pattern_id"] for p in all_body["patterns"]}
+        any_ids = {p["pattern_id"] for p in any_body["patterns"]}
+        assert all_ids and all_ids <= any_ids
+        # oracle: the in-memory filter over the mined result
+        expected = {
+            id(p)
+            for r in mined_result.evaluated
+            if set(record.attributes) <= set(r.attributes)
+            for p in r.patterns
+        }
+        assert len(all_ids) == len(expected)
+
+    def test_trailing_slash_is_tolerated(self, client):
+        assert client.get("/runs/")[0] == 200
+        assert client.get("/top/?k=1")[0] == 200
+
+    def test_metrics_reports_requests_and_pool(self, client):
+        client.get("/top?k=1")
+        client.get("/patterns/1")
+        client.get("/patterns/1")  # LRU hit on the second fetch
+        status, metrics = client.get("/metrics")
+        assert status == 200
+        assert metrics["requests"] >= 3
+        assert metrics["errors_5xx"] == 0
+        assert "top_k" in metrics["endpoints"]
+        latency = metrics["endpoints"]["top_k"]["latency"]
+        assert latency["count"] >= 1
+        assert latency["buckets_le"]["+inf"] == latency["count"]
+        pool = metrics["pool"]
+        assert pool["readers"] >= 1
+        assert pool["hits"] >= 1  # the repeated /patterns/1
+        assert 0.0 <= pool["hit_ratio"] <= 1.0
+
+
+class TestErrorContract:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "/top",  # k missing
+            "/top?k=abc",  # k not an integer
+            "/top?k=0",  # k not positive (QueryError from the reader)
+            "/top?k=1&k=2",  # repeated parameter
+            "/top?k=1&bogus=2",  # unknown parameter
+            "/patterns",  # neither vertex nor attributes
+            "/patterns?vertex=1&attributes=a",  # both
+            "/patterns?mode=any",  # mode without attributes
+            "/patterns?attributes=a&mode=nope",  # unknown mode
+            "/patterns?attributes=",  # empty filter
+            "/patterns/not-an-int",
+            "/healthz?verbose=1",
+        ],
+    )
+    def test_400_malformed(self, client, path):
+        status, body = client.get(path)
+        assert status == 400, path
+        assert body["error"]["status"] == 400
+        assert body["error"]["message"]
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "/patterns/999999",  # unknown pattern id
+            "/top?k=3&run=999",  # unknown run
+            "/nope",  # unknown endpoint
+            "/patterns/1/extra",  # over-deep path
+        ],
+    )
+    def test_404_not_found(self, client, path):
+        status, body = client.get(path)
+        assert status == 404, path
+        assert body["error"]["status"] == 404
+
+    def test_errors_are_counted_not_5xx(self, client):
+        client.get("/patterns/999999")
+        client.get("/top?k=abc")
+        status, metrics = client.get("/metrics")
+        assert status == 200
+        assert metrics["errors_4xx"] >= 1
+        assert metrics["errors_5xx"] == 0
+        assert metrics["endpoints"]["get_pattern"]["by_status"]["404"] >= 1
+
+    def test_vertex_string_fallback(self, tmp_path):
+        """Int-like queries against a string-keyed store still match,
+        like the scpm query CLI."""
+        path = tmp_path / "strkeys.sqlite"
+        result = handmade_result(attributes=("db",))
+        # re-key the single pattern's vertices as strings
+        pattern = result.evaluated[0].patterns[0]
+        object.__setattr__(
+            pattern, "vertices", frozenset(["1", "2", "3"])
+        )
+        save_result(path, result)
+        server = create_server(path)
+        thread = threading.Thread(
+            target=lambda: server.serve_forever(poll_interval=0.05),
+            daemon=True,
+        )
+        thread.start()
+        try:
+            client = Client(server)
+            status, body = client.get("/patterns?vertex=1")
+            assert status == 200 and body["count"] == 1
+            client.close()
+        finally:
+            server.stop()
+            thread.join(timeout=30)
+
+
+class TestServerLifecycle:
+    def test_missing_store_fails_at_construction(self, tmp_path):
+        with pytest.raises(StoreError):
+            create_server(tmp_path / "missing.sqlite")
+
+    def test_stop_is_graceful_and_idempotent(self, store_path):
+        server = create_server(store_path)
+        thread = threading.Thread(
+            target=lambda: server.serve_forever(poll_interval=0.05),
+            daemon=True,
+        )
+        thread.start()
+        client = Client(server)
+        assert client.get("/healthz")[0] == 200
+        client.close()
+        server.stop()
+        server.stop()  # idempotent
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert server.pool.closed
+
+    def test_stop_without_serve_forever(self, store_path):
+        server = create_server(store_path)
+        server.stop()  # must not deadlock waiting for a loop never run
+        assert server.pool.closed
+
+
+class TestConcurrentClientsVsLiveWriter:
+    NUM_CLIENTS = 8
+
+    def test_zero_5xx_under_concurrent_load(self, server, store_path):
+        """≥8 keep-alive clients hammer the four lookups while a writer
+        appends a second run — zero 5xx, zero lock errors, and /metrics
+        aggregates a warm pool afterwards."""
+        second = build_result(seed=29)
+        probe = Client(server)
+        _, seed_body = probe.get("/top?k=1")
+        label = seed_body["entries"][0]["label"].split()[0]
+        probe.close()
+
+        statuses = [dict() for _ in range(self.NUM_CLIENTS)]
+        client_errors = []
+        stop = threading.Event()
+
+        def client_loop(index):
+            try:
+                client = Client(server)
+                paths = (
+                    "/patterns/1",
+                    "/top?k=4",
+                    f"/patterns?attributes={label}&mode=any",
+                    "/runs",
+                )
+                while not stop.is_set():
+                    for path in paths:
+                        status, _ = client.get(path)
+                        counts = statuses[index]
+                        counts[status] = counts.get(status, 0) + 1
+                client.close()
+            except BaseException as error:  # pragma: no cover — reporting
+                client_errors.append(repr(error))
+
+        threads = [
+            threading.Thread(target=client_loop, args=(i,), daemon=True)
+            for i in range(self.NUM_CLIENTS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        with PatternStore(store_path) as store:
+            store.save(second)  # live writer racing the HTTP readers
+        time.sleep(max(0.0, 1.0 - (time.perf_counter() - started)))
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+
+        assert not client_errors, client_errors
+        total = sum(sum(c.values()) for c in statuses)
+        assert total > 0
+        assert all(sum(c.values()) > 0 for c in statuses), (
+            f"every client must make progress: {statuses}"
+        )
+        fives = {
+            status
+            for counts in statuses
+            for status in counts
+            if status >= 500
+        }
+        assert not fives, f"5xx under load: {statuses}"
+
+        # the second run became visible to the serving tier
+        check = Client(server)
+        status, body = check.get("/runs")
+        assert status == 200 and len(body["runs"]) == 2
+        status, metrics = check.get("/metrics")
+        assert metrics["errors_5xx"] == 0
+        assert metrics["pool"]["hit_ratio"] > 0.0
+        assert metrics["pool"]["readers"] >= 1
+        check.close()

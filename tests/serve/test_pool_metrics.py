@@ -1,0 +1,164 @@
+"""Unit suites for the serving-tier pool and metrics layers.
+
+:class:`~repro.serve.ReaderPool` — thread-affine leasing (no two
+threads ever hold the same reader), LIFO reuse so warm LRUs serve
+first, pool-wide cache aggregation, and shutdown semantics (closed pool
+refuses leases, in-flight leases are closed on return).
+
+:class:`~repro.serve.ServingMetrics` — per-endpoint counters, 4xx/5xx
+split, latency histogram bucketing/quantiles, and lost-increment-free
+concurrent observation.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import StoreError
+from repro.serve import ReaderPool, ServingMetrics
+from repro.serve.metrics import LatencyHistogram
+from repro.store import save_result
+
+from tests.serve.test_reader_fixes import handmade_result
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    path = tmp_path / "store.sqlite"
+    save_result(path, handmade_result(attributes=("db", "xml")))
+    return path
+
+
+class TestReaderPool:
+    def test_lease_reuses_one_reader_sequentially(self, store_path):
+        with ReaderPool(store_path) as pool:
+            with pool.lease() as first:
+                first.top_k(1)
+            with pool.lease() as second:
+                second.top_k(1)
+            assert first is second  # LIFO: the warm reader serves again
+            assert pool.num_readers == 1
+
+    def test_concurrent_leases_get_distinct_readers(self, store_path):
+        pool = ReaderPool(store_path)
+        seen = []
+        release = threading.Event()
+        ready = threading.Barrier(4 + 1)  # four holders + the main thread
+
+        def hold():
+            with pool.lease() as reader:
+                seen.append(id(reader))
+                ready.wait()
+                release.wait(timeout=30)
+
+        threads = [threading.Thread(target=hold) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        ready.wait()
+        assert len(set(seen)) == 4  # no sharing while leases overlap
+        assert pool.peak_leases == 4
+        release.set()
+        for thread in threads:
+            thread.join()
+        assert pool.num_readers == 4
+        pool.close()
+
+    def test_cache_stats_aggregate_across_readers(self, store_path):
+        pool = ReaderPool(store_path)
+        with pool.lease() as reader:
+            pattern_id = reader.top_k(1)[0].set_id  # warm nothing yet
+            pattern_id = reader.patterns_with_attributes(["db"])[0].pattern_id
+            reader.get_pattern(pattern_id)  # hit (cached by the filter)
+        stats = pool.cache_stats()
+        assert stats["readers"] == 1
+        assert stats["hits"] >= 1
+        assert 0.0 < stats["hit_ratio"] <= 1.0
+        assert stats["hits"] + stats["misses"] > 0
+        pool.close()
+
+    def test_closed_pool_refuses_leases(self, store_path):
+        pool = ReaderPool(store_path)
+        pool.close()
+        with pytest.raises(StoreError, match="closed"):
+            with pool.lease():
+                pass  # pragma: no cover — lease must not be granted
+        pool.close()  # idempotent
+
+    def test_close_while_leased_closes_on_checkin(self, store_path):
+        pool = ReaderPool(store_path)
+        with pool.lease() as reader:
+            pool.close()
+            reader.top_k(1)  # still usable inside the lease
+        with pytest.raises(StoreError, match="closed"):
+            reader.top_k(1)  # checked back into a closed pool → closed
+
+    def test_missing_store_raises_on_first_lease(self, tmp_path):
+        pool = ReaderPool(tmp_path / "nope.sqlite")
+        with pytest.raises(StoreError):
+            with pool.lease():
+                pass  # pragma: no cover
+
+
+class TestLatencyHistogram:
+    def test_bucketing_is_le(self):
+        histogram = LatencyHistogram(bounds=(0.001, 0.01, 0.1))
+        for value in (0.0005, 0.001, 0.05, 5.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 4
+        assert snapshot["buckets_le"]["0.001"] == 2  # 0.0005 and 0.001
+        assert snapshot["buckets_le"]["0.1"] == 3
+        assert snapshot["buckets_le"]["+inf"] == 4
+        assert snapshot["max_seconds"] == 5.0
+
+    def test_quantiles(self):
+        histogram = LatencyHistogram(bounds=(0.001, 0.01, 0.1))
+        for _ in range(99):
+            histogram.observe(0.0005)
+        histogram.observe(2.0)
+        assert histogram.quantile(0.5) == 0.001  # bucket upper bound
+        assert histogram.quantile(1.0) == 2.0  # +inf bucket → max
+        assert LatencyHistogram().quantile(0.5) == 0.0  # empty
+
+
+class TestServingMetrics:
+    def test_status_classes_and_totals(self):
+        metrics = ServingMetrics()
+        metrics.observe("top_k", 200, 0.002)
+        metrics.observe("top_k", 404, 0.001)
+        metrics.observe("get_pattern", 500, 0.003)
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"] == 3
+        assert snapshot["errors_4xx"] == 1
+        assert snapshot["errors_5xx"] == 1
+        top = snapshot["endpoints"]["top_k"]
+        assert top["requests"] == 2
+        assert top["by_status"] == {"200": 1, "404": 1}
+        assert top["latency"]["count"] == 2
+        assert metrics.requests_total("top_k") == 2
+        assert metrics.requests_total() == 3
+        assert metrics.errors_total() == 2
+        assert metrics.errors_total(server_errors_only=True) == 1
+
+    def test_concurrent_observation_loses_nothing(self):
+        metrics = ServingMetrics()
+        per_thread = 500
+
+        def worker(name):
+            for _ in range(per_thread):
+                metrics.observe(name, 200, 0.001)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"endpoint_{i % 3}",))
+            for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.requests_total() == 6 * per_thread
+        snapshot = metrics.snapshot()
+        assert sum(
+            endpoint["requests"]
+            for endpoint in snapshot["endpoints"].values()
+        ) == 6 * per_thread

@@ -1,0 +1,258 @@
+"""Read-path correctness regressions: snapshot rollback, FTS narrowing,
+closed-reader contract, thread-safe LRU.
+
+Each test class pins one of the bugs fixed alongside the HTTP serving
+tier; they are written to fail against the pre-fix implementations:
+
+* ``_snapshot`` used to commit in ``finally`` even when the body raised
+  — a commit on a half-failed transaction can itself raise and *mask*
+  the body's exception, and the reader could be left inside a stale
+  transaction;
+* ``_fts_narrowing`` used to keep the FTS clause for filter attributes
+  that tokenize to **zero tokens** (punctuation-only, empty): a
+  zero-token phrase silently MATCHes nothing, so the "narrowing"
+  excluded sets the exact relational check would have kept;
+* a closed reader used to keep serving LRU hits, and lookups racing a
+  ``close()`` could die with ``AttributeError`` instead of the
+  documented :class:`~repro.errors.StoreError`;
+* :class:`~repro.serve.LRUCache` mutated an ``OrderedDict`` and bare
+  counters without a lock — torn under the threaded HTTP server.
+"""
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.correlation.patterns import (
+    AttributeSetResult,
+    MiningCounters,
+    MiningResult,
+    StructuralCorrelationPattern,
+)
+from repro.errors import NotFoundError, QueryError, StoreError
+from repro.serve import LRUCache, PatternStoreReader
+from repro.serve.reader import _fts_tokenizable
+from repro.store import save_result
+
+
+def handmade_result(attributes=("!!!", "db")):
+    """One qualified set whose attributes include an exotic token."""
+    pattern = StructuralCorrelationPattern(
+        attributes=attributes, vertices=frozenset([1, 2, 3]), gamma=0.75
+    )
+    record = AttributeSetResult(
+        attributes=attributes,
+        support=3,
+        epsilon=0.5,
+        expected_epsilon=0.1,
+        delta=0.4,
+        covered_vertices=frozenset([1, 2, 3]),
+        patterns=(pattern,),
+        qualified=True,
+    )
+    return MiningResult(
+        algorithm="hand-built",
+        evaluated=[record],
+        counters=MiningCounters(attribute_sets_evaluated=1),
+    )
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    path = tmp_path / "store.sqlite"
+    save_result(path, handmade_result())
+    return path
+
+
+class TestSnapshotRollback:
+    def test_body_exception_propagates_and_rolls_back(self, store_path):
+        with PatternStoreReader(store_path) as reader:
+            with pytest.raises(RuntimeError, match="boom"):
+                with reader._snapshot() as connection:
+                    connection.execute("SELECT 1")
+                    raise RuntimeError("boom")
+            # the failed snapshot must not leave a transaction open ...
+            assert reader._connection.in_transaction is False
+            # ... and the reader keeps answering fresh snapshots
+            assert len(reader.runs()) == 1
+
+    def test_commit_failure_does_not_mask_body_exception(self, store_path):
+        """Pre-fix: ``finally: commit()`` raised ``ProgrammingError`` on a
+        connection the body had torn down, hiding the real error."""
+        reader = PatternStoreReader(store_path)
+        with pytest.raises(RuntimeError, match="the real error"):
+            with reader._snapshot() as connection:
+                connection.close()  # any post-body commit/rollback now raises
+                raise RuntimeError("the real error")
+        reader._connection = None  # already closed underneath
+
+    def test_nested_snapshots_share_one_transaction(self, store_path):
+        with PatternStoreReader(store_path) as reader:
+            with reader._snapshot() as connection:
+                assert connection.in_transaction
+                with reader._snapshot():  # fresh=False — must not commit
+                    pass
+                assert connection.in_transaction
+            assert not reader._connection.in_transaction
+
+
+class TestFTSZeroTokenNarrowing:
+    """Filters the unicode61 tokenizer cannot represent must not narrow."""
+
+    @pytest.mark.parametrize("exotic", ["!!!", "--", "?!", ""])
+    def test_tokenizability_probe(self, exotic):
+        assert not _fts_tokenizable(exotic)
+        assert _fts_tokenizable("db")
+        assert _fts_tokenizable("c0_a1")  # separators inside are fine
+        assert _fts_tokenizable(("topic", 3))  # display form has tokens
+
+    @pytest.mark.parametrize("mode", ["all", "any"])
+    def test_punctuation_only_filter_finds_its_set(self, store_path, mode):
+        with PatternStoreReader(store_path) as reader:
+            if not reader.fts_enabled:
+                pytest.skip("this SQLite build has no FTS5")
+            matches = reader.patterns_with_attributes(["!!!"], mode=mode)
+            assert [s.pattern_id for s in matches] == [1]
+
+    def test_mixed_filter_with_zero_token_attribute(self, store_path):
+        """all-mode: AND-ing a zero-token phrase used to empty the result."""
+        with PatternStoreReader(store_path) as reader:
+            matches = reader.patterns_with_attributes(
+                ["db", "!!!"], mode="all"
+            )
+            assert len(matches) == 1
+
+    def test_any_mode_set_matching_only_the_exotic_attribute(self, tmp_path):
+        """any-mode: a set whose *only* overlap is the zero-token
+        attribute must still be returned."""
+        path = tmp_path / "exotic.sqlite"
+        save_result(path, handmade_result(attributes=("!!!",)))
+        with PatternStoreReader(path) as reader:
+            matches = reader.patterns_with_attributes(
+                ["!!!", "unrelated"], mode="any"
+            )
+            assert len(matches) == 1
+
+    def test_tokenizable_filters_still_narrow(self, store_path):
+        """The FTS fast path stays on for ordinary filters."""
+        with PatternStoreReader(store_path) as reader:
+            if not reader.fts_enabled:
+                pytest.skip("this SQLite build has no FTS5")
+            narrowing, args = reader._fts_narrowing(
+                reader._connection, ("db",), "all"
+            )
+            assert "MATCH" in narrowing and args
+            narrowing, args = reader._fts_narrowing(
+                reader._connection, ("db", "!!!"), "all"
+            )
+            assert narrowing == "" and args == ()
+
+
+class TestClosedReaderContract:
+    def test_every_public_method_raises_store_error(self, store_path):
+        reader = PatternStoreReader(store_path)
+        pattern_id = reader.patterns_with_vertex(1)[0].pattern_id
+        reader.get_pattern(pattern_id)  # now LRU-hot
+        reader.close()
+        calls = (
+            lambda: reader.runs(),
+            lambda: reader.latest_run_id(),
+            lambda: reader.get_pattern(pattern_id),  # the cached one
+            lambda: reader.patterns_with_vertex(1),
+            lambda: reader.patterns_with_attributes(["db"]),
+            lambda: reader.top_k(1),
+            lambda: reader.load_result(),
+        )
+        for call in calls:
+            with pytest.raises(StoreError, match="closed"):
+                call()
+
+    def test_close_is_idempotent_and_clears_cache(self, store_path):
+        reader = PatternStoreReader(store_path)
+        reader.get_pattern(reader.patterns_with_vertex(1)[0].pattern_id)
+        assert len(reader.cache) == 1
+        reader.close()
+        reader.close()
+        assert len(reader.cache) == 0
+
+    def test_context_manager_closes(self, store_path):
+        with PatternStoreReader(store_path) as reader:
+            reader.runs()
+        with pytest.raises(StoreError, match="closed"):
+            reader.runs()
+
+    def test_not_found_taxonomy(self, store_path):
+        """Unknown ids/runs are NotFoundError (and still StoreError)."""
+        with PatternStoreReader(store_path) as reader:
+            with pytest.raises(NotFoundError):
+                reader.get_pattern(10_000)
+            with pytest.raises(NotFoundError):
+                reader.top_k(3, run_id=99)
+            with pytest.raises(NotFoundError):
+                reader.load_result(run_id=99)
+            assert issubclass(NotFoundError, StoreError)
+            assert not issubclass(QueryError, NotFoundError)
+
+
+class TestLRUCacheThreadSafety:
+    def test_concurrent_get_put_never_tears(self):
+        cache = LRUCache(capacity=64)
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(offset):
+            try:
+                barrier.wait()
+                for round_index in range(300):
+                    key = (offset * 300 + round_index) % 100
+                    cache.put(key, key)
+                    cache.get(key)
+                    cache.get((key + 50) % 100)
+                    len(cache)
+                    cache.stats()
+            except BaseException as error:  # pragma: no cover — reporting
+                errors.append(repr(error))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats()
+        # no increment may be lost: every get was counted exactly once
+        assert stats["hits"] + stats["misses"] == 8 * 300 * 2
+        assert len(cache) <= 64
+
+    def test_stats_snapshot_shape(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "entries": 1,
+            "capacity": 2,
+        }
+
+
+class TestCorruptCellSurfacesAsStoreError:
+    def test_corrupt_vertex_cell(self, store_path):
+        """A malformed stored cell surfaces as StoreError, not ValueError
+        — the codec taxonomy the CLI/HTTP error paths map from."""
+        connection = sqlite3.connect(store_path)
+        connection.execute(
+            "UPDATE pattern_vertices SET vertex = 'i:not-a-number' "
+            "WHERE vertex = 'i:1'"
+        )
+        connection.commit()
+        connection.close()
+        with PatternStoreReader(store_path) as reader:
+            with pytest.raises(StoreError):
+                reader.get_pattern(1)
+            # the failed decode rolled its snapshot back: reader still up
+            assert len(reader.runs()) == 1

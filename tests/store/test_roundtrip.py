@@ -256,6 +256,23 @@ class TestCodec:
         with pytest.raises(StoreError):
             decode_value("z:whatever")
 
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "i:abc",  # non-numeric int body
+            "i:",  # empty int body
+            "f:garbage",  # unparseable float body
+            "t:not-json",  # tuple body that is not JSON
+            "t:[1]",  # tuple element that is not tagged text
+            't:{"a": 1}',  # JSON but not a list of tagged strings
+        ],
+    )
+    def test_malformed_body_raises_store_error(self, text):
+        """Corrupt cells surface as StoreError, never a raw ValueError
+        (or JSONDecodeError) leaking out of the codec."""
+        with pytest.raises(StoreError, match="malformed stored value"):
+            decode_value(text)
+
 
 class TestAwkwardValuesThroughTheStore:
     def test_exotic_result_round_trips(self, tmp_path):
