@@ -1,0 +1,288 @@
+"""Chaos gate — the fault-tolerance acceptance bars, CI-gated.
+
+Three promises made by the robustness layer are held under live fault
+injection (:mod:`repro.faults`), with the injection plans fully seeded
+so every run is reproducible:
+
+* **mining** — with ≥ 2 worker kills injected per parallel run, mining
+  output stays *byte-identical* to the fault-free sequential run across
+  engines × schedules (the scheduler heals by rebuilding its pool and
+  re-executing lost tasks, never by dropping or duplicating a branch);
+* **store** — a process kill at *every* ``PatternStore.save`` fault
+  site leaves a store ``verify_store`` reports clean: the run is fully
+  present or fully absent, zero unrecoverable files;
+* **serving** — with the only reader held by an injected slow query,
+  excess requests are shed with ``503`` + ``Retry-After`` well inside
+  the request deadline (bounded tail, not queue collapse), and the
+  server still drains cleanly afterwards — zero hung connections.
+
+The report prints heal counts, the crash-site matrix, and the shed-path
+latency spread so the trajectory catches robustness regressions the
+way the serving benchmark catches throughput ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+
+from repro.correlation.parameters import SCHEDULES, SCPMParams
+from repro.correlation.scpm import SCPM
+from repro.datasets.synthetic import random_attributed_graph
+from repro.faults import KILL_EXIT_CODE, FaultPlan, FaultRule, installed
+from repro.serve.http import RETRY_AFTER_SECONDS, create_server
+from repro.store import SAVE_FAULT_SITES, verify_store
+
+from conftest import bench_scale
+
+ENGINES = ("dense", "sparse")
+TASK_SITE = "parallel.scheduler.task"
+READER_SITE = "serve.reader.query"
+
+#: Shed responses must arrive well inside the request deadline.
+REQUEST_DEADLINE = 2.0
+SHED_LATENCY_BOUND = 1.0
+
+_CHILD_SAVE = """\
+import sys
+sys.path.insert(0, {src!r})
+from repro.correlation.patterns import (
+    AttributeSetResult, MiningCounters, MiningResult,
+    StructuralCorrelationPattern,
+)
+from repro.store import PatternStore
+
+patterns = tuple(
+    StructuralCorrelationPattern(
+        attributes=("a", "b"), vertices=frozenset(range(p, p + 4)), gamma=0.7
+    )
+    for p in range(2)
+)
+record = AttributeSetResult(
+    attributes=("a", "b"), support=4, epsilon=0.5, expected_epsilon=0.1,
+    delta=0.4, covered_vertices=frozenset(range(5)), patterns=patterns,
+    qualified=True,
+)
+result = MiningResult(
+    algorithm="chaos-bench", evaluated=[record],
+    counters=MiningCounters(attribute_sets_evaluated=1),
+)
+with PatternStore({store!r}) as store:
+    store.save(result)
+"""
+
+
+def _params(**overrides):
+    defaults = dict(
+        min_support=3, gamma=0.6, min_size=3, min_epsilon=0.1, top_k=4
+    )
+    defaults.update(overrides)
+    return SCPMParams(**defaults)
+
+
+def _canonical_bytes(result) -> bytes:
+    def canon_record(r):
+        return (
+            r.attributes, r.support, r.epsilon, r.expected_epsilon, r.delta,
+            tuple(sorted(map(repr, r.covered_vertices))),
+            tuple(
+                (p.attributes, tuple(sorted(map(repr, p.vertices))), p.gamma)
+                for p in r.patterns
+            ),
+            r.qualified,
+        )
+
+    return repr(
+        tuple(canon_record(r) for r in result.evaluated)
+    ).encode("utf-8")
+
+
+def test_mining_heals_injected_worker_kills(tmp_path, emit):
+    scale = bench_scale()
+    graph = random_attributed_graph(
+        num_vertices=max(24, int(48 * scale)),
+        edge_probability=0.35,
+        attributes=["a", "b", "c", "d"],
+        attribute_probability=0.5,
+        seed=17,
+    )
+    rows = []
+    for engine in ENGINES:
+        sequential = SCPM(
+            graph, _params(engine=engine, n_jobs=1)
+        ).mine()
+        reference = _canonical_bytes(sequential)
+        assert sequential.evaluated, "chaos workload must evaluate sets"
+        for schedule in SCHEDULES:
+            plan = FaultPlan(
+                [FaultRule(site=TASK_SITE, action="kill",
+                           occurrences=(0, 2))],
+                state_dir=tmp_path / f"faults-{engine}-{schedule}",
+            )
+            started = time.perf_counter()
+            with installed(plan):
+                miner = SCPM(
+                    graph,
+                    _params(engine=engine, n_jobs=2, schedule=schedule),
+                )
+                chaotic = miner.mine()
+            seconds = time.perf_counter() - started
+            stats = miner.last_scheduler_stats
+            kills = plan.occurrences_fired(TASK_SITE)
+            assert kills >= 2, (
+                f"{engine}/{schedule}: the plan must actually kill "
+                f"workers (fired {kills})"
+            )
+            assert stats.pool_rebuilds >= 1, (engine, schedule, stats)
+            assert stats.tasks_retried >= 1, (engine, schedule, stats)
+            assert stats.tasks_quarantined == 0, (engine, schedule, stats)
+            assert _canonical_bytes(chaotic) == reference, (
+                f"{engine}/{schedule}: healed parallel output diverged "
+                "from sequential"
+            )
+            rows.append(
+                f"{engine:>8} × {schedule:<6} kills={kills} "
+                f"rebuilds={stats.pool_rebuilds} "
+                f"retried={stats.tasks_retried} {seconds:.2f}s identical"
+            )
+    emit(
+        "bench_chaos_mining",
+        "\n".join(
+            ["chaos gate — mining under injected worker kills"] + rows
+        ),
+    )
+
+
+def test_store_crash_fuzz_never_tears(tmp_path, emit):
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    rows, unrecoverable = [], []
+    for site in SAVE_FAULT_SITES:
+        state = tmp_path / f"state-{site.replace('.', '-')}"
+        store_path = tmp_path / f"{site.replace('.', '-')}.sqlite"
+        plan = FaultPlan(
+            [FaultRule(site=site, action="kill", occurrences=(0,))],
+            state_dir=state,
+        )
+        plan_path = plan.save(state / "plan.json")
+        env = dict(os.environ, REPRO_FAULT_PLAN=str(plan_path))
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             _CHILD_SAVE.format(src=src, store=str(store_path))],
+            env=env,
+        )
+        assert proc.returncode == KILL_EXIT_CODE, (site, proc.returncode)
+        report = verify_store(store_path)
+        if not report.ok:
+            unrecoverable.append((site, report.failures))
+        verdict = "clean" if report.ok else "TORN"
+        rows.append(
+            f"{site:>28}: killed → {verdict}, {report.runs} run(s)"
+        )
+    emit(
+        "bench_chaos_store",
+        "\n".join(
+            [f"chaos gate — crash fuzz over {len(SAVE_FAULT_SITES)} "
+             "save fault sites"] + rows
+        ),
+    )
+    assert not unrecoverable, unrecoverable
+
+
+def test_serving_sheds_inside_deadline_and_drains(tmp_path, emit):
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    store_path = tmp_path / "serve.sqlite"
+    subprocess.run(
+        [sys.executable, "-c",
+         _CHILD_SAVE.format(src=src, store=str(store_path))],
+        check=True,
+    )
+    server = create_server(
+        store_path,
+        max_readers=1,
+        lease_timeout=0.2,
+        request_deadline=REQUEST_DEADLINE,
+    )
+    host, port = server.server_address[:2]
+    thread = threading.Thread(
+        target=lambda: server.serve_forever(poll_interval=0.05), daemon=True
+    )
+    thread.start()
+
+    def get(path, timeout=10):
+        connection = HTTPConnection(host, port, timeout=timeout)
+        try:
+            connection.request("GET", path)
+            response = connection.getresponse()
+            body = json.loads(response.read().decode("utf-8"))
+            return response.status, body, dict(response.getheaders())
+        finally:
+            connection.close()
+
+    plan = FaultPlan(
+        [FaultRule(site=READER_SITE, action="delay", key="top_k",
+                   seconds=1.2)]
+    )
+    shed_latencies, statuses = [], []
+    try:
+        assert get("/healthz")[1]["status"] == "ok"
+        with installed(plan):
+            stuck_result = {}
+
+            def stuck():
+                stuck_result["response"] = get("/top?k=2", timeout=30)
+
+            holder = threading.Thread(target=stuck)
+            holder.start()
+            time.sleep(0.3)  # the slow query now owns the only reader
+            for _ in range(4):
+                started = time.perf_counter()
+                status, body, headers = get("/top?k=2")
+                latency = time.perf_counter() - started
+                statuses.append(status)
+                if status == 503:
+                    shed_latencies.append(latency)
+                    assert headers["Retry-After"] == str(
+                        RETRY_AFTER_SECONDS
+                    )
+            degraded = get("/healthz")[1]["status"]
+            holder.join(timeout=30)
+        assert stuck_result["response"][0] == 200  # late, not lost
+        assert statuses.count(503) >= 3, statuses
+        worst = max(shed_latencies)
+        assert worst <= SHED_LATENCY_BOUND, (
+            f"shed responses must be fast, worst took {worst:.2f}s"
+        )
+        assert degraded == "degraded"
+        status, metrics, _ = get("/metrics")
+        assert metrics["counters"]["requests_shed"] >= 3
+        assert metrics["pool"]["exhausted"] >= 3
+        # zero hung connections: the drain needs no force-close
+        started = time.perf_counter()
+        clean = server.stop(timeout=10.0)
+        drain_seconds = time.perf_counter() - started
+        assert clean is True, "drain needed a force-close"
+    finally:
+        server.stop()
+        thread.join(timeout=30)
+    emit(
+        "bench_chaos_serving",
+        "\n".join(
+            [
+                "chaos gate — serving under an injected slow reader",
+                f"{'requests':>18}: {len(statuses)} while saturated, "
+                f"{statuses.count(503)} shed with 503",
+                f"{'shed latency':>18}: worst {worst * 1000:.0f}ms "
+                f"(bound {SHED_LATENCY_BOUND:.1f}s, deadline "
+                f"{REQUEST_DEADLINE:.1f}s)",
+                f"{'healthz':>18}: degraded while saturated, ok before",
+                f"{'drain':>18}: clean in {drain_seconds:.2f}s, "
+                "zero hung connections",
+            ]
+        ),
+    )

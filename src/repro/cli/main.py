@@ -1,11 +1,12 @@
 """Command-line interface for structural correlation pattern mining.
 
-Four sub-commands are provided::
+Five sub-commands are provided::
 
-    scpm mine  --edges g.edges --attributes g.attrs --min-support 100 ...
-    scpm demo  --profile dblp  [--scale 0.5]
-    scpm query --store patterns.sqlite --vertex 42
-    scpm serve --store patterns.sqlite --port 8765
+    scpm mine         --edges g.edges --attributes g.attrs --min-support 100 ...
+    scpm demo         --profile dblp  [--scale 0.5]
+    scpm query        --store patterns.sqlite --vertex 42
+    scpm serve        --store patterns.sqlite --port 8765
+    scpm verify-store --store patterns.sqlite
 
 ``mine`` runs SCPM (or the naive baseline) on a graph read from disk and
 prints the ranking tables; ``demo`` generates one of the built-in synthetic
@@ -23,7 +24,14 @@ as a threaded HTTP/JSON server (:mod:`repro.serve.http`) until
 interrupted — ``GET /patterns/<id>``, ``/patterns?vertex=`` /
 ``?attributes=&mode=``, ``/top?k=``, plus ``/runs``, ``/healthz`` and
 ``/metrics`` — so a store mined once can take concurrent read traffic
-while later ``mine --store`` runs append to it.
+while later ``mine --store`` runs append to it.  Its degradation knobs
+(``--max-readers``, ``--max-inflight``, ``--request-deadline``,
+``--lease-timeout``) bound queueing and shed overload as 503s; on
+shutdown, ``--shutdown-timeout`` bounds the drain and exits nonzero
+when leases had to be force-closed.  ``verify-store`` runs the
+integrity checks of :mod:`repro.store.verify` against a store file and
+exits 0 (clean), 1 (corrupt/torn) or 2 (usage error) — the post-crash
+triage command.
 
 ``mine --streaming`` swaps the in-memory loader for the bounded-memory
 streaming ingest (:mod:`repro.graph.streaming`): the files are folded
@@ -153,6 +161,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU capacity of each pooled reader (default: 256; "
         "0 disables caching)",
     )
+    serve.add_argument(
+        "--max-readers",
+        type=int,
+        default=16,
+        help="reader-pool concurrency bound; requests past it wait for "
+        "a lease and then get 503 (default: 16; 0 = unbounded)",
+    )
+    serve.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=5.0,
+        help="seconds a request waits for a pooled reader before being "
+        "shed with 503 + Retry-After (default: 5.0; 0 = wait forever)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="admission bound on concurrent data requests; excess is "
+        "shed immediately with 503 (default: 64; 0 = unbounded; "
+        "/healthz and /metrics are always exempt)",
+    )
+    serve.add_argument(
+        "--request-deadline",
+        type=float,
+        default=30.0,
+        help="per-request wall-clock budget in seconds; requests that "
+        "cannot start work in time get 503 (default: 30.0; 0 = none)",
+    )
+    serve.add_argument(
+        "--shutdown-timeout",
+        type=float,
+        default=10.0,
+        help="seconds to drain in-flight requests on shutdown before "
+        "force-closing leases and exiting nonzero (default: 10.0; "
+        "0 = drain without bound)",
+    )
+
+    verify = subparsers.add_parser(
+        "verify-store",
+        help="check a pattern store for corruption (exit 0 clean, 1 corrupt)",
+    )
+    verify.add_argument(
+        "--store", required=True, help="pattern store file to verify"
+    )
+    verify.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the final verdict line",
+    )
     return parser
 
 
@@ -248,6 +306,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "verify-store":
+        return _run_verify_store(args)
 
     if args.command == "mine":
         if args.streaming:
@@ -398,16 +459,44 @@ def _run_query(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
     return 0
 
 
+def _run_verify_store(args: argparse.Namespace) -> int:
+    """The ``scpm verify-store`` subcommand: integrity check, exit 0/1/2.
+
+    Exit 0 when every check passes, 1 when any fails (corrupt, torn,
+    wrong schema version, not a store), 2 for usage errors (the path is
+    a directory or unreadable at the OS level).
+    """
+    from repro.store.verify import verify_store
+
+    try:
+        report = verify_store(args.store)
+    except OSError as error:
+        print(f"scpm verify-store: error: {error}", file=sys.stderr)
+        return 2
+    lines = report.lines()
+    if args.quiet:
+        lines = lines[-1:]
+    stream = sys.stdout if report.ok else sys.stderr
+    for line in lines:
+        print(line, file=stream)
+    return 0 if report.ok else 1
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     """The ``scpm serve`` subcommand: HTTP serving until interrupted.
 
     Store-level problems (missing file, not a store) and bind failures
     (port in use, bad interface) print to stderr and exit 1; Ctrl-C
     shuts down gracefully — in-flight requests drain, readers close —
-    and exits 0.
+    and exits 0.  When the drain outlives ``--shutdown-timeout``, leases
+    are force-closed (stuck queries interrupted) and the exit code is 1:
+    a supervisor can tell a clean drain from an abandoned one.
     """
     from repro.errors import StoreError
     from repro.serve.http import create_server
+
+    def unbounded(value):  # CLI convention: 0 (or less) = no limit
+        return None if value is None or value <= 0 else value
 
     try:
         server = create_server(
@@ -415,6 +504,10 @@ def _run_serve(args: argparse.Namespace) -> int:
             host=args.host,
             port=args.port,
             cache_size=args.cache_size,
+            max_readers=unbounded(args.max_readers),
+            lease_timeout=unbounded(args.lease_timeout),
+            max_inflight=unbounded(args.max_inflight),
+            request_deadline=unbounded(args.request_deadline),
         )
     except StoreError as error:
         print(f"scpm serve: error: {error}", file=sys.stderr)
@@ -428,12 +521,20 @@ def _run_serve(args: argparse.Namespace) -> int:
     print(f"serving pattern store {args.store} on {server.url}")
     print("endpoints: /patterns/<id>  /patterns?vertex=|attributes=&mode=  "
           "/top?k=  /runs  /healthz  /metrics")
+    clean = True
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down (draining in-flight requests) ...")
     finally:
-        server.stop()
+        clean = server.stop(timeout=unbounded(args.shutdown_timeout))
+    if not clean:
+        print(
+            "scpm serve: shutdown timeout exceeded — force-closed "
+            "in-flight leases",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

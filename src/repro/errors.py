@@ -75,6 +75,37 @@ class TransferError(ParallelError):
     """Raised when a worker payload cannot be transferred or attached."""
 
 
+class PoisonTaskError(ParallelError):
+    """Raised when tasks repeatedly killed their workers and were quarantined.
+
+    The work-stealing scheduler re-executes tasks lost to a worker death a
+    bounded number of times (see
+    ``WorkStealingScheduler.max_task_retries``).  A task that keeps taking
+    workers down with it is *poison* — retrying it forever would livelock
+    the drain — so after the retry budget it is quarantined and, once every
+    healthy task finished, the drain raises this error naming the culprits.
+    Results of the healthy tasks are still available on
+    ``scheduler.results``.
+    """
+
+    def __init__(self, keys) -> None:
+        self.keys = tuple(keys)
+        listed = ", ".join(sorted(repr(key) for key in self.keys))
+        super().__init__(
+            f"{len(self.keys)} task(s) repeatedly killed their worker and "
+            f"were quarantined: {listed}"
+        )
+
+
+class FaultInjectionError(ReproError):
+    """Raised when a fault-injection plan is malformed or misused.
+
+    This is an error in the *test harness configuration* (unknown action,
+    unknown error kind, unserialisable rule) — never one of the injected
+    faults themselves, which raise the exception type the rule names.
+    """
+
+
 class StoreError(ReproError):
     """Raised when the persistent pattern store is misused or corrupt.
 
@@ -87,6 +118,36 @@ class StoreError(ReproError):
 
 class QueryError(StoreError, ValueError):
     """Raised when a read-path query is malformed (bad mode, empty filter)."""
+
+
+class PoolExhaustedError(StoreError):
+    """Raised when no pooled reader became free within the lease timeout.
+
+    The serving tier's load-shedding signal: a bounded
+    :class:`~repro.serve.pool.ReaderPool` raises this instead of queueing
+    a lease forever, and the HTTP front end maps it to ``503`` with a
+    ``Retry-After`` header rather than letting requests pile up.
+    """
+
+
+class DeadlineExceededError(StoreError):
+    """Raised when a request ran past its per-request deadline.
+
+    Cooperative: the serving tier checks the deadline at its blocking
+    points (handler entry, reader-lease acquisition) and sheds the request
+    with ``503`` + ``Retry-After`` instead of serving a response nobody is
+    still waiting for.
+    """
+
+
+class OverloadedError(StoreError):
+    """Raised when the server already holds its maximum in-flight requests.
+
+    The accept-queue-depth half of load shedding: past
+    ``max_inflight`` concurrent requests the HTTP front end answers
+    ``503`` + ``Retry-After`` immediately instead of spawning unbounded
+    handler work.
+    """
 
 
 class NotFoundError(StoreError, LookupError):

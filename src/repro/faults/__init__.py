@@ -1,0 +1,68 @@
+"""Deterministic fault injection and the shared retry/backoff policy.
+
+The robustness toolkit of the repo: every layer that PRs 3–7 built under
+the assumption that nothing fails — the work-stealing scheduler, the WAL
+pattern store, the reader pool, the HTTP front end — is threaded with
+named **fault points** from :mod:`repro.faults.plan`, and the chaos
+suites (``tests/faults/``, ``benchmarks/bench_chaos.py``) install seeded
+:class:`FaultPlan` instances that kill workers, inject
+``database is locked``/IO errors, and stall handlers at exact,
+replayable occurrence indices.  :mod:`repro.faults.retry` is the one
+exponential-backoff-with-deterministic-jitter implementation those
+layers share to survive the *transient* subset of what the plans inject.
+
+Fault sites currently armed across the stack:
+
+========================== ==================================================
+``parallel.scheduler.task``  before each task body in a pool worker
+``store.writer.begin``       before the save transaction's ``BEGIN IMMEDIATE``
+``store.writer.run_row``     after the run header insert
+``store.writer.set_row``     after each attribute-set insert
+``store.writer.pattern_row`` after each pattern insert
+``store.writer.listing``     after the materialised ε-listing insert
+``store.writer.commit``      immediately before ``COMMIT``
+``store.writer.post_commit`` immediately after ``COMMIT``
+``serve.reader.query``       at each snapshot-read entry
+``serve.pool.checkout``      at each reader-pool checkout
+``serve.http.handler``       at HTTP handler entry, keyed by endpoint
+========================== ==================================================
+
+With no plan installed every site is a single global read — the hooks
+stay compiled into production paths at no measurable cost.
+"""
+
+from repro.faults.plan import (
+    ENV_PLAN,
+    KILL_EXIT_CODE,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    fault_point,
+    install,
+    installed,
+    uninstall,
+)
+from repro.faults.retry import (
+    READ_RETRY_POLICY,
+    WRITE_RETRY_POLICY,
+    RetryPolicy,
+    call_with_retry,
+    is_transient_operational_error,
+)
+
+__all__ = [
+    "ENV_PLAN",
+    "KILL_EXIT_CODE",
+    "FaultPlan",
+    "FaultRule",
+    "READ_RETRY_POLICY",
+    "RetryPolicy",
+    "WRITE_RETRY_POLICY",
+    "active_plan",
+    "call_with_retry",
+    "fault_point",
+    "install",
+    "installed",
+    "is_transient_operational_error",
+    "uninstall",
+]

@@ -1,0 +1,377 @@
+"""Seeded, deterministic fault injection for the mining/store/serve stack.
+
+Production code is threaded with named **fault points** — cheap no-op
+calls like ``fault_point("store.writer.commit")`` at the places where
+real systems fail: task execution inside a scheduler worker
+(``parallel.scheduler.task``), each step of the store writer's
+transaction (``store.writer.*``), the reader's snapshot entry
+(``serve.reader.query``), reader-pool checkout (``serve.pool.checkout``)
+and the HTTP handler (``serve.http.handler``).  A test installs a
+:class:`FaultPlan` — a list of :class:`FaultRule` keyed by **site name +
+occurrence index** — and the plan decides, deterministically, which
+firing of which site raises an injected error, kills the process, or
+sleeps:
+
+    plan = FaultPlan([
+        FaultRule("store.writer.begin", "raise", occurrences=(0,),
+                  error="locked"),
+        FaultRule("parallel.scheduler.task", "kill", occurrences=(0, 1)),
+        FaultRule("serve.http.handler", "delay", seconds=0.5),
+    ], state_dir=tmp_path)
+    with installed(plan):
+        ...
+
+Determinism model
+    Occurrence indices count the firings of each *site* (0-based), so a
+    rule like "``raise`` on occurrences ``(0, 1)``" is a transient fault
+    that heals after two hits — exactly what retry/recovery paths need to
+    be provable.  Counters live in memory by default; with ``state_dir``
+    set they are claimed by atomically creating ``<site-hash>.<n>``
+    marker files, which makes the numbering *shared across processes* —
+    a worker killed at occurrence 0 is replaced by a worker that observes
+    occurrence 1, so "kill the first two task executions, then succeed"
+    means what it says even across pool rebuilds.  Only sites that have
+    at least one rule consume occurrence numbers.
+
+Cross-process activation
+    :func:`install` sets a module global (inherited by forked workers)
+    and, when the plan has a ``state_dir``, also serialises the plan to
+    ``<state_dir>/plan.json`` and points the ``REPRO_FAULT_PLAN``
+    environment variable at it — spawned workers and subprocesses load
+    it lazily on their first :func:`fault_point` call.
+
+With no plan installed, a fault point is one global read and a return;
+the sites stay enabled in production builds at zero measurable cost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+from repro.errors import FaultInjectionError, StoreError
+
+PathLike = Union[str, Path]
+
+#: Environment variable naming the JSON file of the active plan.
+ENV_PLAN = "REPRO_FAULT_PLAN"
+
+#: Exit status used by the ``kill`` action (distinctive, so tests can
+#: tell an injected kill from an ordinary crash).
+KILL_EXIT_CODE = 87
+
+ACTIONS = ("raise", "kill", "delay")
+
+#: Error kinds the ``raise`` action can inject, chosen to match the
+#: failures the production paths actually handle.
+ERROR_KINDS = ("io", "locked", "busy", "store", "runtime")
+
+
+def _make_error(kind: str, message: str) -> BaseException:
+    if kind == "io":
+        return OSError(message)
+    if kind == "locked":
+        return sqlite3.OperationalError(message or "database is locked")
+    if kind == "busy":
+        return sqlite3.OperationalError(message or "database is busy")
+    if kind == "store":
+        return StoreError(message)
+    return RuntimeError(message)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: *where*, *when*, and *what*.
+
+    Parameters
+    ----------
+    site:
+        Exact fault-site name the rule arms.
+    action:
+        ``"raise"`` (inject an exception of kind :attr:`error`),
+        ``"kill"`` (``os._exit`` the current process — a worker crash),
+        or ``"delay"`` (sleep :attr:`seconds` — a slow/stuck handler).
+    occurrences:
+        0-based firing indices of the site this rule matches; ``None``
+        matches every firing (a *permanent* fault — for ``kill`` that is
+        a poison task).
+    key:
+        When set, the rule additionally requires ``str(key)`` of the
+        firing to equal this text (e.g. one specific scheduler task key).
+    error:
+        For ``raise``: one of :data:`ERROR_KINDS`.
+    seconds:
+        For ``delay``: sleep duration.
+    message:
+        Optional message of the injected exception.
+    """
+
+    site: str
+    action: str
+    occurrences: Optional[Tuple[int, ...]] = None
+    key: Optional[str] = None
+    error: str = "io"
+    seconds: float = 0.0
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise FaultInjectionError(
+                f"unknown fault action {self.action!r} (expected one of "
+                f"{ACTIONS})"
+            )
+        if self.action == "raise" and self.error not in ERROR_KINDS:
+            raise FaultInjectionError(
+                f"unknown fault error kind {self.error!r} (expected one of "
+                f"{ERROR_KINDS})"
+            )
+        if self.occurrences is not None:
+            object.__setattr__(
+                self, "occurrences", tuple(int(n) for n in self.occurrences)
+            )
+
+    def matches(self, site: str, key_text: Optional[str], occurrence: int) -> bool:
+        return (
+            self.site == site
+            and (self.key is None or self.key == key_text)
+            and (self.occurrences is None or occurrence in self.occurrences)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "site": self.site,
+            "action": self.action,
+            "occurrences": (
+                None if self.occurrences is None else list(self.occurrences)
+            ),
+            "key": self.key,
+            "error": self.error,
+            "seconds": self.seconds,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultRule":
+        occurrences = data.get("occurrences")
+        return cls(
+            site=data["site"],
+            action=data["action"],
+            occurrences=None if occurrences is None else tuple(occurrences),
+            key=data.get("key"),
+            error=data.get("error", "io"),
+            seconds=float(data.get("seconds", 0.0)),
+            message=data.get("message", ""),
+        )
+
+
+class FaultPlan:
+    """A set of :class:`FaultRule` plus the occurrence bookkeeping.
+
+    With ``state_dir=None`` occurrence counters are process-local (a
+    dict under a lock) — right for single-process store/serve tests.
+    With a ``state_dir`` they are claimed through atomic
+    ``O_CREAT | O_EXCL`` marker files, so every process sharing the
+    directory observes one global, gap-free numbering per site — right
+    for worker-kill tests where the firing processes keep dying.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[FaultRule],
+        state_dir: Optional[PathLike] = None,
+    ) -> None:
+        self.rules: Tuple[FaultRule, ...] = tuple(rules)
+        self.state_dir = None if state_dir is None else Path(state_dir)
+        self._sites = frozenset(rule.site for rule in self.rules)
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+        if self.state_dir is not None:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # occurrence counting
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _site_digest(site: str) -> str:
+        return hashlib.sha1(site.encode("utf-8")).hexdigest()[:16]
+
+    def _next_occurrence(self, site: str) -> int:
+        if self.state_dir is None:
+            with self._lock:
+                occurrence = self._counts.get(site, 0)
+                self._counts[site] = occurrence + 1
+                return occurrence
+        digest = self._site_digest(site)
+        occurrence = 0
+        while True:
+            marker = self.state_dir / f"{digest}.{occurrence}"
+            try:
+                handle = os.open(
+                    str(marker), os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                occurrence += 1
+                continue
+            os.close(handle)
+            return occurrence
+
+    def occurrences_fired(self, site: str) -> int:
+        """How many times ``site`` has fired so far (all processes)."""
+        if self.state_dir is None:
+            with self._lock:
+                return self._counts.get(site, 0)
+        digest = self._site_digest(site)
+        return len(list(self.state_dir.glob(f"{digest}.*")))
+
+    # ------------------------------------------------------------------
+    # firing
+    # ------------------------------------------------------------------
+    def fire(self, site: str, key: Any = None) -> None:
+        """Evaluate one fault-point firing; executes the matching rule."""
+        if site not in self._sites:
+            return  # unarmed sites never consume occurrence numbers
+        occurrence = self._next_occurrence(site)
+        key_text = None if key is None else str(key)
+        for rule in self.rules:
+            if rule.matches(site, key_text, occurrence):
+                self._execute(rule, site, occurrence)
+                return
+
+    @staticmethod
+    def _execute(rule: FaultRule, site: str, occurrence: int) -> None:
+        if rule.action == "delay":
+            time.sleep(rule.seconds)
+            return
+        if rule.action == "kill":
+            # A hard worker death: no atexit hooks, no finally blocks —
+            # the same observable the pool sees for SIGKILL/segfault.
+            os._exit(KILL_EXIT_CODE)
+        message = rule.message or (
+            f"injected {rule.error} fault at {site}[{occurrence}]"
+        )
+        raise _make_error(rule.error, message)
+
+    # ------------------------------------------------------------------
+    # serialisation (cross-process activation)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rules": [rule.to_dict() for rule in self.rules],
+            "state_dir": None if self.state_dir is None else str(self.state_dir),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls(
+            rules=[FaultRule.from_dict(item) for item in data["rules"]],
+            state_dir=data.get("state_dir"),
+        )
+
+    def save(self, path: PathLike) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2))
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "FaultPlan":
+        try:
+            return cls.from_dict(json.loads(Path(path).read_text()))
+        except (OSError, ValueError, KeyError) as error:
+            raise FaultInjectionError(
+                f"cannot load fault plan from {str(path)!r}: {error}"
+            ) from error
+
+
+# ----------------------------------------------------------------------
+# process-wide activation
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[FaultPlan] = None
+_ENV_PATH: Optional[str] = None
+_ENV_PLAN_CACHE: Optional[FaultPlan] = None
+
+
+def _plan_from_env() -> Optional[FaultPlan]:
+    global _ENV_PATH, _ENV_PLAN_CACHE
+    path = os.environ.get(ENV_PLAN)
+    if not path:
+        _ENV_PATH = None
+        _ENV_PLAN_CACHE = None
+        return None
+    if path != _ENV_PATH:
+        _ENV_PATH = path
+        _ENV_PLAN_CACHE = FaultPlan.load(path)
+    return _ENV_PLAN_CACHE
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan consulted by :func:`fault_point`, if any."""
+    return _ACTIVE if _ACTIVE is not None else _plan_from_env()
+
+
+def fault_point(site: str, key: Any = None) -> None:
+    """Named injection site; a no-op unless an installed plan arms it."""
+    plan = _ACTIVE
+    if plan is None:
+        plan = _plan_from_env()
+        if plan is None:
+            return
+    plan.fire(site, key)
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Activate ``plan`` process-wide (and for children, via the env).
+
+    Forked workers inherit the module global directly; spawned workers
+    and subprocesses pick the plan up through ``REPRO_FAULT_PLAN``, which
+    requires the plan to have a ``state_dir`` to serialise into.
+    """
+    global _ACTIVE
+    _ACTIVE = plan
+    if plan.state_dir is not None:
+        path = plan.save(plan.state_dir / "plan.json")
+        os.environ[ENV_PLAN] = str(path)
+    return plan
+
+
+def uninstall() -> None:
+    """Deactivate fault injection (idempotent)."""
+    global _ACTIVE, _ENV_PATH, _ENV_PLAN_CACHE
+    _ACTIVE = None
+    _ENV_PATH = None
+    _ENV_PLAN_CACHE = None
+    os.environ.pop(ENV_PLAN, None)
+
+
+class installed:
+    """Context manager form of :func:`install`/:func:`uninstall`."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+
+    def __enter__(self) -> FaultPlan:
+        return install(self.plan)
+
+    def __exit__(self, *exc_info) -> None:
+        uninstall()
+
+
+__all__ = [
+    "ACTIONS",
+    "ENV_PLAN",
+    "ERROR_KINDS",
+    "KILL_EXIT_CODE",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "fault_point",
+    "install",
+    "installed",
+    "uninstall",
+]

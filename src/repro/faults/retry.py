@@ -1,0 +1,134 @@
+"""Exponential backoff with deterministic jitter — the shared retry policy.
+
+One retry implementation for every layer that faces *transient* failures:
+the store writer retries ``BEGIN IMMEDIATE`` collisions, the store reader
+retries ``database is locked`` snapshots (so a lock blip becomes a short
+stall instead of an HTTP 500), and tests drive both through injected
+faults (:mod:`repro.faults.plan`).
+
+Two properties matter more than cleverness here:
+
+* **Bounded**: at most ``max_attempts`` calls, with delays capped at
+  ``max_delay`` — a retry loop must never become the hang it was meant to
+  prevent.
+* **Deterministic**: jitter comes from a :class:`random.Random` seeded by
+  the policy, so a failing test replays with the exact same delays.  The
+  jitter still does its real job (decorrelating concurrent retriers —
+  give each retrier its own seed).
+
+Only exceptions accepted by the ``retry_on`` predicate are retried;
+everything else propagates immediately, and the last attempt always
+propagates.  :func:`is_transient_operational_error` is the predicate the
+SQLite paths share: ``sqlite3.OperationalError`` whose message says
+locked/busy — the two shapes WAL contention actually produces — and
+nothing else (a corrupt store must fail loudly, not loop).
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+#: Message fragments that identify SQLITE_BUSY/SQLITE_LOCKED conditions.
+_TRANSIENT_TOKENS = ("locked", "busy")
+
+
+def is_transient_operational_error(error: BaseException) -> bool:
+    """True for lock/busy ``sqlite3.OperationalError`` — and nothing else."""
+    if not isinstance(error, sqlite3.OperationalError):
+        return False
+    message = str(error).lower()
+    return any(token in message for token in _TRANSIENT_TOKENS)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Shape of one backoff schedule (attempt count, delays, jitter).
+
+    ``delay(n)`` for retry ``n`` (0-based) is
+    ``min(base_delay * multiplier**n, max_delay)`` scaled by a random
+    factor in ``[1 - jitter, 1]`` drawn from ``Random(seed)`` — fully
+    deterministic for a given policy.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 0.5
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delays(self) -> List[float]:
+        """The deterministic delay sequence (``max_attempts - 1`` entries)."""
+        rng = random.Random(self.seed)
+        delays = []
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            capped = min(delay, self.max_delay)
+            delays.append(capped * (1.0 - self.jitter * rng.random()))
+            delay *= self.multiplier
+        return delays
+
+
+#: Policy of the store writer: lock collisions on a busy store are worth
+#: waiting out — a failed save throws away a whole mining run.
+WRITE_RETRY_POLICY = RetryPolicy(
+    max_attempts=5, base_delay=0.05, multiplier=2.0, max_delay=1.0
+)
+
+#: Policy of the store reader: requests have deadlines, so the total
+#: worst-case stall is kept well under a second.
+READ_RETRY_POLICY = RetryPolicy(
+    max_attempts=4, base_delay=0.01, multiplier=2.0, max_delay=0.25
+)
+
+
+def call_with_retry(
+    fn: Callable[[], Any],
+    policy: RetryPolicy = RetryPolicy(),
+    retry_on: Callable[[BaseException], bool] = is_transient_operational_error,
+    on_retry: Optional[Callable[[BaseException, int, float], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Any:
+    """Call ``fn`` under ``policy``; retry while ``retry_on`` accepts.
+
+    ``on_retry(error, attempt, delay)`` is invoked before each backoff
+    sleep (``attempt`` is the 1-based attempt that just failed) — the
+    metrics hook.  ``sleep`` is injectable for tests.
+    """
+    rng = random.Random(policy.seed)
+    delay = policy.base_delay
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return fn()
+        except BaseException as error:
+            if attempt >= policy.max_attempts or not retry_on(error):
+                raise
+            pause = min(delay, policy.max_delay)
+            pause *= 1.0 - policy.jitter * rng.random()
+            if on_retry is not None:
+                on_retry(error, attempt, pause)
+            sleep(pause)
+            delay *= policy.multiplier
+
+
+__all__ = [
+    "READ_RETRY_POLICY",
+    "RetryPolicy",
+    "WRITE_RETRY_POLICY",
+    "call_with_retry",
+    "is_transient_operational_error",
+]

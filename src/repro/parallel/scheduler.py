@@ -72,13 +72,19 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import ParallelError, ParameterError
+from repro.errors import ParallelError, ParameterError, PoisonTaskError
+from repro.faults import fault_point
 from repro.parallel.transfer import AUTO, PayloadTransfer, TransferStats, current_payload
 
 TaskKey = Tuple[Any, ...]
 
 #: Default maximum number of tasks packed into one pool submission.
 DEFAULT_TASK_BATCH_SIZE = 8
+
+#: How many times a task lost to a worker death is re-executed before it
+#: is quarantined as poison (the bound that keeps recovery from
+#: livelocking on a task that deterministically kills its worker).
+DEFAULT_MAX_TASK_RETRIES = 2
 
 #: How many batches per worker the packer aims for.  Oversubscribing the
 #: workers ~4× keeps the shared queue non-empty while any subtree is still
@@ -135,6 +141,12 @@ class SchedulerStats:
     #: filled when ``measure_task_bytes=True`` — lets the benchmark prove
     #: task submissions stay small and graph-free.
     max_batch_bytes: int = 0
+    #: Times the worker pool broke (>= 1 worker died) and was rebuilt.
+    pool_rebuilds: int = 0
+    #: Task executions lost to worker deaths and re-queued.
+    tasks_retried: int = 0
+    #: Tasks that exhausted their retry budget and were quarantined.
+    tasks_quarantined: int = 0
 
 
 def pack_batches(
@@ -184,6 +196,12 @@ def _run_batch(
     payload = current_payload()
     output: List[Tuple[TaskKey, Any, float]] = []
     for key, args in batch:
+        # Chaos hook: an armed plan can kill this worker (os._exit) or
+        # inject an error here — the site the worker-death recovery and
+        # poison-task quarantine are tested through.  Never armed in the
+        # in-process fallback, so the sequential ground truth is always
+        # computable under an installed plan.
+        fault_point("parallel.scheduler.task", key=key)
         started = time.perf_counter()
         result = task_fn(payload, *args)
         output.append((key, result, time.perf_counter() - started))
@@ -243,16 +261,22 @@ class WorkStealingScheduler:
         transfer: str = AUTO,
         batch_size: int = DEFAULT_TASK_BATCH_SIZE,
         measure_task_bytes: bool = False,
+        max_task_retries: int = DEFAULT_MAX_TASK_RETRIES,
     ) -> None:
         if batch_size < 1:
             raise ParameterError(f"batch_size must be >= 1, got {batch_size}")
         if n_jobs < 1:
             raise ParameterError(f"n_jobs must be >= 1, got {n_jobs}")
+        if max_task_retries < 0:
+            raise ParameterError(
+                f"max_task_retries must be >= 0, got {max_task_retries}"
+            )
         self.payload = payload
         self.task_fn = task_fn
         self.n_jobs = n_jobs
         self.batch_size = batch_size
         self.measure_task_bytes = measure_task_bytes
+        self.max_task_retries = max_task_retries
         self.stats = SchedulerStats()
         self.results: Dict[TaskKey, Any] = {}
         self.task_durations: Dict[TaskKey, float] = {}
@@ -263,6 +287,12 @@ class WorkStealingScheduler:
         self._pool = None
         self._owner_pid: Optional[int] = None
         self._entered = False
+        # Worker-death bookkeeping: how often each task was lost to a
+        # dying worker, which keys must be resubmitted alone (so blame
+        # for the next death is individual), and the quarantined poison.
+        self._death_counts: Dict[TaskKey, int] = {}
+        self._suspects: set = set()
+        self._quarantined: List[_Task] = []
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -350,33 +380,142 @@ class WorkStealingScheduler:
         needing determinism must merge from :attr:`results` by key after
         the drain.  The loop body may :meth:`submit` new tasks — they join
         the shared queue in the next flush.
+
+        Worker deaths are survived: when a worker dies mid-batch (SIGKILL,
+        segfault, an injected ``parallel.scheduler.task`` kill) the pool is
+        rebuilt, every task in flight at the time is re-queued — task
+        purity makes re-execution free of side effects — and tasks that
+        were in a broken batch are resubmitted *alone* so the next death
+        blames exactly one task.  A task lost more than
+        :attr:`max_task_retries` times is quarantined; after every healthy
+        task finished, the drain raises
+        :class:`~repro.errors.PoisonTaskError` naming the quarantined keys
+        (healthy results remain on :attr:`results`).
         """
         if self._pool is None:
             yield from self._drain_in_process()
             return
         from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
 
-        pending = set()
+        pending: Dict[Any, List[_Task]] = {}
         while self._buffered or pending:
-            for batch in pack_batches(self._buffered, self.n_jobs, self.batch_size):
-                payload_args = [(task.key, task.args) for task in batch]
-                if self.measure_task_bytes:
-                    size = len(pickle.dumps(payload_args, pickle.HIGHEST_PROTOCOL))
-                    self.stats.max_batch_bytes = max(
-                        self.stats.max_batch_bytes, size
-                    )
-                pending.add(self._pool.submit(_run_batch, self.task_fn, payload_args))
-                self.stats.batches_submitted += 1
-                self.stats.tasks_submitted += len(batch)
-            self._buffered = []
-            if not pending:
-                break
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                for key, result, seconds in future.result():
-                    self.results[key] = result
-                    self.task_durations[key] = seconds
+            broken = not self._flush_buffered(pending)
+            if not broken:
+                if not pending:
+                    break
+                done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+                for future in done:
+                    batch = pending.pop(future)
+                    try:
+                        triples = future.result()
+                    except BrokenProcessPool:
+                        self._record_lost_batch(batch)
+                        broken = True
+                        continue
+                    for key, result, seconds in triples:
+                        self.results[key] = result
+                        self.task_durations[key] = seconds
+                        yield key, result
+            if broken:
+                for key, result in self._recover_from_breakage(pending):
                     yield key, result
+        if self._quarantined:
+            raise PoisonTaskError(task.key for task in self._quarantined)
+
+    def _flush_buffered(self, pending: Dict[Any, List[_Task]]) -> bool:
+        """Submit everything buffered; ``False`` when the pool broke.
+
+        Tasks whose earlier batch died with a worker (*suspects*) are
+        packed one per submission — individually re-runnable and
+        individually blamable — while fresh tasks batch as usual.  On a
+        broken pool the unsubmitted remainder goes back to the buffer.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        suspects = [t for t in self._buffered if t.key in self._suspects]
+        fresh = [t for t in self._buffered if t.key not in self._suspects]
+        self._buffered = []
+        batches = pack_batches(fresh, self.n_jobs, self.batch_size)
+        batches.extend([task] for task in suspects)
+        for index, batch in enumerate(batches):
+            payload_args = [(task.key, task.args) for task in batch]
+            if self.measure_task_bytes:
+                size = len(pickle.dumps(payload_args, pickle.HIGHEST_PROTOCOL))
+                self.stats.max_batch_bytes = max(
+                    self.stats.max_batch_bytes, size
+                )
+            try:
+                future = self._pool.submit(
+                    _run_batch, self.task_fn, payload_args
+                )
+            except (BrokenProcessPool, RuntimeError):
+                # Pool already dead (RuntimeError: shutdown raced a dying
+                # executor) — re-buffer what did not make it in.
+                for later in batches[index:]:
+                    self._buffered.extend(later)
+                return False
+            pending[future] = list(batch)
+            self.stats.batches_submitted += 1
+            self.stats.tasks_submitted += len(batch)
+        return True
+
+    def _record_lost_batch(self, batch: List[_Task]) -> None:
+        """Account one batch lost to a worker death: retry or quarantine."""
+        for task in batch:
+            count = self._death_counts.get(task.key, 0) + 1
+            self._death_counts[task.key] = count
+            self._suspects.add(task.key)
+            if count > self.max_task_retries:
+                self._quarantined.append(task)
+                self.stats.tasks_quarantined += 1
+            else:
+                self.stats.tasks_retried += 1
+                self._buffered.append(task)
+
+    def _recover_from_breakage(
+        self, pending: Dict[Any, List[_Task]]
+    ) -> List[Tuple[TaskKey, Any]]:
+        """Settle every in-flight future of a broken pool, then rebuild.
+
+        Futures that completed before the break still carry results —
+        harvest them (returned for the drain to yield); everything else
+        is a lost batch.  The replacement pool reuses the original
+        transfer, so workers attach the same payload.
+        """
+        harvested: List[Tuple[TaskKey, Any]] = []
+        for future in list(pending):
+            batch = pending.pop(future)
+            try:
+                triples = future.result()
+            except BaseException:
+                self._record_lost_batch(batch)
+                continue
+            for key, result, seconds in triples:
+                self.results[key] = result
+                self.task_durations[key] = seconds
+                harvested.append((key, result))
+        self.stats.pool_rebuilds += 1
+        self._rebuild_pool()
+        return harvested
+
+    def _rebuild_pool(self) -> None:
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(cancel_futures=True)
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_jobs,
+                mp_context=self._transfer.mp_context(),
+                initializer=self._transfer.initializer,
+                initargs=self._transfer.initargs,
+            )
+        except (ImportError, NotImplementedError, OSError, ValueError) as error:
+            raise ParallelError(
+                f"cannot rebuild the worker pool after a worker death: {error}"
+            ) from error
 
     def _drain_in_process(self) -> Iterator[Tuple[TaskKey, Any]]:
         """Sequential fallback: same task graph, submission order."""
@@ -400,6 +539,7 @@ class WorkStealingScheduler:
 
 __all__ = [
     "BATCH_OVERSUBSCRIPTION",
+    "DEFAULT_MAX_TASK_RETRIES",
     "DEFAULT_TASK_BATCH_SIZE",
     "SchedulerStats",
     "WorkStealingScheduler",

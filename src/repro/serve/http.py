@@ -32,11 +32,28 @@ Error contract (all bodies are JSON, ``{"error": {...}}``):
   unknown endpoint, unknown pattern id or run
   (:class:`~repro.errors.NotFoundError`);
 * ``500`` — the store is broken or the server is mid-shutdown (any
-  other :class:`~repro.errors.StoreError`, or an unexpected exception).
+  other :class:`~repro.errors.StoreError`, or an unexpected exception);
+* ``503`` + ``Retry-After`` — the server is *shedding load* rather than
+  queueing without bound: the reader pool stayed exhausted past the
+  lease timeout (:class:`~repro.errors.PoolExhaustedError`), more data
+  requests are in flight than ``max_inflight`` admits
+  (:class:`~repro.errors.OverloadedError`), or the per-request deadline
+  expired before real work started
+  (:class:`~repro.errors.DeadlineExceededError`).  Shed requests are
+  counted under ``counters.requests_shed`` on ``/metrics``, and
+  ``/healthz`` reports ``"degraded"`` (instead of ``"ok"``) while the
+  pool cannot hand out a lease promptly — load balancers get the signal
+  before clients see the 503s.  ``/healthz`` and ``/metrics`` themselves
+  are exempt from admission control, so the observability plane stays
+  up exactly when it is needed.
 
 :meth:`PatternStoreServer.stop` is the graceful-shutdown path: stop
 accepting, join every in-flight handler thread, then close the reader
 pool — in that order, so no request ever observes a closed reader.
+``stop(timeout=...)`` bounds the drain: past the deadline the reader
+pool is force-closed (leased readers interrupted mid-query) and the
+method returns ``False`` so ``scpm serve --shutdown-timeout`` can exit
+nonzero instead of hanging on a stuck handler.
 """
 
 from __future__ import annotations
@@ -46,11 +63,19 @@ import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from time import perf_counter
+from time import monotonic, perf_counter
 from typing import Dict, List, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlsplit
 
-from repro.errors import NotFoundError, QueryError, StoreError
+from repro.errors import (
+    DeadlineExceededError,
+    NotFoundError,
+    OverloadedError,
+    PoolExhaustedError,
+    QueryError,
+    StoreError,
+)
+from repro.faults import fault_point
 from repro.graph.io import parse_vertex_token
 from repro.serve.metrics import ServingMetrics
 from repro.serve.pool import ReaderPool
@@ -60,6 +85,20 @@ from repro.store.codec import encode_value
 PathLike = Union[str, Path]
 
 SERVER_NAME = "scpm-serve"
+
+#: Seconds /healthz waits for a pool lease before reporting "degraded".
+HEALTH_LEASE_TIMEOUT = 0.05
+
+#: Retry-After header value (seconds) sent with every shed (503) response.
+RETRY_AFTER_SECONDS = 1
+
+#: Endpoints exempt from admission control and deadlines — the
+#: observability plane must answer precisely when the server is drowning.
+EXEMPT_ENDPOINTS = ("healthz", "metrics")
+
+#: Grace (seconds) granted to handler threads after a force-close
+#: interrupted their queries, before stop() gives up on joining them.
+FORCE_CLOSE_GRACE = 1.0
 
 
 # ----------------------------------------------------------------------
@@ -206,16 +245,41 @@ class PatternStoreHandler(BaseHTTPRequestHandler):
         split = urlsplit(self.path)
         endpoint = self._endpoint_name(split.path)
         started = perf_counter()
+        deadline = self.server.request_deadline
+        self._deadline = (
+            None
+            if deadline is None or endpoint in EXEMPT_ENDPOINTS
+            else monotonic() + deadline
+        )
+        admitted = False
         try:
+            if endpoint not in EXEMPT_ENDPOINTS:
+                self.server.enter_request()
+                admitted = True
+            # The chaos delay/error site sits inside the admission slot:
+            # a "delay" rule here models a stuck handler that keeps
+            # occupying the server (and trips the deadline check below).
+            fault_point("serve.http.handler", key=endpoint)
+            self._check_deadline()
             status, payload = self._dispatch(split.path, split.query)
         except QueryError as error:
             status, payload = 400, _error_payload(400, error)
         except NotFoundError as error:
             status, payload = 404, _error_payload(404, error)
+        except (
+            PoolExhaustedError, OverloadedError, DeadlineExceededError
+        ) as error:
+            status, payload = 503, _error_payload(503, error)
+            self.server.metrics.increment("requests_shed")
+            if isinstance(error, DeadlineExceededError):
+                self.server.metrics.increment("deadline_exceeded")
         except StoreError as error:
             status, payload = 500, _error_payload(500, error)
         except Exception as error:  # pragma: no cover — defensive 500
             status, payload = 500, _error_payload(500, error)
+        finally:
+            if admitted:
+                self.server.leave_request()
         elapsed = perf_counter() - started
         self.server.metrics.observe(endpoint, status, elapsed)
         try:
@@ -223,10 +287,40 @@ class PatternStoreHandler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            if status == 503:
+                self.send_header("Retry-After", str(RETRY_AFTER_SECONDS))
             self.end_headers()
             self.wfile.write(body)
         except (BrokenPipeError, ConnectionResetError):
             self.close_connection = True  # client went away mid-response
+
+    # -- degradation helpers -------------------------------------------
+    def _check_deadline(self) -> None:
+        """Raise :class:`DeadlineExceededError` once the budget is spent.
+
+        Checked at admission and before each pool lease — the points
+        where a request is about to *start* waiting or working.  A
+        response already being computed is never abandoned: serving it
+        costs less than recomputing on the client's retry.
+        """
+        deadline = getattr(self, "_deadline", None)
+        if deadline is not None and monotonic() >= deadline:
+            raise DeadlineExceededError(
+                f"request exceeded its "
+                f"{self.server.request_deadline:.3f}s deadline"
+            )
+
+    def _lease(self):
+        """Pool lease bounded by what remains of the request deadline."""
+        self._check_deadline()
+        deadline = getattr(self, "_deadline", None)
+        timeout = None if deadline is None else deadline - monotonic()
+        pool_timeout = self.server.pool.lease_timeout
+        if pool_timeout is not None:
+            timeout = (
+                pool_timeout if timeout is None else min(timeout, pool_timeout)
+            )
+        return self.server.pool.lease(timeout=timeout)
 
     # -- routing -------------------------------------------------------
     @staticmethod
@@ -263,9 +357,25 @@ class PatternStoreHandler(BaseHTTPRequestHandler):
 
     # -- endpoints -----------------------------------------------------
     def _healthz(self, params) -> Tuple[int, Dict[str, object]]:
+        """Liveness plus degradation: ``ok`` ↔ a lease is promptly had.
+
+        Exhaustion of the reader pool answers 200 with ``"degraded"``
+        rather than queueing the probe behind the very backlog it is
+        meant to detect — the prober distinguishes a drowning server
+        (degraded) from a dead one (connection refused / 500).
+        """
         _reject_unknown_params(params, ())
-        with self.server.pool.lease() as reader:
-            num_runs = len(reader.runs())  # proves the store is readable
+        try:
+            with self.server.pool.lease(
+                timeout=self.server.health_lease_timeout
+            ) as reader:
+                num_runs = len(reader.runs())  # store is readable
+        except PoolExhaustedError as error:
+            return 200, {
+                "status": "degraded",
+                "reason": str(error),
+                "store": str(self.server.store_path),
+            }
         return 200, {
             "status": "ok",
             "store": str(self.server.store_path),
@@ -276,12 +386,13 @@ class PatternStoreHandler(BaseHTTPRequestHandler):
         _reject_unknown_params(params, ())
         snapshot = self.server.metrics.snapshot()
         snapshot["pool"] = self.server.pool.cache_stats()
+        snapshot["pool"].update(self.server.pool.stats())
         snapshot["store"] = str(self.server.store_path)
         return 200, snapshot
 
     def _runs(self, params) -> Tuple[int, Dict[str, object]]:
         _reject_unknown_params(params, ())
-        with self.server.pool.lease() as reader:
+        with self._lease() as reader:
             runs = reader.runs()
         return 200, {"runs": [run_payload(info) for info in runs]}
 
@@ -291,7 +402,7 @@ class PatternStoreHandler(BaseHTTPRequestHandler):
         if k is None:
             raise QueryError("/top needs a k= query parameter")
         run_id = _int_param(params, "run")
-        with self.server.pool.lease() as reader:
+        with self._lease() as reader:
             if run_id is None:
                 run_id = reader.latest_run_id()
             entries = reader.top_k(k, run_id=run_id)
@@ -312,7 +423,7 @@ class PatternStoreHandler(BaseHTTPRequestHandler):
         mode = _single_param(params, "mode")
         if mode is not None and attributes is None:
             raise QueryError("mode= is only valid together with attributes=")
-        with self.server.pool.lease() as reader:
+        with self._lease() as reader:
             if vertex is not None:
                 parsed = parse_vertex_token(vertex)
                 matches = reader.patterns_with_vertex(parsed)
@@ -343,7 +454,7 @@ class PatternStoreHandler(BaseHTTPRequestHandler):
             raise QueryError(
                 f"pattern id must be an integer, got {suffix!r}"
             ) from None
-        with self.server.pool.lease() as reader:
+        with self._lease() as reader:
             stored = reader.get_pattern(pattern_id)
         return 200, pattern_payload(stored)
 
@@ -357,12 +468,26 @@ class PatternStoreServer(ThreadingHTTPServer):
     ``port=0`` binds an ephemeral port (see :attr:`url`).  The store is
     opened once up front so a missing/corrupt path fails at construction
     (:class:`~repro.errors.StoreError`) instead of on the first request.
+
+    The degradation knobs all default to *off* (``None``), keeping the
+    historical accept-everything behaviour for library users;
+    ``scpm serve`` turns them on with production defaults:
+
+    * ``max_readers`` / ``lease_timeout`` — reader-pool concurrency
+      bound and how long a request waits for a lease before a 503;
+    * ``max_inflight`` — admission control: data requests in flight
+      beyond this are shed immediately (healthz/metrics exempt);
+    * ``request_deadline`` — per-request wall budget, checked at
+      admission and before each lease.
     """
 
-    # Drain semantics: handler threads are joined by server_close(), so
-    # stop() can close the reader pool only after the last request left.
-    daemon_threads = False
-    block_on_close = True
+    # Drain semantics: stop() joins the handler threads it tracks itself
+    # (bounded by its timeout), so threads are daemons — a force-closed
+    # stop can abandon a stuck handler without pinning process exit —
+    # and block_on_close stays False so server_close() cannot sneak in
+    # an unbounded join behind stop()'s back.
+    daemon_threads = True
+    block_on_close = False
 
     def __init__(
         self,
@@ -370,11 +495,30 @@ class PatternStoreServer(ThreadingHTTPServer):
         host: str = "127.0.0.1",
         port: int = 0,
         cache_size: int = 256,
+        max_readers: Optional[int] = None,
+        lease_timeout: Optional[float] = None,
+        max_inflight: Optional[int] = None,
+        request_deadline: Optional[float] = None,
+        health_lease_timeout: float = HEALTH_LEASE_TIMEOUT,
     ) -> None:
         self.store_path = Path(store_path)
-        self.pool = ReaderPool(self.store_path, cache_size=cache_size)
+        self.pool = ReaderPool(
+            self.store_path,
+            cache_size=cache_size,
+            max_readers=max_readers,
+            lease_timeout=lease_timeout,
+        )
         self.metrics = ServingMetrics()
+        self.max_inflight = max_inflight
+        self.request_deadline = request_deadline
+        self.health_lease_timeout = health_lease_timeout
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._handler_threads: set = set()
+        self._handlers_lock = threading.Lock()
         self._stopped = threading.Event()
+        self._stop_lock = threading.Lock()
+        self._stop_clean = True
         self._serving = threading.Event()
         try:
             with self.pool.lease() as reader:
@@ -389,6 +533,41 @@ class PatternStoreServer(ThreadingHTTPServer):
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
 
+    # -- admission control ---------------------------------------------
+    def enter_request(self) -> None:
+        """Claim an in-flight slot or raise :class:`OverloadedError`."""
+        with self._inflight_lock:
+            if (
+                self.max_inflight is not None
+                and self._inflight >= self.max_inflight
+            ):
+                raise OverloadedError(
+                    f"{self._inflight} requests already in flight "
+                    f"(max_inflight={self.max_inflight})"
+                )
+            self._inflight += 1
+
+    def leave_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    # -- lifecycle ------------------------------------------------------
+    def process_request_thread(self, request, client_address) -> None:
+        """Per-connection thread body, registered for bounded joining."""
+        thread = threading.current_thread()
+        with self._handlers_lock:
+            self._handler_threads.add(thread)
+        try:
+            super().process_request_thread(request, client_address)
+        finally:
+            with self._handlers_lock:
+                self._handler_threads.discard(thread)
+
     def serve_forever(self, poll_interval: float = 0.5) -> None:
         self._serving.set()
         try:
@@ -396,18 +575,49 @@ class PatternStoreServer(ThreadingHTTPServer):
         finally:
             self._serving.clear()
 
-    def stop(self) -> None:
-        """Graceful shutdown: drain in-flight requests, close readers."""
-        if self._stopped.is_set():
-            return
-        self._stopped.set()
+    def _join_handlers(self, timeout: Optional[float]) -> bool:
+        """Join live handler threads; False when some outlived ``timeout``."""
+        deadline = None if timeout is None else monotonic() + timeout
+        with self._handlers_lock:
+            threads = list(self._handler_threads)
+        for thread in threads:
+            remaining = None if deadline is None else deadline - monotonic()
+            if remaining is not None and remaining <= 0:
+                return not thread.is_alive()
+            thread.join(remaining)
+            if thread.is_alive():
+                return False
+        return True
+
+    def stop(self, timeout: Optional[float] = None) -> bool:
+        """Shut down; return True for a clean drain, False when forced.
+
+        ``timeout=None`` drains unbounded (the historical behaviour).
+        With a timeout, handler threads still alive past the deadline
+        get their reader pool force-closed — in-flight queries raise
+        ``OperationalError: interrupted`` — and after a short grace the
+        method returns ``False``, leaving any truly stuck (daemon)
+        threads behind rather than hanging shutdown on them.
+        Idempotent: later calls return the first call's verdict.
+        """
+        with self._stop_lock:
+            if self._stopped.is_set():
+                return self._stop_clean
+            self._stopped.set()
         if self._serving.is_set():
             # shutdown() blocks forever unless serve_forever is (or was)
             # running — guard so stop() also works on a never-started
             # or already-interrupted server.
             self.shutdown()
-        self.server_close()  # close socket + join handler threads
-        self.pool.close()
+        self.server_close()  # stop accepting (no join: block_on_close=False)
+        clean = self._join_handlers(timeout)
+        if clean:
+            self.pool.close()
+        else:
+            self.pool.force_close()
+            self._join_handlers(FORCE_CLOSE_GRACE)
+        self._stop_clean = clean
+        return clean
 
 
 def create_server(
@@ -415,8 +625,19 @@ def create_server(
     host: str = "127.0.0.1",
     port: int = 0,
     cache_size: int = 256,
+    max_readers: Optional[int] = None,
+    lease_timeout: Optional[float] = None,
+    max_inflight: Optional[int] = None,
+    request_deadline: Optional[float] = None,
 ) -> PatternStoreServer:
     """Construct (but do not start) a :class:`PatternStoreServer`."""
     return PatternStoreServer(
-        store_path, host=host, port=port, cache_size=cache_size
+        store_path,
+        host=host,
+        port=port,
+        cache_size=cache_size,
+        max_readers=max_readers,
+        lease_timeout=lease_timeout,
+        max_inflight=max_inflight,
+        request_deadline=request_deadline,
     )

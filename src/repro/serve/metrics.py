@@ -113,6 +113,22 @@ class ServingMetrics:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._endpoints: Dict[str, _EndpointMetrics] = {}
+        self._counters: Dict[str, int] = {}
+
+    def increment(self, counter: str, amount: int = 1) -> None:
+        """Bump one named server-wide counter (created on first use).
+
+        The degradation path records ``requests_shed`` (every 503 —
+        pool exhausted, overloaded, past deadline) and
+        ``deadline_exceeded`` here; the snapshot exports whatever
+        exists, so new counters need no schema change.
+        """
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
 
     def observe(self, endpoint: str, status: int, seconds: float) -> None:
         """Record one finished request."""
@@ -167,5 +183,6 @@ class ServingMetrics:
                 "requests": total_requests,
                 "errors_4xx": total_4xx,
                 "errors_5xx": total_5xx,
+                "counters": dict(sorted(self._counters.items())),
                 "endpoints": endpoints,
             }

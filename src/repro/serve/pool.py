@@ -21,6 +21,16 @@ ever created (leased or parked), which is the pool-wide cache hit
 ratio, and :meth:`close` drains the whole population — the graceful-
 shutdown path of :class:`~repro.serve.http.PatternStoreServer` calls it
 after the in-flight requests have finished.
+
+Degradation contract (the chaos suite's half of the story): with
+``max_readers`` set the pool is a hard concurrency bound — checkouts
+past capacity *wait* on a condition variable up to the lease timeout and
+then raise :class:`~repro.errors.PoolExhaustedError`, which the HTTP
+layer maps to ``503 Retry-After`` instead of piling more threads onto a
+saturated store.  :meth:`stats` reports the wait/exhaustion counters,
+and :meth:`force_close` is the past-deadline shutdown hammer: it
+interrupts every leased reader mid-query so stuck handler threads
+unblock, where :meth:`close` would wait for them politely.
 """
 
 from __future__ import annotations
@@ -28,9 +38,11 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, Iterator, List, Union
+from time import monotonic
+from typing import Dict, Iterator, List, Optional, Union
 
-from repro.errors import StoreError
+from repro.errors import PoolExhaustedError, StoreError
+from repro.faults import fault_point
 from repro.serve.reader import PatternStoreReader
 
 PathLike = Union[str, Path]
@@ -50,51 +62,123 @@ class ReaderPool:
     Leasing from a closed pool raises :class:`~repro.errors.StoreError`;
     a reader returned to a closed pool is closed on the spot instead of
     being parked (covers requests still in flight when shutdown starts).
+
+    ``max_readers=None`` (the default) keeps the historical unbounded
+    behaviour; with a bound, checkouts past capacity wait up to
+    ``timeout`` (or ``lease_timeout``, the pool default) and then raise
+    :class:`~repro.errors.PoolExhaustedError`.
     """
 
-    def __init__(self, path: PathLike, cache_size: int = 256) -> None:
+    def __init__(
+        self,
+        path: PathLike,
+        cache_size: int = 256,
+        max_readers: Optional[int] = None,
+        lease_timeout: Optional[float] = None,
+    ) -> None:
+        if max_readers is not None and max_readers < 1:
+            raise ValueError(f"max_readers must be >= 1, got {max_readers}")
         self.path = Path(path)
         self.cache_size = cache_size
+        self.max_readers = max_readers
+        self.lease_timeout = lease_timeout
         self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
         self._free: List[PatternStoreReader] = []
         self._all: List[PatternStoreReader] = []
         self._closed = False
         self._peak_leases = 0
         self._active_leases = 0
+        self._lease_waits = 0
+        self._lease_wait_seconds = 0.0
+        self._exhausted = 0
 
     # ------------------------------------------------------------------
     # leasing
     # ------------------------------------------------------------------
     @contextmanager
-    def lease(self) -> Iterator[PatternStoreReader]:
-        """Borrow a reader for the current thread, then park it again."""
-        reader = self._checkout()
+    def lease(
+        self, timeout: Optional[float] = None
+    ) -> Iterator[PatternStoreReader]:
+        """Borrow a reader for the current thread, then park it again.
+
+        ``timeout`` bounds the wait for a free slot when the pool is at
+        ``max_readers`` (``None`` falls back to the pool's
+        ``lease_timeout``; both ``None`` waits indefinitely).
+        """
+        reader = self._checkout(timeout)
         try:
             yield reader
         finally:
             self._checkin(reader)
 
-    def _checkout(self) -> PatternStoreReader:
-        with self._lock:
+    def _checkout(self, timeout: Optional[float] = None) -> PatternStoreReader:
+        fault_point("serve.pool.checkout")
+        if timeout is None:
+            timeout = self.lease_timeout
+        with self._available:
             if self._closed:
                 raise StoreError("reader pool is closed")
+            if (
+                self.max_readers is not None
+                and self._active_leases >= self.max_readers
+            ):
+                self._wait_for_slot(timeout)
             self._active_leases += 1
             self._peak_leases = max(self._peak_leases, self._active_leases)
             if self._free:
                 return self._free.pop()
         # Opening the store happens outside the lock (it does real I/O).
-        reader = PatternStoreReader(self.path, cache_size=self.cache_size)
-        with self._lock:
+        try:
+            reader = PatternStoreReader(self.path, cache_size=self.cache_size)
+        except BaseException:
+            self._release_slot()
+            raise
+        with self._available:
             if self._closed:
-                self._active_leases -= 1
+                self._release_slot_locked()
                 reader.close()
                 raise StoreError("reader pool is closed")
             self._all.append(reader)
         return reader
 
+    def _wait_for_slot(self, timeout: Optional[float]) -> None:
+        """Block (under the lock) until a lease frees up or time runs out."""
+        self._lease_waits += 1
+        started = monotonic()
+        deadline = None if timeout is None else started + timeout
+        try:
+            while (
+                not self._closed
+                and self._active_leases >= self.max_readers
+            ):
+                remaining = (
+                    None if deadline is None else deadline - monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    self._exhausted += 1
+                    raise PoolExhaustedError(
+                        f"no reader lease free after {timeout:.3f}s "
+                        f"(max_readers={self.max_readers}, "
+                        f"active={self._active_leases})"
+                    )
+                self._available.wait(remaining)
+        finally:
+            self._lease_wait_seconds += monotonic() - started
+        if self._closed:
+            raise StoreError("reader pool is closed")
+
+    def _release_slot(self) -> None:
+        with self._available:
+            self._release_slot_locked()
+
+    def _release_slot_locked(self) -> None:
+        self._active_leases -= 1
+        self._available.notify()
+
     def _checkin(self, reader: PatternStoreReader) -> None:
-        with self._lock:
-            self._active_leases -= 1
+        with self._available:
+            self._release_slot_locked()
             if not self._closed:
                 self._free.append(reader)
                 return
@@ -135,6 +219,21 @@ class ReaderPool:
             "hit_ratio": (hits / lookups) if lookups else 0.0,
         }
 
+    def stats(self) -> Dict[str, float]:
+        """Degradation counters for ``/metrics``: waits, sheds, retries."""
+        with self._lock:
+            readers = list(self._all)
+            out = {
+                "max_readers": self.max_readers,
+                "active_leases": self._active_leases,
+                "peak_leases": self._peak_leases,
+                "lease_waits": self._lease_waits,
+                "lease_wait_seconds": self._lease_wait_seconds,
+                "exhausted": self._exhausted,
+            }
+        out["reader_retries"] = sum(reader.retries for reader in readers)
+        return out
+
     def close(self) -> None:
         """Close every parked reader and refuse new leases (idempotent).
 
@@ -142,11 +241,36 @@ class ReaderPool:
         coordinating shutdown should drain in-flight work first (the
         HTTP server joins its handler threads before calling this).
         """
-        with self._lock:
+        with self._available:
             self._closed = True
             to_close = list(self._free)
             self._free.clear()
+            self._available.notify_all()  # fail waiting checkouts now
         for reader in to_close:
+            reader.close()
+
+    def force_close(self) -> None:
+        """Close *now*: interrupt leased readers instead of waiting.
+
+        The past-deadline half of shutdown: every leased reader gets
+        :meth:`~repro.serve.reader.PatternStoreReader.interrupt`, so a
+        handler thread blocked inside a query unblocks with
+        ``OperationalError: interrupted`` and returns its lease, at
+        which point ``_checkin`` closes it (the pool is marked closed
+        first).  Idempotent, and a plain :meth:`close` on an already
+        force-closed pool is a no-op.
+        """
+        with self._available:
+            self._closed = True
+            free = list(self._free)
+            self._free.clear()
+            leased = [
+                reader for reader in self._all if reader not in free
+            ]
+            self._available.notify_all()
+        for reader in leased:
+            reader.interrupt()
+        for reader in free:
             reader.close()
 
     @property

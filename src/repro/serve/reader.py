@@ -22,6 +22,13 @@ Deserialized patterns are kept in a per-reader
 :class:`~repro.serve.cache.LRUCache`; repeated hot lookups skip the
 row fetch and codec work entirely (cold-vs-warm rows in
 ``benchmarks/bench_pattern_store.py``).
+
+Transient ``database is locked``/busy errors — possible when a
+checkpoint or an unusually long write transaction outlasts the busy
+timeout — are retried with the shared backoff helper
+(:data:`repro.faults.retry.READ_RETRY_POLICY`) instead of surfacing as
+an HTTP 500 on first occurrence; the ``serve.reader.query`` fault point
+at every query entry lets the chaos suite inject exactly those errors.
 """
 
 from __future__ import annotations
@@ -40,6 +47,13 @@ from repro.correlation.patterns import (
     StructuralCorrelationPattern,
 )
 from repro.errors import NotFoundError, QueryError, StoreError
+from repro.faults import fault_point
+from repro.faults.retry import (
+    READ_RETRY_POLICY,
+    RetryPolicy,
+    call_with_retry,
+    is_transient_operational_error,
+)
 from repro.store import schema
 from repro.store.codec import decode_value, encode_value
 from repro.serve.cache import LRUCache
@@ -114,9 +128,17 @@ class PatternStoreReader:
     stores.
     """
 
-    def __init__(self, path: PathLike, cache_size: int = 256) -> None:
+    def __init__(
+        self,
+        path: PathLike,
+        cache_size: int = 256,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         self.path = Path(path)
         self.cache = LRUCache(cache_size)
+        self.retry_policy = retry_policy or READ_RETRY_POLICY
+        #: Transient-lock retries performed over this reader's lifetime.
+        self.retries = 0
         self._connection = schema.connect(self.path, create=False)
         try:
             schema.check_schema_version(self._connection)
@@ -147,6 +169,22 @@ class PatternStoreReader:
             connection.close()
             self.cache.clear()
 
+    def interrupt(self) -> None:
+        """Abort any statement running on this reader's connection.
+
+        Safe to call from another thread (that is its purpose — the
+        pool's force-close path uses it to unblock handler threads past
+        the shutdown deadline).  The interrupted query raises
+        ``sqlite3.OperationalError: interrupted`` in its own thread,
+        which is *not* classified transient, so it is never retried.
+        """
+        connection = self._connection
+        if connection is not None:
+            try:
+                connection.interrupt()
+            except sqlite3.Error:  # pragma: no cover — already closed
+                pass
+
     def __enter__(self) -> "PatternStoreReader":
         return self
 
@@ -164,6 +202,32 @@ class PatternStoreReader:
         if connection is None:
             raise StoreError("pattern store reader is closed")
         return connection
+
+    def _read(self, operation: str, fn):
+        """Run one query body under the fault point + transient retry.
+
+        Every public lookup funnels through here: the
+        ``serve.reader.query`` fault point (keyed by operation name)
+        fires once per *attempt* — so a plan injecting ``locked`` at
+        occurrences 0..n exercises exactly n+1 attempts — and lock/busy
+        errors from the body, injected or real, retry the whole snapshot
+        with the shared backoff policy.  The failed snapshot was rolled
+        back by ``_snapshot``, so re-running the body is safe.
+        """
+
+        def attempt():
+            fault_point("serve.reader.query", key=operation)
+            return fn()
+
+        def note_retry(error, attempt_number, delay) -> None:
+            self.retries += 1
+
+        return call_with_retry(
+            attempt,
+            policy=self.retry_policy,
+            retry_on=is_transient_operational_error,
+            on_retry=note_retry,
+        )
 
     @contextmanager
     def _snapshot(self):
@@ -198,6 +262,9 @@ class PatternStoreReader:
     # ------------------------------------------------------------------
     def runs(self) -> List[RunInfo]:
         """All stored runs, oldest first."""
+        return self._read("runs", self._runs_once)
+
+    def _runs_once(self) -> List[RunInfo]:
         with self._snapshot() as connection:
             rows = connection.execute(
                 "SELECT run_id, algorithm, created_utc, num_evaluated, "
@@ -206,6 +273,9 @@ class PatternStoreReader:
         return [RunInfo(*row) for row in rows]
 
     def latest_run_id(self) -> int:
+        return self._read("latest_run_id", self._latest_run_id_once)
+
+    def _latest_run_id_once(self) -> int:
         with self._snapshot() as connection:
             row = connection.execute("SELECT MAX(run_id) FROM runs").fetchone()
         if row[0] is None:
@@ -219,6 +289,11 @@ class PatternStoreReader:
     # ------------------------------------------------------------------
     def get_pattern(self, pattern_id: int) -> StoredPattern:
         """One pattern by id; hot ids come straight from the LRU."""
+        return self._read(
+            "get_pattern", lambda: self._get_pattern_once(pattern_id)
+        )
+
+    def _get_pattern_once(self, pattern_id: int) -> StoredPattern:
         self._require_open()  # a closed reader must not serve cache hits
         cached = self.cache.get(pattern_id)
         if cached is not None:
@@ -233,6 +308,14 @@ class PatternStoreReader:
 
     def patterns_with_vertex(self, vertex: Hashable) -> List[StoredPattern]:
         """All stored patterns whose quasi-clique contains ``vertex``."""
+        return self._read(
+            "patterns_with_vertex",
+            lambda: self._patterns_with_vertex_once(vertex),
+        )
+
+    def _patterns_with_vertex_once(
+        self, vertex: Hashable
+    ) -> List[StoredPattern]:
         encoded = encode_value(vertex)
         with self._snapshot() as connection:
             ids = [
@@ -254,6 +337,14 @@ class PatternStoreReader:
         (the filter is a subset of the set); ``mode="any"`` keeps sets
         containing at least one.
         """
+        return self._read(
+            "patterns_with_attributes",
+            lambda: self._patterns_with_attributes_once(attributes, mode),
+        )
+
+    def _patterns_with_attributes_once(
+        self, attributes: Sequence[Hashable], mode: str
+    ) -> List[StoredPattern]:
         attributes = tuple(attributes)
         if mode not in MODES:
             raise QueryError(
@@ -302,11 +393,16 @@ class PatternStoreReader:
         support desc, label asc), frozen at write time.  ``run_id``
         defaults to the latest stored run.
         """
+        return self._read("top_k", lambda: self._top_k_once(k, run_id))
+
+    def _top_k_once(
+        self, k: int, run_id: Optional[int]
+    ) -> List[ListingEntry]:
         if k <= 0:
             raise QueryError(f"top_k needs a positive k, got {k}")
         with self._snapshot() as connection:
             if run_id is None:
-                run_id = self.latest_run_id()
+                run_id = self._latest_run_id_once()
             rows = connection.execute(
                 "SELECT rank, set_id, label, epsilon, support "
                 "FROM epsilon_listing WHERE run_id = ? "
@@ -327,9 +423,14 @@ class PatternStoreReader:
     # ------------------------------------------------------------------
     def load_result(self, run_id: Optional[int] = None) -> MiningResult:
         """Rebuild one run as a byte-identical :class:`MiningResult`."""
+        return self._read(
+            "load_result", lambda: self._load_result_once(run_id)
+        )
+
+    def _load_result_once(self, run_id: Optional[int]) -> MiningResult:
         with self._snapshot() as connection:
             if run_id is None:
-                run_id = self.latest_run_id()
+                run_id = self._latest_run_id_once()
             header = connection.execute(
                 "SELECT algorithm, counters_json FROM runs WHERE run_id = ?",
                 (run_id,),

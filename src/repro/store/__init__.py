@@ -22,12 +22,17 @@ in ``tests/store/test_roundtrip.py``).
 
 from repro.store.codec import decode_value, encode_value
 from repro.store.schema import SCHEMA_VERSION
-from repro.store.writer import PatternStore, save_result
+from repro.store.verify import VerifyCheck, VerifyReport, verify_store
+from repro.store.writer import SAVE_FAULT_SITES, PatternStore, save_result
 
 __all__ = [
     "PatternStore",
+    "SAVE_FAULT_SITES",
     "save_result",
     "encode_value",
     "decode_value",
     "SCHEMA_VERSION",
+    "VerifyCheck",
+    "VerifyReport",
+    "verify_store",
 ]

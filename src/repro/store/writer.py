@@ -15,6 +15,18 @@ codec, and the work counters as JSON.  The two read-optimised
 structures — the materialised ε ranking and the FTS5 attribute-token
 index — are populated in the same transaction, so they can never drift
 from the rows they index.
+
+Failure behaviour is part of the contract.  The save transaction is
+threaded with the ``store.writer.*`` fault points (:mod:`repro.faults`) —
+one per write step, ``begin`` through ``post_commit`` — and the crash
+fuzz (``tests/faults/test_store_crash.py``) proves that killing the
+process at *any* of them leaves a store that
+:func:`repro.store.verify.verify_store` reports clean: either the run is
+fully present (killed after commit) or fully absent (killed before),
+never torn.  Transient ``database is locked``/busy collisions are
+retried with the shared backoff helper
+(:func:`repro.faults.retry.call_with_retry`, whole-transaction retry
+after rollback) instead of discarding the mining run on first contact.
 """
 
 from __future__ import annotations
@@ -27,10 +39,30 @@ from typing import Optional, Union
 
 from repro.correlation.patterns import MiningResult
 from repro.errors import StoreError
+from repro.faults import fault_point
+from repro.faults.retry import (
+    WRITE_RETRY_POLICY,
+    RetryPolicy,
+    call_with_retry,
+    is_transient_operational_error,
+)
 from repro.store import schema
 from repro.store.codec import encode_value
 
 PathLike = Union[str, Path]
+
+#: Every fault point inside :meth:`PatternStore.save`, in execution
+#: order — the crash fuzz iterates this tuple so a new write step cannot
+#: be added without entering the kill matrix.
+SAVE_FAULT_SITES = (
+    "store.writer.begin",
+    "store.writer.run_row",
+    "store.writer.set_row",
+    "store.writer.pattern_row",
+    "store.writer.listing",
+    "store.writer.commit",
+    "store.writer.post_commit",
+)
 
 
 def _fts_tokens(attributes) -> str:
@@ -59,8 +91,13 @@ class PatternStore:
     *readers* open their own :class:`~repro.serve.reader.PatternStoreReader`.
     """
 
-    def __init__(self, path: PathLike) -> None:
+    def __init__(
+        self, path: PathLike, retry_policy: Optional[RetryPolicy] = None
+    ) -> None:
         self.path = Path(path)
+        self.retry_policy = retry_policy or WRITE_RETRY_POLICY
+        #: Transient-lock retries performed by the most recent save().
+        self.last_save_retries = 0
         self._connection = schema.connect(self.path, create=True)
         schema.initialize(self._connection)
         schema.check_schema_version(self._connection)
@@ -84,11 +121,35 @@ class PatternStore:
     # write path
     # ------------------------------------------------------------------
     def save(self, result: MiningResult, params: Optional[object] = None) -> int:
-        """Persist one mining run atomically; return its ``run_id``."""
+        """Persist one mining run atomically; return its ``run_id``.
+
+        Transient lock/busy collisions (another writer holding the WAL
+        write lock longer than the busy timeout) retry the *whole*
+        transaction with exponential backoff — the failed attempt was
+        rolled back, so re-execution is safe.  Any other failure
+        propagates after rollback, leaving the store exactly pre-save.
+        """
         if self._connection is None:
             raise StoreError("pattern store is closed")
+        self.last_save_retries = 0
+
+        def note_retry(error, attempt, delay) -> None:
+            self.last_save_retries += 1
+
+        return call_with_retry(
+            lambda: self._save_once(result, params),
+            policy=self.retry_policy,
+            retry_on=is_transient_operational_error,
+            on_retry=note_retry,
+        )
+
+    def _save_once(
+        self, result: MiningResult, params: Optional[object]
+    ) -> int:
+        """One save attempt: a single ``BEGIN IMMEDIATE`` transaction."""
         connection = self._connection
         cursor = connection.cursor()
+        fault_point("store.writer.begin")
         cursor.execute("BEGIN IMMEDIATE")
         try:
             cursor.execute(
@@ -106,6 +167,7 @@ class PatternStore:
                 ),
             )
             run_id = cursor.lastrowid
+            fault_point("store.writer.run_row")
             listing = []
             for position, record in enumerate(result.evaluated):
                 cursor.execute(
@@ -130,6 +192,7 @@ class PatternStore:
                     ),
                 )
                 set_id = cursor.lastrowid
+                fault_point("store.writer.set_row", key=position)
                 cursor.executemany(
                     "INSERT INTO set_attributes (set_id, position, attribute) "
                     "VALUES (?, ?, ?)",
@@ -166,6 +229,10 @@ class PatternStore:
                         ),
                     )
                     pattern_id = cursor.lastrowid
+                    fault_point(
+                        "store.writer.pattern_row",
+                        key=(position, pattern_position),
+                    )
                     cursor.executemany(
                         "INSERT INTO pattern_vertices (pattern_id, vertex) "
                         "VALUES (?, ?)",
@@ -190,10 +257,13 @@ class PatternStore:
                     )
                 ],
             )
+            fault_point("store.writer.listing")
+            fault_point("store.writer.commit")
             connection.commit()
         except BaseException:
             connection.rollback()
             raise
+        fault_point("store.writer.post_commit")
         return run_id
 
 

@@ -1,0 +1,1 @@
+"""Chaos suite: deterministic fault injection across mining/store/serve."""

@@ -1,0 +1,58 @@
+"""Fixtures for the chaos suite: fault hygiene + per-test timeout guard.
+
+Fault-tolerance tests have a failure mode ordinary tests do not: the
+*recovery path under test* can hang (a drain that never finishes, a
+retry loop that never gives up), which stalls the whole run instead of
+failing one test.  The ``SIGALRM`` guard turns such a hang into an
+ordinary test failure after ``REPRO_TEST_TIMEOUT`` seconds (default
+120; pytest-timeout is deliberately not a dependency).
+
+The hygiene fixture guarantees no test leaks an installed
+:class:`~repro.faults.FaultPlan` (or the ``REPRO_FAULT_PLAN``
+environment activation) into its neighbours.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.faults import uninstall
+
+TEST_TIMEOUT_SECONDS = int(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+@pytest.fixture(autouse=True)
+def fault_plan_hygiene():
+    """Every chaos test ends with no plan installed, whatever happened."""
+    uninstall()
+    yield
+    uninstall()
+
+
+@pytest.fixture(autouse=True)
+def per_test_timeout():
+    """Fail (not hang) any chaos test that outlives its wall budget."""
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"chaos test exceeded {TEST_TIMEOUT_SECONDS}s — a recovery "
+            "path under test is hanging instead of failing"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

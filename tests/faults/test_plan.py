@@ -1,0 +1,193 @@
+"""Semantics of the fault plan itself: occurrence counting, matching,
+activation — the determinism every other chaos test stands on."""
+
+import os
+import sqlite3
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.errors import FaultInjectionError, StoreError
+from repro.faults import (
+    ENV_PLAN,
+    KILL_EXIT_CODE,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    fault_point,
+    install,
+    installed,
+    uninstall,
+)
+
+
+class TestFaultRule:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultRule(site="s", action="explode")
+
+    def test_unknown_error_kind_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultRule(site="s", action="raise", error="cosmic-ray")
+
+    def test_matching_is_site_key_and_occurrence(self):
+        rule = FaultRule(
+            site="s", action="raise", occurrences=(1, 3), key="k"
+        )
+        assert rule.matches("s", "k", 1)
+        assert rule.matches("s", "k", 3)
+        assert not rule.matches("s", "k", 0)
+        assert not rule.matches("s", "other", 1)
+        assert not rule.matches("other", "k", 1)
+
+    def test_none_occurrences_matches_every_firing(self):
+        rule = FaultRule(site="s", action="raise")
+        for occurrence in (0, 7, 10_000):
+            assert rule.matches("s", None, occurrence)
+
+    def test_roundtrip_through_dict(self):
+        rule = FaultRule(
+            site="store.writer.commit",
+            action="raise",
+            occurrences=(0, 2),
+            key="5",
+            error="busy",
+            seconds=0.0,
+            message="boom",
+        )
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+
+class TestOccurrenceCounting:
+    def test_armed_site_fires_only_listed_occurrences(self):
+        plan = FaultPlan(
+            [FaultRule(site="s", action="raise", occurrences=(1,),
+                       error="runtime")]
+        )
+        plan.fire("s")  # occurrence 0: no match
+        with pytest.raises(RuntimeError):
+            plan.fire("s")  # occurrence 1
+        plan.fire("s")  # occurrence 2: healed
+
+    def test_unarmed_site_consumes_no_occurrences(self):
+        plan = FaultPlan([FaultRule(site="armed", action="raise")])
+        for _ in range(5):
+            plan.fire("unarmed")
+        assert plan.occurrences_fired("unarmed") == 0
+
+    def test_key_filter(self):
+        plan = FaultPlan(
+            [FaultRule(site="s", action="raise", key="(2,)",
+                       error="runtime")]
+        )
+        plan.fire("s", key=(1,))
+        with pytest.raises(RuntimeError):
+            plan.fire("s", key=(2,))
+
+    def test_state_dir_counters_shared_between_plan_instances(self, tmp_path):
+        # Two FaultPlan objects over one state_dir model two processes:
+        # their occurrence numbering must interleave gap-free.
+        first = FaultPlan([FaultRule(site="s", action="raise",
+                                     occurrences=(3,), error="runtime")],
+                          state_dir=tmp_path)
+        second = FaultPlan(first.rules, state_dir=tmp_path)
+        first.fire("s")   # 0
+        second.fire("s")  # 1
+        first.fire("s")   # 2
+        with pytest.raises(RuntimeError):
+            second.fire("s")  # 3 — the armed occurrence
+        assert first.occurrences_fired("s") == 4
+
+
+class TestErrorKinds:
+    @pytest.mark.parametrize(
+        "kind, exc_type",
+        [
+            ("io", OSError),
+            ("locked", sqlite3.OperationalError),
+            ("busy", sqlite3.OperationalError),
+            ("store", StoreError),
+            ("runtime", RuntimeError),
+        ],
+    )
+    def test_kind_maps_to_exception(self, kind, exc_type):
+        plan = FaultPlan([FaultRule(site="s", action="raise", error=kind)])
+        with pytest.raises(exc_type):
+            plan.fire("s")
+
+    def test_injected_lock_errors_read_as_transient(self):
+        from repro.faults import is_transient_operational_error
+
+        for kind in ("locked", "busy"):
+            plan = FaultPlan([FaultRule(site="s", action="raise", error=kind)])
+            with pytest.raises(sqlite3.OperationalError) as info:
+                plan.fire("s")
+            assert is_transient_operational_error(info.value)
+
+    def test_delay_sleeps(self):
+        plan = FaultPlan(
+            [FaultRule(site="s", action="delay", seconds=0.05)]
+        )
+        started = time.monotonic()
+        plan.fire("s")
+        assert time.monotonic() - started >= 0.04
+
+
+class TestActivation:
+    def test_fault_point_is_noop_without_plan(self):
+        uninstall()
+        fault_point("anything")  # must not raise
+
+    def test_install_and_context_manager(self):
+        plan = FaultPlan([FaultRule(site="s", action="raise",
+                                    error="runtime")])
+        with installed(plan):
+            assert active_plan() is plan
+            with pytest.raises(RuntimeError):
+                fault_point("s")
+        assert active_plan() is None
+        fault_point("s")  # uninstalled again
+
+    def test_env_activation_reaches_subprocess(self, tmp_path):
+        plan = FaultPlan(
+            [FaultRule(site="child.site", action="kill", occurrences=(0,))],
+            state_dir=tmp_path,
+        )
+        install(plan)
+        try:
+            assert os.environ[ENV_PLAN] == str(tmp_path / "plan.json")
+            child = (
+                "import sys; sys.path.insert(0, 'src'); "
+                "from repro.faults import fault_point; "
+                "fault_point('child.site')"
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", child],
+                cwd=os.getcwd(),
+                env=dict(os.environ),
+            )
+            assert proc.returncode == KILL_EXIT_CODE
+        finally:
+            uninstall()
+        assert ENV_PLAN not in os.environ
+
+    def test_load_failure_is_fault_injection_error(self, tmp_path):
+        bad = tmp_path / "nope.json"
+        with pytest.raises(FaultInjectionError):
+            FaultPlan.load(bad)
+        bad.write_text("{not json")
+        with pytest.raises(FaultInjectionError):
+            FaultPlan.load(bad)
+
+    def test_plan_roundtrip_through_file(self, tmp_path):
+        plan = FaultPlan(
+            [FaultRule(site="a", action="delay", seconds=0.5),
+             FaultRule(site="b", action="raise", occurrences=(0,),
+                       error="busy")],
+            state_dir=tmp_path,
+        )
+        loaded = FaultPlan.load(plan.save(tmp_path / "plan.json"))
+        assert loaded.rules == plan.rules
+        assert loaded.state_dir == plan.state_dir

@@ -1,0 +1,153 @@
+"""The shared backoff helper: bounded, deterministic, picky about what
+it retries."""
+
+import sqlite3
+
+import pytest
+
+from repro.faults.retry import (
+    READ_RETRY_POLICY,
+    WRITE_RETRY_POLICY,
+    RetryPolicy,
+    call_with_retry,
+    is_transient_operational_error,
+)
+
+
+class TestTransientClassification:
+    def test_locked_and_busy_are_transient(self):
+        assert is_transient_operational_error(
+            sqlite3.OperationalError("database is locked")
+        )
+        assert is_transient_operational_error(
+            sqlite3.OperationalError("database is busy")
+        )
+
+    def test_other_operational_errors_are_not(self):
+        # a corrupt store must fail loudly, never loop
+        for message in ("no such table: runs", "disk I/O error",
+                        "interrupted"):
+            assert not is_transient_operational_error(
+                sqlite3.OperationalError(message)
+            )
+
+    def test_non_sqlite_errors_are_not(self):
+        assert not is_transient_operational_error(OSError("locked"))
+        assert not is_transient_operational_error(ValueError("busy"))
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_delays_are_deterministic(self):
+        policy = RetryPolicy(max_attempts=6, seed=42)
+        assert policy.delays() == policy.delays()
+        assert policy.delays() == RetryPolicy(max_attempts=6, seed=42).delays()
+
+    def test_delays_bounded_and_capped(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=0.01, multiplier=4.0, max_delay=0.1
+        )
+        delays = policy.delays()
+        assert len(delays) == 9
+        assert all(0.0 <= delay <= 0.1 for delay in delays)
+
+    def test_different_seeds_decorrelate(self):
+        a = RetryPolicy(max_attempts=5, seed=1).delays()
+        b = RetryPolicy(max_attempts=5, seed=2).delays()
+        assert a != b
+
+    def test_shipped_policies_are_modest(self):
+        # total worst-case stall stays test-suite friendly
+        assert sum(WRITE_RETRY_POLICY.delays()) < 4.0
+        assert sum(READ_RETRY_POLICY.delays()) < 1.0
+
+
+class TestCallWithRetry:
+    def test_success_needs_no_retry(self):
+        calls = []
+        result = call_with_retry(lambda: calls.append(1) or "ok",
+                                 sleep=lambda s: None)
+        assert result == "ok"
+        assert len(calls) == 1
+
+    def test_transient_errors_retry_until_success(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise sqlite3.OperationalError("database is locked")
+            return "finally"
+
+        pauses = []
+        result = call_with_retry(
+            flaky,
+            policy=RetryPolicy(max_attempts=5, seed=7),
+            sleep=pauses.append,
+        )
+        assert result == "finally"
+        assert len(attempts) == 3
+        # pauses follow the policy's deterministic schedule exactly
+        assert pauses == RetryPolicy(max_attempts=5, seed=7).delays()[:2]
+
+    def test_budget_exhaustion_propagates_last_error(self):
+        def always_locked():
+            raise sqlite3.OperationalError("database is locked")
+
+        with pytest.raises(sqlite3.OperationalError):
+            call_with_retry(
+                always_locked,
+                policy=RetryPolicy(max_attempts=3),
+                sleep=lambda s: None,
+            )
+
+    def test_non_retryable_propagates_immediately(self):
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            call_with_retry(broken, sleep=lambda s: None)
+        assert len(attempts) == 1
+
+    def test_on_retry_hook_sees_each_failure(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise sqlite3.OperationalError("busy")
+            return None
+
+        seen = []
+        call_with_retry(
+            flaky,
+            policy=RetryPolicy(max_attempts=5),
+            on_retry=lambda error, attempt, delay: seen.append(attempt),
+            sleep=lambda s: None,
+        )
+        assert seen == [1, 2]
+
+    def test_custom_predicate(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise KeyError("transient for this caller")
+            return "ok"
+
+        result = call_with_retry(
+            flaky,
+            retry_on=lambda error: isinstance(error, KeyError),
+            sleep=lambda s: None,
+        )
+        assert result == "ok"
+        assert len(attempts) == 2

@@ -1,0 +1,148 @@
+"""Scheduler fault tolerance: worker deaths heal, poison is quarantined,
+and the parallel output stays identical to the sequential ground truth.
+
+The kill plans use a ``state_dir`` so occurrence numbers are shared
+across worker processes *and* pool rebuilds — "kill the first two task
+executions" means exactly that, whichever workers end up firing them.
+``REPRO_FUZZ_SEED`` varies which executions die in CI.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.errors import ParameterError, PoisonTaskError
+from repro.faults import FaultPlan, FaultRule, installed
+from repro.parallel.scheduler import (
+    DEFAULT_MAX_TASK_RETRIES,
+    WorkStealingScheduler,
+)
+
+TASK_SITE = "parallel.scheduler.task"
+
+
+def _triple(payload, value):
+    return payload * value
+
+
+def _fuzz_rng() -> random.Random:
+    return random.Random(int(os.environ.get("REPRO_FUZZ_SEED", "0")))
+
+
+def _run_with_plan(plan, num_tasks=10, n_jobs=2, **scheduler_kwargs):
+    with installed(plan):
+        with WorkStealingScheduler(
+            3, _triple, n_jobs=n_jobs, **scheduler_kwargs
+        ) as scheduler:
+            for value in range(num_tasks):
+                scheduler.submit((value,), value)
+            results = scheduler.run()
+    return results, scheduler
+
+
+class TestWorkerKillRecovery:
+    def test_two_worker_kills_heal(self, tmp_path):
+        rng = _fuzz_rng()
+        kills = tuple(sorted(rng.sample(range(8), 2)))
+        plan = FaultPlan(
+            [FaultRule(site=TASK_SITE, action="kill", occurrences=kills)],
+            state_dir=tmp_path,
+        )
+        results, scheduler = _run_with_plan(plan, num_tasks=10)
+        assert results == {(v,): 3 * v for v in range(10)}
+        assert scheduler.stats.pool_rebuilds >= 1
+        assert scheduler.stats.tasks_retried >= 1
+        assert scheduler.stats.tasks_quarantined == 0
+
+    def test_output_matches_sequential_under_same_plan(self, tmp_path):
+        # The in-process path never arms the task site, so the sequential
+        # ground truth stays computable while the plan is installed —
+        # and the healed parallel run must reproduce it exactly.
+        plan = FaultPlan(
+            [FaultRule(site=TASK_SITE, action="kill", occurrences=(0,))],
+            state_dir=tmp_path,
+        )
+        parallel_results, _ = _run_with_plan(plan, num_tasks=8, n_jobs=2)
+        sequential_results, scheduler = _run_with_plan(
+            plan, num_tasks=8, n_jobs=1
+        )
+        assert parallel_results == sequential_results
+        assert scheduler.stats.pool_rebuilds == 0  # sequential: no pool
+
+    def test_kill_during_successive_batches(self, tmp_path):
+        # Deaths spread over distinct submissions force several rebuild
+        # rounds; the run must still converge and lose nothing.
+        plan = FaultPlan(
+            [FaultRule(site=TASK_SITE, action="kill", occurrences=(1, 5))],
+            state_dir=tmp_path,
+        )
+        results, scheduler = _run_with_plan(
+            plan, num_tasks=12, n_jobs=2, batch_size=2
+        )
+        assert results == {(v,): 3 * v for v in range(12)}
+        assert scheduler.stats.pool_rebuilds >= 1
+
+
+class TestPoisonQuarantine:
+    def test_permanent_killer_is_quarantined(self, tmp_path):
+        poison_key = (3,)
+        plan = FaultPlan(
+            [FaultRule(site=TASK_SITE, action="kill", key=str(poison_key))],
+            state_dir=tmp_path,
+        )
+        with installed(plan):
+            with WorkStealingScheduler(3, _triple, n_jobs=2) as scheduler:
+                for value in range(6):
+                    scheduler.submit((value,), value)
+                with pytest.raises(PoisonTaskError) as info:
+                    scheduler.run()
+        assert info.value.keys == (poison_key,)
+        assert scheduler.stats.tasks_quarantined == 1
+        # every healthy task still completed before the quarantine verdict
+        healthy = {(v,): 3 * v for v in range(6) if (v,) != poison_key}
+        assert {
+            key: value
+            for key, value in scheduler.results.items()
+            if key != poison_key
+        } == healthy
+
+    def test_retry_budget_is_bounded(self, tmp_path):
+        # a poison task dies exactly max_task_retries + 1 times: initial
+        # execution plus one blame-assignment round per retry
+        plan = FaultPlan(
+            [FaultRule(site=TASK_SITE, action="kill", key="(0,)")],
+            state_dir=tmp_path,
+        )
+        with installed(plan):
+            with WorkStealingScheduler(
+                3, _triple, n_jobs=2, max_task_retries=1
+            ) as scheduler:
+                for value in range(4):
+                    scheduler.submit((value,), value)
+                with pytest.raises(PoisonTaskError):
+                    scheduler.run()
+        assert plan.occurrences_fired(TASK_SITE) <= 4 + 2
+
+    def test_max_task_retries_validation(self):
+        with pytest.raises(ParameterError):
+            WorkStealingScheduler(3, _triple, n_jobs=2, max_task_retries=-1)
+        assert DEFAULT_MAX_TASK_RETRIES >= 1
+
+
+class TestInjectedTaskErrors:
+    def test_injected_error_propagates_as_task_failure(self, tmp_path):
+        # a raising task is an application bug, not a worker death — no
+        # rebuild, no retry, the error surfaces to the caller
+        plan = FaultPlan(
+            [FaultRule(site=TASK_SITE, action="raise", occurrences=(0,),
+                       error="runtime", message="injected task bug")],
+            state_dir=tmp_path,
+        )
+        with installed(plan):
+            with WorkStealingScheduler(3, _triple, n_jobs=2) as scheduler:
+                for value in range(4):
+                    scheduler.submit((value,), value)
+                with pytest.raises(RuntimeError, match="injected task bug"):
+                    scheduler.run()
+        assert scheduler.stats.pool_rebuilds == 0

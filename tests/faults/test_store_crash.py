@@ -1,0 +1,213 @@
+"""Crash-point fuzz of ``PatternStore.save``: kill the writer process at
+every fault site and prove the store is never torn.
+
+Each case spawns a real subprocess (activation via ``REPRO_FAULT_PLAN``,
+no parent-side install — the parent must survive its own test), kills it
+mid-save, and then holds the store to the atomicity contract: the run is
+fully present (killed after COMMIT) or fully absent (killed before),
+and :func:`repro.store.verify.verify_store` reports clean either way.
+``REPRO_FUZZ_SEED`` adds a randomly placed kill on top of the
+exhaustive first-occurrence matrix.
+"""
+
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.correlation.patterns import (
+    AttributeSetResult,
+    MiningCounters,
+    MiningResult,
+    StructuralCorrelationPattern,
+)
+from repro.faults import KILL_EXIT_CODE, FaultPlan, FaultRule
+from repro.store import PatternStore, SAVE_FAULT_SITES, verify_store
+from repro.serve import PatternStoreReader
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Sites at which the saved run must be absent after a kill (everything
+#: before the COMMIT) — only ``post_commit`` leaves the run behind.
+PRE_COMMIT_SITES = tuple(
+    site for site in SAVE_FAULT_SITES if site != "store.writer.post_commit"
+)
+
+
+def build_result(num_sets: int = 3, patterns_per_set: int = 2) -> MiningResult:
+    """A small hand-built run (no mining — crash tests need speed)."""
+    evaluated = []
+    for index in range(num_sets):
+        attributes = (f"a{index}", "common")
+        patterns = tuple(
+            StructuralCorrelationPattern(
+                attributes=attributes,
+                vertices=frozenset(range(index + p, index + p + 4)),
+                gamma=0.7,
+            )
+            for p in range(patterns_per_set)
+        )
+        evaluated.append(
+            AttributeSetResult(
+                attributes=attributes,
+                support=3 + index,
+                epsilon=0.5 + 0.01 * index,
+                expected_epsilon=0.1,
+                delta=0.4 + 0.01 * index,
+                covered_vertices=frozenset(range(index, index + 5)),
+                patterns=patterns,
+                qualified=True,
+            )
+        )
+    return MiningResult(
+        algorithm="hand-built",
+        evaluated=evaluated,
+        counters=MiningCounters(attribute_sets_evaluated=num_sets),
+    )
+
+
+def _child_main(store_path: str) -> None:
+    """Subprocess body: save one hand-built run (plan active via env)."""
+    with PatternStore(store_path) as store:
+        store.save(build_result())
+
+
+def _save_in_subprocess(store_path: Path, plan: FaultPlan) -> int:
+    plan_path = plan.save(plan.state_dir / "plan.json")
+    env = dict(os.environ)
+    env["REPRO_FAULT_PLAN"] = str(plan_path)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+    )
+    code = (
+        "from tests.faults.test_store_crash import _child_main; "
+        f"_child_main({str(store_path)!r})"
+    )
+    return subprocess.run(
+        [sys.executable, "-c", code], cwd=str(REPO_ROOT)
+    , env=env).returncode
+
+
+def _kill_plan(state_dir: Path, site: str, occurrence: int = 0) -> FaultPlan:
+    return FaultPlan(
+        [FaultRule(site=site, action="kill", occurrences=(occurrence,))],
+        state_dir=state_dir,
+    )
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("site", PRE_COMMIT_SITES)
+    def test_kill_before_commit_leaves_no_trace(self, tmp_path, site):
+        store_path = tmp_path / "store.sqlite"
+        returncode = _save_in_subprocess(
+            store_path, _kill_plan(tmp_path / "faults", site)
+        )
+        assert returncode == KILL_EXIT_CODE
+        report = verify_store(store_path)
+        assert report.ok, "\n".join(report.lines())
+        assert report.runs == 0
+
+    def test_kill_after_commit_keeps_the_whole_run(self, tmp_path):
+        store_path = tmp_path / "store.sqlite"
+        returncode = _save_in_subprocess(
+            store_path,
+            _kill_plan(tmp_path / "faults", "store.writer.post_commit"),
+        )
+        assert returncode == KILL_EXIT_CODE
+        report = verify_store(store_path)
+        assert report.ok, "\n".join(report.lines())
+        assert report.runs == 1
+        # the committed run is complete and readable, not just counted
+        with PatternStoreReader(store_path) as reader:
+            loaded = reader.load_result()
+        assert loaded.evaluated == build_result().evaluated
+
+    def test_fuzzed_kill_position(self, tmp_path):
+        rng = random.Random(int(os.environ.get("REPRO_FUZZ_SEED", "0")))
+        site = rng.choice(SAVE_FAULT_SITES)
+        # per-row sites fire once per row; anything in-range works, and
+        # out-of-range occurrences simply never fire (save succeeds)
+        occurrence = rng.randrange(0, 3)
+        store_path = tmp_path / "store.sqlite"
+        returncode = _save_in_subprocess(
+            store_path, _kill_plan(tmp_path / "faults", site, occurrence)
+        )
+        assert returncode in (0, KILL_EXIT_CODE)
+        report = verify_store(store_path)
+        assert report.ok, "\n".join(report.lines())
+        assert report.runs in (0, 1)
+
+    def test_store_usable_after_crash(self, tmp_path):
+        # recovery contract: a crashed save must not poison the file —
+        # the next writer starts from a clean pre-run state and succeeds
+        store_path = tmp_path / "store.sqlite"
+        _save_in_subprocess(
+            store_path, _kill_plan(tmp_path / "faults", "store.writer.commit")
+        )
+        with PatternStore(store_path) as store:
+            run_id = store.save(build_result())
+        assert run_id == 1
+        report = verify_store(store_path)
+        assert report.ok, "\n".join(report.lines())
+        assert report.runs == 1
+
+
+class TestWriterRetry:
+    def test_transient_lock_is_retried(self, tmp_path):
+        from repro.faults import installed
+
+        plan = FaultPlan(
+            [FaultRule(site="store.writer.begin", action="raise",
+                       occurrences=(0,), error="locked")]
+        )
+        store_path = tmp_path / "store.sqlite"
+        with installed(plan):
+            with PatternStore(store_path) as store:
+                run_id = store.save(build_result())
+                assert store.last_save_retries == 1
+        assert run_id == 1
+        assert verify_store(store_path).ok
+
+    def test_non_transient_error_rolls_back_and_propagates(self, tmp_path):
+        from repro.faults import installed
+
+        plan = FaultPlan(
+            [FaultRule(site="store.writer.set_row", action="raise",
+                       occurrences=(0,), error="io")]
+        )
+        store_path = tmp_path / "store.sqlite"
+        with installed(plan):
+            with PatternStore(store_path) as store:
+                with pytest.raises(OSError):
+                    store.save(build_result())
+                assert store.last_save_retries == 0
+                # same handle, next attempt: transaction was rolled back
+                assert store.save(build_result()) == 1
+        report = verify_store(store_path)
+        assert report.ok, "\n".join(report.lines())
+        assert report.runs == 1
+
+    def test_retry_budget_exhaustion_propagates(self, tmp_path):
+        from repro.faults import installed
+        from repro.faults.retry import RetryPolicy
+
+        plan = FaultPlan(
+            [FaultRule(site="store.writer.begin", action="raise",
+                       error="busy")]  # permanent
+        )
+        policy = RetryPolicy(max_attempts=3, base_delay=0.001,
+                             max_delay=0.002)
+        store_path = tmp_path / "store.sqlite"
+        with installed(plan):
+            with PatternStore(store_path, retry_policy=policy) as store:
+                import sqlite3
+
+                with pytest.raises(sqlite3.OperationalError):
+                    store.save(build_result())
+                assert store.last_save_retries == 2  # attempts - 1
+        report = verify_store(store_path)
+        assert report.ok
+        assert report.runs == 0

@@ -1,0 +1,359 @@
+"""Graceful degradation of the HTTP front end under injected faults:
+load shedding (503 + Retry-After), request deadlines, health reporting,
+transparent reader retries, and bounded shutdown.
+
+Every stall here is injected via :mod:`repro.faults` delay rules — a
+slow query is a delay at ``serve.reader.query`` (the lease is held, so
+the pool saturates), a slow *handler* is a delay at
+``serve.http.handler`` (the admission slot is held, the pool is not).
+The two sites let each shedding layer be tested in isolation.
+"""
+
+import json
+import threading
+import time
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.errors import PoolExhaustedError
+from repro.faults import FaultPlan, FaultRule, installed
+from repro.serve import PatternStoreReader, create_server
+from repro.serve.http import RETRY_AFTER_SECONDS
+from repro.serve.metrics import ServingMetrics
+from repro.store import PatternStore
+
+from tests.faults.test_store_crash import build_result
+
+READER_SITE = "serve.reader.query"
+HANDLER_SITE = "serve.http.handler"
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    path = tmp_path / "store.sqlite"
+    with PatternStore(path) as store:
+        store.save(build_result())
+    return path
+
+
+def start_server(store_path, **kwargs):
+    server = create_server(store_path, **kwargs)
+    thread = threading.Thread(
+        target=lambda: server.serve_forever(poll_interval=0.05), daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+class Client:
+    """JSON client that also exposes response headers (Retry-After)."""
+
+    def __init__(self, server, timeout=30):
+        host, port = server.server_address[:2]
+        self.connection = HTTPConnection(host, port, timeout=timeout)
+
+    def get(self, path):
+        self.connection.request("GET", path)
+        response = self.connection.getresponse()
+        body = json.loads(response.read().decode("utf-8"))
+        return response.status, body, dict(response.getheaders())
+
+    def close(self):
+        self.connection.close()
+
+
+def get_in_thread(server, path, results, index):
+    client = Client(server)
+    try:
+        results[index] = client.get(path)
+    finally:
+        client.close()
+
+
+class TestPoolExhaustion:
+    def test_exhausted_pool_sheds_with_retry_after(self, store_path):
+        # one reader, held for 1.5s by an injected slow query — the
+        # second data request cannot get a lease within 0.15s and must
+        # be shed, not queued forever and not 500'd
+        # no occurrence pin: site occurrences count across *all* keys
+        # (/top fires latest_run_id first), and only the stuck request
+        # reaches a top_k query while the plan is installed anyway
+        plan = FaultPlan(
+            [FaultRule(site=READER_SITE, action="delay", key="top_k",
+                       seconds=1.5)]
+        )
+        server, thread = start_server(
+            store_path, max_readers=1, lease_timeout=0.15
+        )
+        try:
+            with installed(plan):
+                results = {}
+                stuck = threading.Thread(
+                    target=get_in_thread,
+                    args=(server, "/top?k=3", results, "stuck"),
+                )
+                stuck.start()
+                time.sleep(0.4)  # let the slow query take the only reader
+
+                client = Client(server)
+                status, body, headers = client.get("/top?k=3")
+                assert status == 503
+                assert body["error"]["type"] == "PoolExhaustedError"
+                assert headers["Retry-After"] == str(RETRY_AFTER_SECONDS)
+
+                # healthz stays answerable (exempt from admission) but
+                # reports degraded: its short probe lease cannot be met
+                status, body, _ = client.get("/healthz")
+                assert status == 200
+                assert body["status"] == "degraded"
+
+                stuck.join(timeout=30)
+                client.close()
+            # the stalled request itself completed fine, just late
+            assert results["stuck"][0] == 200
+
+            client = Client(server)
+            status, body, _ = client.get("/metrics")
+            assert status == 200
+            assert body["counters"]["requests_shed"] >= 1
+            assert body["pool"]["exhausted"] >= 1
+            assert body["pool"]["lease_waits"] >= 1
+            assert body["pool"]["lease_wait_seconds"] > 0.0
+            status, body, _ = client.get("/healthz")
+            assert body["status"] == "ok"  # recovered
+            client.close()
+        finally:
+            server.stop()
+            thread.join(timeout=30)
+
+    def test_pool_exhaustion_direct(self, store_path):
+        # same contract at the pool layer, no HTTP: a saturated pool
+        # raises PoolExhaustedError after the lease timeout, with the
+        # live capacity numbers in the message
+        from repro.serve.pool import ReaderPool
+
+        pool = ReaderPool(store_path, max_readers=1, lease_timeout=0.05)
+        try:
+            with pool.lease():
+                with pytest.raises(PoolExhaustedError, match="max_readers=1"):
+                    with pool.lease():
+                        pass
+            assert pool.stats()["exhausted"] == 1
+        finally:
+            pool.close()
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_at_admission(self, store_path):
+        # max_inflight=1: a handler stalled *before* it leases anything
+        # still holds its admission slot, so request two is shed with
+        # OverloadedError — while healthz (exempt) stays "ok" because
+        # the pool itself is idle
+        plan = FaultPlan(
+            [FaultRule(site=HANDLER_SITE, action="delay", key="runs",
+                       occurrences=(0,), seconds=1.5)]
+        )
+        server, thread = start_server(store_path, max_inflight=1)
+        try:
+            with installed(plan):
+                results = {}
+                stuck = threading.Thread(
+                    target=get_in_thread,
+                    args=(server, "/runs", results, "stuck"),
+                )
+                stuck.start()
+                time.sleep(0.4)
+
+                client = Client(server)
+                status, body, headers = client.get("/runs")
+                assert status == 503
+                assert body["error"]["type"] == "OverloadedError"
+                assert headers["Retry-After"] == str(RETRY_AFTER_SECONDS)
+
+                status, body, _ = client.get("/healthz")
+                assert status == 200
+                assert body["status"] == "ok"
+
+                stuck.join(timeout=30)
+                client.close()
+            assert results["stuck"][0] == 200
+        finally:
+            server.stop()
+            thread.join(timeout=30)
+
+
+class TestRequestDeadline:
+    def test_deadline_exceeded_is_shed_and_counted(self, store_path):
+        plan = FaultPlan(
+            [FaultRule(site=HANDLER_SITE, action="delay", key="runs",
+                       occurrences=(0,), seconds=0.5)]
+        )
+        server, thread = start_server(store_path, request_deadline=0.2)
+        try:
+            with installed(plan):
+                client = Client(server)
+                status, body, headers = client.get("/runs")
+                assert status == 503
+                assert body["error"]["type"] == "DeadlineExceededError"
+                assert headers["Retry-After"] == str(RETRY_AFTER_SECONDS)
+
+                status, body, _ = client.get("/metrics")
+                assert body["counters"]["deadline_exceeded"] == 1
+                assert body["counters"]["requests_shed"] == 1
+                client.close()
+        finally:
+            server.stop()
+            thread.join(timeout=30)
+
+    def test_fast_requests_unaffected_by_deadline(self, store_path):
+        server, thread = start_server(store_path, request_deadline=5.0)
+        try:
+            client = Client(server)
+            assert client.get("/runs")[0] == 200
+            assert client.get("/metrics")[1]["counters"] == {}
+            client.close()
+        finally:
+            server.stop()
+            thread.join(timeout=30)
+
+
+class TestReaderRetry:
+    def test_transient_locks_are_retried_transparently(self, store_path):
+        plan = FaultPlan(
+            [FaultRule(site=READER_SITE, action="raise", key="runs",
+                       occurrences=(0, 1), error="locked")]
+        )
+        with installed(plan):
+            with PatternStoreReader(store_path) as reader:
+                runs = reader.runs()
+                assert len(runs) == 1
+                assert reader.retries == 2
+
+    def test_retry_budget_exhaustion_surfaces(self, store_path):
+        import sqlite3
+
+        plan = FaultPlan(
+            [FaultRule(site=READER_SITE, action="raise", key="runs",
+                       error="locked")]  # permanent
+        )
+        with installed(plan):
+            with PatternStoreReader(store_path) as reader:
+                with pytest.raises(sqlite3.OperationalError):
+                    reader.runs()
+                assert reader.retries == reader.retry_policy.max_attempts - 1
+
+    def test_http_requests_survive_transient_locks(self, store_path):
+        # a request whose first query attempt hits a lock still answers
+        # 200 — and the retry shows up on /metrics, not in the status
+        plan = FaultPlan(
+            [FaultRule(site=READER_SITE, action="raise", key="runs",
+                       occurrences=(0,), error="locked")]
+        )
+        server, thread = start_server(store_path)
+        try:
+            with installed(plan):
+                client = Client(server)
+                status, body, _ = client.get("/runs")
+                assert status == 200
+                assert len(body["runs"]) == 1
+                status, body, _ = client.get("/metrics")
+                assert body["pool"]["reader_retries"] >= 1
+                assert body["counters"] == {}  # nothing was shed
+                client.close()
+        finally:
+            server.stop()
+            thread.join(timeout=30)
+
+
+class TestShutdown:
+    def test_graceful_stop_reports_clean(self, store_path):
+        server, thread = start_server(store_path)
+        client = Client(server)
+        assert client.get("/healthz")[0] == 200
+        client.close()
+        assert server.stop(timeout=10.0) is True
+        assert server.stop(timeout=10.0) is True  # idempotent
+        thread.join(timeout=30)
+
+    def test_stuck_handler_forces_unclean_stop(self, store_path):
+        # a handler stalled far past the shutdown budget: stop() must
+        # return within timeout + grace, report the drain as unclean,
+        # and force-close the pool rather than wait out the stall
+        plan = FaultPlan(
+            [FaultRule(site=HANDLER_SITE, action="delay", key="runs",
+                       occurrences=(0,), seconds=30.0)]
+        )
+        server, thread = start_server(store_path)
+        try:
+            with installed(plan):
+                results = {}
+                stuck = threading.Thread(
+                    target=get_in_thread,
+                    args=(server, "/runs", results, "stuck"),
+                    daemon=True,
+                )
+                stuck.start()
+                time.sleep(0.4)
+
+                started = time.monotonic()
+                clean = server.stop(timeout=0.5)
+                elapsed = time.monotonic() - started
+            assert clean is False
+            assert elapsed < 10.0
+        finally:
+            thread.join(timeout=30)
+
+
+class TestServingMetricsCounters:
+    def test_increment_and_read(self):
+        metrics = ServingMetrics()
+        assert metrics.counter("requests_shed") == 0
+        metrics.increment("requests_shed")
+        metrics.increment("requests_shed", 2)
+        assert metrics.counter("requests_shed") == 3
+
+    def test_snapshot_lists_counters_sorted(self):
+        metrics = ServingMetrics()
+        metrics.increment("zeta")
+        metrics.increment("alpha", 5)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"] == {"alpha": 5, "zeta": 1}
+        assert list(snapshot["counters"]) == ["alpha", "zeta"]
+
+    def test_counters_do_not_leak_between_instances(self):
+        first = ServingMetrics()
+        first.increment("x")
+        assert ServingMetrics().counter("x") == 0
+
+
+class TestServeKnobsPlumbing:
+    def test_create_server_passes_degradation_knobs(self, store_path):
+        server = create_server(
+            store_path,
+            max_readers=2,
+            lease_timeout=0.5,
+            max_inflight=7,
+            request_deadline=1.25,
+        )
+        try:
+            assert server.pool.max_readers == 2
+            assert server.pool.lease_timeout == 0.5
+            assert server.max_inflight == 7
+            assert server.request_deadline == 1.25
+        finally:
+            server.stop()
+
+    def test_cli_serve_flags_parse(self):
+        from repro.cli.main import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--store", "s.sqlite", "--max-readers", "4",
+             "--lease-timeout", "2.0", "--max-inflight", "32",
+             "--request-deadline", "15", "--shutdown-timeout", "3"]
+        )
+        assert args.max_readers == 4
+        assert args.lease_timeout == 2.0
+        assert args.max_inflight == 32
+        assert args.request_deadline == 15.0
+        assert args.shutdown_timeout == 3.0

@@ -1,0 +1,165 @@
+"""``verify_store`` / ``scpm verify-store``: every recovery edge case a
+crashed or mangled store file can present, and the CLI exit contract."""
+
+import sqlite3
+
+import pytest
+
+from repro.cli.main import main
+from repro.store import PatternStore, verify_store
+from repro.store.schema import SCHEMA_VERSION
+from tests.faults.test_store_crash import build_result
+
+
+@pytest.fixture()
+def saved_store(tmp_path):
+    path = tmp_path / "store.sqlite"
+    with PatternStore(path) as store:
+        store.save(build_result())
+    return path
+
+
+class TestCleanStores:
+    def test_clean_store_verifies(self, saved_store):
+        report = verify_store(saved_store)
+        assert report.ok, "\n".join(report.lines())
+        assert report.runs == 1
+        assert report.failures == []
+
+    def test_empty_but_initialised_store_verifies(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        PatternStore(path).close()
+        report = verify_store(path)
+        assert report.ok, "\n".join(report.lines())
+        assert report.runs == 0
+
+    def test_report_lines_carry_a_verdict(self, saved_store):
+        lines = verify_store(saved_store).lines()
+        assert lines[-1].endswith("clean (1 run(s))")
+        assert all(line.startswith("ok  ") for line in lines[:-1])
+
+
+class TestFileLevelCorruption:
+    def test_missing_file(self, tmp_path):
+        report = verify_store(tmp_path / "nope.sqlite")
+        assert not report.ok
+        assert report.failures[0].name == "file exists"
+
+    def test_zero_byte_store(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        path.touch()
+        report = verify_store(path)
+        assert not report.ok
+        assert report.failures[0].name == "file non-empty"
+
+    def test_not_a_sqlite_file(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        path.write_bytes(b"definitely not a database header here")
+        report = verify_store(path)
+        assert not report.ok
+        assert report.failures[0].name == "sqlite header"
+
+    def test_directory_is_a_usage_error(self, tmp_path):
+        with pytest.raises(OSError):
+            verify_store(tmp_path)
+
+
+class TestWalSidecar:
+    def test_missing_and_empty_sidecars_are_fine(self, saved_store):
+        wal = saved_store.with_name(saved_store.name + "-wal")
+        assert not wal.exists() or wal.stat().st_size == 0
+        assert verify_store(saved_store).ok
+
+    def test_truncated_wal_header_fails(self, saved_store):
+        wal = saved_store.with_name(saved_store.name + "-wal")
+        wal.write_bytes(b"\x37\x7f\x06\x82TRUNC")  # < 32-byte header
+        report = verify_store(saved_store)
+        assert not report.ok
+        (failure,) = report.failures
+        assert failure.name == "wal sidecar"
+        assert "truncated" in failure.detail
+
+    def test_garbage_wal_magic_fails(self, saved_store):
+        # SQLite itself would silently reset this log; verify must not
+        wal = saved_store.with_name(saved_store.name + "-wal")
+        wal.write_bytes(b"garbage!" * 8)
+        report = verify_store(saved_store)
+        assert not report.ok
+        (failure,) = report.failures
+        assert failure.name == "wal sidecar"
+        assert "magic" in failure.detail
+
+
+class TestStoreLevelCorruption:
+    def test_schema_version_mismatch(self, saved_store):
+        with sqlite3.connect(saved_store) as connection:
+            connection.execute(
+                "UPDATE store_meta SET value = ? WHERE key = 'schema_version'",
+                (str(SCHEMA_VERSION + 1),),
+            )
+        report = verify_store(saved_store)
+        assert not report.ok
+        (failure,) = report.failures
+        assert failure.name == "schema_version"
+        assert str(SCHEMA_VERSION + 1) in failure.detail
+
+    def test_missing_table(self, saved_store):
+        with sqlite3.connect(saved_store) as connection:
+            connection.execute("DROP TABLE epsilon_listing")
+        report = verify_store(saved_store)
+        assert not report.ok
+        assert any(
+            check.name == "schema tables" and "epsilon_listing" in check.detail
+            for check in report.failures
+        )
+
+    def test_header_count_mismatch(self, saved_store):
+        # a deleted pattern row contradicts the run header's num_patterns
+        with sqlite3.connect(saved_store) as connection:
+            connection.execute(
+                "DELETE FROM patterns WHERE pattern_id IN "
+                "(SELECT pattern_id FROM patterns LIMIT 1)"
+            )
+        report = verify_store(saved_store)
+        assert not report.ok
+        assert any(
+            check.name == "run 1 patterns" for check in report.failures
+        )
+
+    def test_position_gap_detected(self, saved_store):
+        with sqlite3.connect(saved_store) as connection:
+            connection.execute(
+                "UPDATE attribute_sets SET position = position + 10 "
+                "WHERE position = 1"
+            )
+        report = verify_store(saved_store)
+        assert not report.ok
+        assert any(
+            check.name == "run 1 attribute sets" for check in report.failures
+        )
+
+
+class TestVerifyStoreCli:
+    def test_clean_store_exits_zero(self, saved_store, capsys):
+        assert main(["verify-store", "--store", str(saved_store)]) == 0
+        captured = capsys.readouterr()
+        assert "clean" in captured.out
+        assert captured.err == ""
+
+    def test_quiet_prints_only_the_verdict_line(self, saved_store, capsys):
+        assert main(
+            ["verify-store", "--store", str(saved_store), "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 1
+        assert out[0].endswith("clean (1 run(s))")
+
+    def test_corrupt_store_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "store.sqlite"
+        path.touch()
+        assert main(["verify-store", "--store", str(path)]) == 1
+        assert "CORRUPT" in capsys.readouterr().err
+
+    def test_usage_error_exits_two(self, tmp_path, capsys):
+        assert main(["verify-store", "--store", str(tmp_path)]) == 2
+        assert "not a regular file" in capsys.readouterr().err
