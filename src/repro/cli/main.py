@@ -1,8 +1,10 @@
 """Command-line interface for structural correlation pattern mining.
 
-Five sub-commands are provided::
+Six sub-commands are provided::
 
     scpm mine         --edges g.edges --attributes g.attrs --min-support 100 ...
+    scpm update       --edges g.edges --attributes g.attrs \
+                      --edge-edits day1.edits --store patterns.sqlite ...
     scpm demo         --profile dblp  [--scale 0.5]
     scpm query        --store patterns.sqlite --vertex 42
     scpm serve        --store patterns.sqlite --port 8765
@@ -32,6 +34,17 @@ when leases had to be force-closed.  ``verify-store`` runs the
 integrity checks of :mod:`repro.store.verify` against a store file and
 exits 0 (clean), 1 (corrupt/torn) or 2 (usage error) — the post-crash
 triage command.
+
+``update`` is the evolving-graph path (:mod:`repro.graph.evolve` +
+:class:`repro.correlation.incremental.IncrementalSCPM`): it streams the
+base graph, mines it once, applies edit-script files
+(``--edge-edits`` / ``--attribute-edits``, ``add u v`` / ``remove u v``
+per line) as one batched delta, re-evaluates only the branches whose
+chunk footprint the edits touched, and patches the stored run in place
+through :meth:`repro.store.writer.PatternStore.apply_delta` — the
+patched run is byte-identical to a full re-mine of the edited graph.
+By default the base run is saved first and then patched; ``--run``
+patches an existing stored run instead.
 
 ``mine --streaming`` swaps the in-memory loader for the bounded-memory
 streaming ingest (:mod:`repro.graph.streaming`): the files are folded
@@ -83,6 +96,37 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_mining_arguments(mine)
+
+    update = subparsers.add_parser(
+        "update",
+        help="incrementally re-mine an evolving graph and patch its stored run",
+    )
+    update.add_argument(
+        "--edges", required=True, help="base edge-list file (u v per line)"
+    )
+    update.add_argument(
+        "--attributes",
+        required=True,
+        help="base attribute file (vertex attr1 attr2 ...)",
+    )
+    update.add_argument(
+        "--edge-edits",
+        default=None,
+        help="edge edit script (`add u v` / `remove u v` per line)",
+    )
+    update.add_argument(
+        "--attribute-edits",
+        default=None,
+        help="attribute edit script (`add v attr` / `remove v attr` per line)",
+    )
+    update.add_argument(
+        "--run",
+        type=int,
+        default=None,
+        help="patch this stored run in place instead of saving the base "
+        "mine as a new run first",
+    )
+    _add_mining_arguments(update)
 
     demo = subparsers.add_parser("demo", help="mine a built-in synthetic profile")
     demo.add_argument(
@@ -301,6 +345,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if args.command == "update":
+        return _run_update(args, parser)
+
     if args.command == "query":
         return _run_query(args, parser)
 
@@ -381,6 +428,87 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.show_patterns:
         print()
         print(render_pattern_table(result, title=f"{title} — patterns"))
+    return 0
+
+
+def _run_update(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """The ``scpm update`` subcommand: incremental re-mine + store patch.
+
+    Streams the base graph (the evolvable representation), mines it,
+    applies the edit scripts as one batched delta, and patches the
+    stored run through ``PatternStore.apply_delta``.  Usage mistakes
+    (no edit script, no store, a non-incremental algorithm) exit 2 via
+    ``parser.error``; store- and file-level problems print to stderr
+    and exit 1.
+    """
+    from repro.correlation.incremental import IncrementalSCPM
+    from repro.errors import ReproError
+    from repro.graph.evolve import read_attribute_edits, read_edge_edits
+    from repro.store import PatternStore
+
+    if args.store is None:
+        parser.error("update requires --store (the run to patch lives there)")
+    if args.edge_edits is None and args.attribute_edits is None:
+        parser.error(
+            "update needs at least one of --edge-edits / --attribute-edits"
+        )
+    if args.algorithm != "scpm":
+        parser.error("update supports only --algorithm scpm")
+
+    try:
+        handle = stream_attributed_graph(args.edges, args.attributes)
+        params = _params_from_args(args, defaults=None)
+        print(
+            f"graph: {handle.num_vertices} vertices, {handle.num_edges} "
+            f"edges, {handle.num_attributes} attributes"
+        )
+        miner = IncrementalSCPM(handle, params)
+        miner.mine()
+        print(
+            f"base mine: evaluated "
+            f"{miner.result.counters.attribute_sets_evaluated} attribute "
+            f"sets in {miner.result.counters.elapsed_seconds:.2f}s"
+        )
+        edge_edits = (
+            read_edge_edits(args.edge_edits) if args.edge_edits else ()
+        )
+        attribute_edits = (
+            read_attribute_edits(args.attribute_edits)
+            if args.attribute_edits
+            else ()
+        )
+        with PatternStore(args.store) as store:
+            if args.run is None:
+                run_id = store.save(miner.result, params=params)
+                print(f"stored base run #{run_id} in {args.store}")
+            else:
+                run_id = args.run
+            miner.update(
+                edge_edits=edge_edits, attribute_edits=attribute_edits
+            )
+            store.apply_delta(run_id, miner.result, params=params)
+        stats = miner.last_update_stats
+        print(
+            f"applied {len(edge_edits)} edge edit(s), "
+            f"{len(attribute_edits)} attribute edit(s) touching "
+            f"{stats.touched_chunks} chunk(s)"
+        )
+        print(
+            f"delta: roots {stats.roots_reused} reused / "
+            f"{stats.roots_reevaluated} re-evaluated, branches "
+            f"{stats.branches_reused} reused / {stats.branches_rerun} "
+            f"rerun, {stats.records_patched} record(s) patched, "
+            f"{stats.memo_evicted} memo entr(ies) evicted "
+            f"in {stats.elapsed_seconds:.2f}s"
+        )
+        print(
+            f"patched run #{run_id} in {args.store} "
+            f"({len(miner.result.evaluated)} attribute sets, "
+            f"{len(miner.result.patterns)} patterns)"
+        )
+    except (ReproError, OSError) as error:
+        print(f"scpm update: error: {error}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,5 +1,7 @@
-"""Core layer: structural correlation, null models, the SCPM and Naive miners."""
+"""Core layer: structural correlation, null models, the SCPM, Naive and
+incremental miners."""
 
+from repro.correlation.incremental import IncrementalSCPM, UpdateStats
 from repro.correlation.naive import NaiveMiner, mine_naive
 from repro.correlation.null_models import (
     AnalyticalNullModel,
@@ -29,6 +31,7 @@ from repro.correlation.structural import (
 __all__ = [
     "AnalyticalNullModel",
     "AttributeSetResult",
+    "IncrementalSCPM",
     "MiningCounters",
     "MiningResult",
     "NaiveMiner",
@@ -37,6 +40,7 @@ __all__ = [
     "SimulationEstimate",
     "SimulationNullModel",
     "StructuralCorrelationPattern",
+    "UpdateStats",
     "all_patterns",
     "binomial_degree_probability",
     "coverage_search",

@@ -1,5 +1,11 @@
-"""Datasets: the paper's running example and scaled synthetic corpora."""
+"""Datasets: the paper's running example, scaled synthetic corpora, and
+evolving-graph scenarios."""
 
+from repro.datasets.evolving import (
+    EvolvingScenario,
+    patch_scenario,
+    random_scenario,
+)
 from repro.datasets.example import (
     EXAMPLE_ATTRIBUTES,
     EXAMPLE_EDGES,
@@ -31,6 +37,7 @@ __all__ = [
     "DatasetProfile",
     "EXAMPLE_ATTRIBUTES",
     "EXAMPLE_EDGES",
+    "EvolvingScenario",
     "PROFILES",
     "SyntheticSpec",
     "TABLE1_PARAMETERS",
@@ -42,8 +49,10 @@ __all__ = [
     "lastfm_like",
     "load_profile",
     "paper_example_graph",
+    "patch_scenario",
     "random_attributed_graph",
     "random_edge_graph",
+    "random_scenario",
     "small_dblp_like",
     "write_random_attributed_files",
 ]

@@ -1,0 +1,266 @@
+"""Evolving-graph scenarios — seeded (graph, edit-script) pairs.
+
+The delta-vs-full differential harness needs the same thing in many
+places (``tests/evolve/``, the store/serve delta suites,
+``benchmarks/bench_incremental_update.py``, the `scpm update` docs
+example): a reproducible initial graph, a reproducible sequence of edit
+batches, and an *independent* way to answer "what should the graph look
+like after batch k?".  :class:`EvolvingScenario` packages all three:
+
+* :meth:`~EvolvingScenario.build_handle` — the evolvable
+  :class:`~repro.graph.streaming.StreamedGraphHandle` (fresh per call),
+  built through the streaming builder exactly as production ingest would.
+* :meth:`~EvolvingScenario.batches` — the edit script, as
+  :class:`~repro.graph.evolve.EdgeEdit` /
+  :class:`~repro.graph.evolve.AttributeEdit` batches.
+* :meth:`~EvolvingScenario.replay` — the ground truth: a mutable
+  :class:`~repro.graph.attributed_graph.AttributedGraph` built from the
+  initial state plus the first ``upto`` batches through the *hashed*
+  per-element mutators — a completely independent code path from the
+  copy-on-write container edits, so a bug in either side surfaces as a
+  divergence.
+
+Vertices enter both representations in the same first-seen order
+(initial vertices ascending, then new vertices in edit order), so the
+dense-id spaces align and mined outputs are comparable byte-for-byte.
+
+Two generators cover the two test shapes:
+
+* :func:`random_scenario` — small dense-ish graphs whose edits hit many
+  chunks (every invalidation path fires; the differential fuzz shape).
+* :func:`patch_scenario` — chunk-aligned vertex patches with one
+  attribute each and edits confined to few patches, so most roots and
+  branches are provably clean (the reuse-path and benchmark shape).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.graph.attributed_graph import AttributedGraph
+from repro.graph.evolve import AttributeEdit, EdgeEdit
+from repro.graph.sparseset import CHUNK_BITS
+from repro.graph.streaming import StreamedGraphHandle, StreamingGraphBuilder
+
+#: One edit batch: the edge edits then the attribute edits of one update.
+EditBatch = Tuple[List[EdgeEdit], List[AttributeEdit]]
+
+
+@dataclass
+class EvolvingScenario:
+    """A reproducible initial graph plus an edit script.
+
+    Instances are plain data — building a handle or a replay never
+    mutates the scenario, so one scenario drives any number of
+    incremental/full/parallel runs in a test.
+    """
+
+    vertices: List[int]
+    initial_edges: List[Tuple[int, int]]
+    initial_attributes: Dict[int, List[str]]
+    edit_batches: List[EditBatch] = field(default_factory=list)
+
+    # -- the evolvable representation -----------------------------------
+    def build_handle(self) -> StreamedGraphHandle:
+        """Stream the initial state into a fresh evolvable handle."""
+        builder = StreamingGraphBuilder()
+        for vertex in self.vertices:
+            builder.add_vertex(vertex)
+        for u, v in self.initial_edges:
+            builder.add_edge(u, v)
+        for vertex in self.vertices:
+            attributes = self.initial_attributes.get(vertex)
+            if attributes:
+                builder.add_attributes(vertex, attributes)
+        return builder.finish()
+
+    # -- the edit script ------------------------------------------------
+    def batches(self) -> List[EditBatch]:
+        """The edit script (aliases the stored batches; do not mutate)."""
+        return self.edit_batches
+
+    # -- the independent ground truth -----------------------------------
+    def initial_graph(self) -> AttributedGraph:
+        """The initial state as a mutable hashed graph."""
+        graph = AttributedGraph()
+        for vertex in self.vertices:
+            graph.add_vertex(vertex)
+        for u, v in self.initial_edges:
+            graph.add_edge(u, v)
+        for vertex in self.vertices:
+            for attribute in self.initial_attributes.get(vertex, ()):
+                graph.add_attribute(vertex, attribute)
+        return graph
+
+    def replay(self, upto: int) -> AttributedGraph:
+        """Ground truth after the first ``upto`` batches.
+
+        Replays through the per-element ``AttributedGraph`` mutators —
+        an independent path from the chunked copy-on-write edits, and
+        the oracle the differential harness re-mines from scratch.
+        """
+        graph = self.initial_graph()
+        for edge_edits, attribute_edits in self.edit_batches[:upto]:
+            for edit in edge_edits:
+                if edit.add:
+                    graph.add_edge(edit.u, edit.v)
+                else:
+                    graph.remove_edge(edit.u, edit.v)
+            for edit in attribute_edits:
+                if edit.add:
+                    graph.add_attribute(edit.vertex, edit.attribute)
+                else:
+                    graph.remove_attribute(edit.vertex, edit.attribute)
+        return graph
+
+
+def random_scenario(
+    seed: int,
+    num_vertices: int = 60,
+    attributes: Sequence[str] = ("a", "b", "c", "d"),
+    edge_probability: float = 0.12,
+    attribute_probability: float = 0.45,
+    num_batches: int = 4,
+    edge_edits_per_batch: int = 6,
+    attribute_edits_per_batch: int = 4,
+    new_vertex_probability: float = 0.1,
+) -> EvolvingScenario:
+    """A seeded random graph with a random add/remove/flip edit script.
+
+    Edits are generated against a simulated replica, so additions target
+    absent edges/attributes and removals target present ones (every edit
+    is effective — no silent no-op batches).  With probability
+    ``new_vertex_probability`` an edge edit instead attaches a brand-new
+    vertex, exercising indexer growth mid-script.
+    """
+    rng = random.Random(seed)
+    vertices = list(range(num_vertices))
+    replica = AttributedGraph()
+    for vertex in vertices:
+        replica.add_vertex(vertex)
+    initial_edges: List[Tuple[int, int]] = []
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if rng.random() < edge_probability:
+                initial_edges.append((u, v))
+                replica.add_edge(u, v)
+    initial_attributes: Dict[int, List[str]] = {}
+    for vertex in vertices:
+        held = [a for a in attributes if rng.random() < attribute_probability]
+        if held:
+            initial_attributes[vertex] = held
+            replica.add_attributes(vertex, held)
+
+    next_new_vertex = num_vertices
+    edit_batches: List[EditBatch] = []
+    for _ in range(num_batches):
+        edge_edits: List[EdgeEdit] = []
+        for _ in range(edge_edits_per_batch):
+            if rng.random() < new_vertex_probability:
+                u = rng.randrange(num_vertices)
+                v = next_new_vertex
+                next_new_vertex += 1
+                edge_edits.append(EdgeEdit(u, v, add=True))
+                replica.add_edge(u, v)
+                continue
+            u, v = rng.sample(list(replica.vertices()), 2)
+            if replica.has_edge(u, v):
+                edge_edits.append(EdgeEdit(u, v, add=False))
+                replica.remove_edge(u, v)
+            else:
+                edge_edits.append(EdgeEdit(u, v, add=True))
+                replica.add_edge(u, v)
+        attribute_edits: List[AttributeEdit] = []
+        for _ in range(attribute_edits_per_batch):
+            vertex = rng.choice(list(replica.vertices()))
+            attribute = rng.choice(list(attributes))
+            if attribute in replica.attributes_of(vertex):
+                attribute_edits.append(
+                    AttributeEdit(vertex, attribute, add=False)
+                )
+                replica.remove_attribute(vertex, attribute)
+            else:
+                attribute_edits.append(
+                    AttributeEdit(vertex, attribute, add=True)
+                )
+                replica.add_attribute(vertex, attribute)
+        edit_batches.append((edge_edits, attribute_edits))
+    return EvolvingScenario(
+        vertices=vertices,
+        initial_edges=initial_edges,
+        initial_attributes=initial_attributes,
+        edit_batches=edit_batches,
+    )
+
+
+def patch_scenario(
+    seed: int,
+    num_patches: int = 8,
+    patch_chunks: int = 1,
+    edges_per_vertex: float = 3.0,
+    edited_patches: int = 1,
+    edge_edits: int = 32,
+    num_batches: int = 1,
+) -> EvolvingScenario:
+    """Chunk-aligned patches with localized edits — the reuse shape.
+
+    The vertex space is split into ``num_patches`` patches of exactly
+    ``patch_chunks *`` :data:`~repro.graph.sparseset.CHUNK_BITS` ids;
+    patch ``p`` carries the single attribute ``"p<p>"`` and random
+    intra-patch edges.  Edits flip random edges inside the first
+    ``edited_patches`` patches only, so the touched-chunk footprint —
+    and therefore the dirty fraction of roots, branches and memo
+    entries — is ``edited_patches / num_patches`` by construction.
+    This is the scenario ``benchmarks/bench_incremental_update.py``
+    scales up to prove update cost tracks delta size, not graph size.
+    """
+    rng = random.Random(seed)
+    patch_size = patch_chunks * CHUNK_BITS
+    num_vertices = num_patches * patch_size
+    vertices = list(range(num_vertices))
+    initial_edges: List[Tuple[int, int]] = []
+    initial_attributes: Dict[int, List[str]] = {}
+    for patch in range(num_patches):
+        base = patch * patch_size
+        label = f"p{patch}"
+        seen = set()
+        for _ in range(int(patch_size * edges_per_vertex)):
+            u, v = rng.sample(range(base, base + patch_size), 2)
+            key = (min(u, v), max(u, v))
+            if key in seen:
+                continue
+            seen.add(key)
+            initial_edges.append(key)
+        for vertex in range(base, base + patch_size):
+            initial_attributes[vertex] = [label]
+    present = set(initial_edges)
+    edit_batches: List[EditBatch] = []
+    span = edited_patches * patch_size
+    for _ in range(num_batches):
+        batch: List[EdgeEdit] = []
+        for _ in range(edge_edits):
+            u, v = rng.sample(range(span), 2)
+            key = (min(u, v), max(u, v))
+            if key in present:
+                batch.append(EdgeEdit(key[0], key[1], add=False))
+                present.discard(key)
+            else:
+                batch.append(EdgeEdit(key[0], key[1], add=True))
+                present.add(key)
+        edit_batches.append((batch, []))
+    return EvolvingScenario(
+        vertices=vertices,
+        initial_edges=initial_edges,
+        initial_attributes=initial_attributes,
+        edit_batches=edit_batches,
+    )
+
+
+__all__ = [
+    "EditBatch",
+    "EvolvingScenario",
+    "patch_scenario",
+    "random_scenario",
+]

@@ -67,6 +67,16 @@ class EngineError(ParameterError):
     """Raised when an unknown vertex-set engine name is requested."""
 
 
+class DeltaError(ReproError):
+    """Raised when the incremental mining layer is misused.
+
+    Covers lifecycle mistakes of
+    :class:`repro.correlation.incremental.IncrementalSCPM` — updating
+    before the initial mine, or constructing it over a graph that does
+    not support batched evolution (no ``apply_edge_batch``).
+    """
+
+
 class ParallelError(ReproError):
     """Raised when the parallel execution layer is misused or unavailable."""
 

@@ -113,6 +113,37 @@ class AttributedGraph:
         for attribute in attributes:
             self.add_attribute(vertex, attribute)
 
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        """Remove the undirected edge ``(u, v)``; absent edges are a no-op.
+
+        The endpoints stay in the graph (possibly isolated), mirroring
+        the batched :class:`~repro.graph.evolve.EdgeEdit` semantics so an
+        edit script replays identically on either representation.
+        """
+        if u not in self._adjacency or v not in self._adjacency[u]:
+            return
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        self._edge_count -= 1
+        self._bitset_indexes.clear()
+
+    def remove_attribute(self, vertex: Vertex, attribute: Attribute) -> None:
+        """Detach ``attribute`` from ``vertex``; absent links are a no-op.
+
+        An attribute whose last holder disappears leaves the attribute
+        universe entirely (as in :meth:`remove_vertex`): ``attributes()``
+        only reports attributes carried by some vertex.
+        """
+        holders = self._vertex_attributes.get(vertex)
+        if holders is None or attribute not in holders:
+            return
+        holders.discard(attribute)
+        attribute_holders = self._attribute_vertices[attribute]
+        attribute_holders.discard(vertex)
+        if not attribute_holders:
+            del self._attribute_vertices[attribute]
+        self._bitset_indexes.clear()
+
     def remove_vertex(self, vertex: Vertex) -> None:
         """Remove ``vertex``, its incident edges and its attribute links."""
         if vertex not in self._adjacency:

@@ -652,6 +652,25 @@ class SparseGraphBitsetIndex:
             masks.append(local)
         return global_ids, masks
 
+    # -- evolution (see repro.graph.evolve) -----------------------------
+    def apply_edge_batch(self, edits) -> "DeltaReport":
+        """Apply a batch of :class:`~repro.graph.evolve.EdgeEdit`\\ s.
+
+        Containers are replaced, never mutated, so outstanding references
+        (memo keys, candidate natives) keep their pre-edit snapshot; see
+        :func:`repro.graph.evolve.apply_edge_batch` for the contract and
+        the returned :class:`~repro.graph.evolve.DeltaReport`.
+        """
+        from repro.graph.evolve import apply_edge_batch
+
+        return apply_edge_batch(self, edits)
+
+    def apply_attribute_batch(self, edits) -> "DeltaReport":
+        """Apply a batch of :class:`~repro.graph.evolve.AttributeEdit`\\ s."""
+        from repro.graph.evolve import apply_attribute_batch
+
+        return apply_attribute_batch(self, edits)
+
     def nbytes(self) -> int:
         """Estimated memory footprint of the adjacency + attribute payload."""
         total = sum(container.nbytes() for container in self.adjacency_sets)

@@ -35,8 +35,11 @@ index itself, never the hashed-graph footprint.
 ``benchmarks/bench_streaming_ingest.py`` pins the ratio against the
 in-memory loader.
 
-The handle is immutable (mutators raise
-:class:`repro.errors.StreamingError`) and picklable: the parallel transfer
+The handle rejects per-element mutators (they raise
+:class:`repro.errors.StreamingError`; batched evolution goes through
+:meth:`StreamedGraphHandle.apply_edge_batch` /
+:meth:`~StreamedGraphHandle.apply_attribute_batch` from
+:mod:`repro.graph.evolve`) and is picklable: the parallel transfer
 layer ships it to workers exactly like an ``AttributedGraph`` with a warm
 index cache, so ``SCPMParams(n_jobs=...)`` works unchanged on streamed
 inputs.
@@ -272,9 +275,14 @@ class StreamedGraphHandle:
     O(|V|²/8) bytes, exactly like the in-memory dense engine — ``"auto"``
     avoids it at scale.
 
-    Handles are immutable: the mutating ``AttributedGraph`` methods raise
-    :class:`repro.errors.StreamingError`.  Use :meth:`to_attributed_graph`
-    (or :meth:`subgraph` for a slice) to materialise a mutable copy.
+    Per-element mutation is not supported: the mutating
+    ``AttributedGraph`` methods raise
+    :class:`repro.errors.StreamingError`.  The one write path is batched
+    evolution — :meth:`apply_edge_batch` / :meth:`apply_attribute_batch`
+    (:mod:`repro.graph.evolve`) fold an edit batch into the sparse index
+    copy-on-write and report the touched chunk footprint for delta
+    re-evaluation.  Use :meth:`to_attributed_graph` (or :meth:`subgraph`
+    for a slice) to materialise a mutable hashed copy.
     """
 
     __slots__ = ("_sparse", "_num_edges", "_indexes")
@@ -416,8 +424,9 @@ class StreamedGraphHandle:
         through :func:`repro.graph.engine.resolve_engine` on |V| and |E|.
         The sparse index is the handle's own storage (returned as-is);
         the dense index is derived lazily from the containers — sharing
-        the indexer — and cached.  Handles are immutable, so cached
-        indexes are valid forever.
+        the indexer — and cached.  The cache is valid until the next
+        :meth:`apply_edge_batch` / :meth:`apply_attribute_batch`, which
+        drop the derived dense twin.
         """
         resolved = resolve_engine(engine, self.num_vertices, self.num_edges)
         index = self._indexes.get(resolved)
@@ -474,12 +483,36 @@ class StreamedGraphHandle:
         return self.subgraph(self.vertices_with_all(attributes))
 
     # ------------------------------------------------------------------
-    # immutability guard
+    # batched evolution (the only supported mutation path)
+    # ------------------------------------------------------------------
+    def apply_edge_batch(self, edits):
+        """Apply a batch of :class:`~repro.graph.evolve.EdgeEdit`\\ s.
+
+        Delegates to :func:`repro.graph.evolve.apply_edge_batch` on the
+        sparse index (copy-on-write per container), keeps the edge count
+        in step, and drops the cached derived dense index — the sparse
+        index *is* the handle's storage and stays valid.  Returns the
+        :class:`~repro.graph.evolve.DeltaReport`.
+        """
+        report = self._sparse.apply_edge_batch(edits)
+        self._num_edges += report.edges_added - report.edges_removed
+        self._indexes = {"sparse": self._sparse}
+        return report
+
+    def apply_attribute_batch(self, edits):
+        """Apply a batch of :class:`~repro.graph.evolve.AttributeEdit`\\ s."""
+        report = self._sparse.apply_attribute_batch(edits)
+        self._indexes = {"sparse": self._sparse}
+        return report
+
+    # ------------------------------------------------------------------
+    # immutability guard (per-element mutators)
     # ------------------------------------------------------------------
     def _immutable(self, *_args, **_kwargs):
         raise StreamingError(
-            "StreamedGraphHandle is read-only — materialise a mutable copy "
-            "with to_attributed_graph() to modify the graph"
+            "StreamedGraphHandle only mutates through apply_edge_batch / "
+            "apply_attribute_batch — materialise a mutable copy with "
+            "to_attributed_graph() for the per-element AttributedGraph API"
         )
 
     add_vertex = _immutable

@@ -1,5 +1,12 @@
-"""Quasi-clique substrate: definitions, pruned search engine, reference miners."""
+"""Quasi-clique substrate: definitions, pruned search engine, chunk-level
+delta invalidation, reference miners."""
 
+from repro.quasiclique.delta import (
+    chunk_of,
+    chunks_of_native,
+    invalidate_memo,
+    native_touches,
+)
 from repro.quasiclique.definitions import (
     QuasiCliqueParams,
     gamma_of,
@@ -46,7 +53,11 @@ __all__ = [
     "brute_force_maximal_quasi_cliques",
     "brute_force_satisfying_sets",
     "brute_force_structural_correlation",
+    "chunk_of",
+    "chunks_of_native",
     "filter_candidates_by_degree",
+    "invalidate_memo",
+    "native_touches",
     "find_quasi_cliques",
     "gamma_of",
     "prune_low_degree_vertices",

@@ -115,6 +115,26 @@ class CoverageMemo:
         merged.update(self._local)
         return merged
 
+    def evict_where(self, predicate) -> int:
+        """Drop every entry whose key matches ``predicate``; return count.
+
+        The invalidation hook of delta re-evaluation
+        (:func:`repro.quasiclique.delta.invalidate_memo`): after a graph
+        edit, entries whose working set intersects a touched chunk are
+        stale — their covered sets answer for the pre-edit subgraph —
+        while all other entries remain exact (their induced subgraphs are
+        bit-for-bit unchanged).  Both layers are scanned; the shared
+        layer is mutated in place, so only the memo's owner should call
+        this (worker memos built around a snapshot share the dict).
+        """
+        removed = 0
+        for layer in (self._shared, self._local):
+            doomed = [key for key in layer if predicate(key)]
+            for key in doomed:
+                del layer[key]
+            removed += len(doomed)
+        return removed
+
     def reset_local(self) -> None:
         """Drop the local layer (task-boundary determinism hook).
 

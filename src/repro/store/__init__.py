@@ -23,10 +23,16 @@ in ``tests/store/test_roundtrip.py``).
 from repro.store.codec import decode_value, encode_value
 from repro.store.schema import SCHEMA_VERSION
 from repro.store.verify import VerifyCheck, VerifyReport, verify_store
-from repro.store.writer import SAVE_FAULT_SITES, PatternStore, save_result
+from repro.store.writer import (
+    APPLY_DELTA_FAULT_SITES,
+    SAVE_FAULT_SITES,
+    PatternStore,
+    save_result,
+)
 
 __all__ = [
     "PatternStore",
+    "APPLY_DELTA_FAULT_SITES",
     "SAVE_FAULT_SITES",
     "save_result",
     "encode_value",

@@ -38,7 +38,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.correlation.patterns import MiningResult
-from repro.errors import StoreError
+from repro.errors import NotFoundError, StoreError
 from repro.faults import fault_point
 from repro.faults.retry import (
     WRITE_RETRY_POLICY,
@@ -56,6 +56,22 @@ PathLike = Union[str, Path]
 #: be added without entering the kill matrix.
 SAVE_FAULT_SITES = (
     "store.writer.begin",
+    "store.writer.run_row",
+    "store.writer.set_row",
+    "store.writer.pattern_row",
+    "store.writer.listing",
+    "store.writer.commit",
+    "store.writer.post_commit",
+)
+
+#: Every fault point inside :meth:`PatternStore.apply_delta` — the save
+#: sites (the row re-insert reuses the exact same write steps and
+#: therefore the same points) plus the delta-only delete step.  The
+#: delta crash fuzz (``tests/faults/test_delta_crash.py``) iterates this
+#: tuple the way the save fuzz iterates :data:`SAVE_FAULT_SITES`.
+APPLY_DELTA_FAULT_SITES = (
+    "store.writer.begin",
+    "store.writer.delete_rows",
     "store.writer.run_row",
     "store.writer.set_row",
     "store.writer.pattern_row",
@@ -168,96 +184,210 @@ class PatternStore:
             )
             run_id = cursor.lastrowid
             fault_point("store.writer.run_row")
-            listing = []
-            for position, record in enumerate(result.evaluated):
-                cursor.execute(
-                    "INSERT INTO attribute_sets (run_id, position, "
-                    "attributes_json, label, support, epsilon, epsilon_text, "
-                    "expected_epsilon_text, delta, delta_text, qualified) "
-                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    (
-                        run_id,
-                        position,
-                        json.dumps([encode_value(a) for a in record.attributes]),
-                        record.label(),
-                        record.support,
-                        record.epsilon,
-                        repr(record.epsilon),
-                        repr(record.expected_epsilon),
-                        # NaN has no REAL representation in SQLite; the
-                        # text column is authoritative either way.
-                        None if record.delta != record.delta else record.delta,
-                        repr(record.delta),
-                        int(record.qualified),
-                    ),
-                )
-                set_id = cursor.lastrowid
-                fault_point("store.writer.set_row", key=position)
-                cursor.executemany(
-                    "INSERT INTO set_attributes (set_id, position, attribute) "
-                    "VALUES (?, ?, ?)",
-                    [
-                        (set_id, i, encode_value(attribute))
-                        for i, attribute in enumerate(record.attributes)
-                    ],
-                )
-                cursor.executemany(
-                    "INSERT INTO set_vertices (set_id, vertex) VALUES (?, ?)",
-                    [(set_id, encode_value(v)) for v in record.covered_vertices],
-                )
-                if self.fts_enabled:
-                    cursor.execute(
-                        "INSERT INTO attribute_search (rowid, tokens) "
-                        "VALUES (?, ?)",
-                        (set_id, _fts_tokens(record.attributes)),
-                    )
-                for pattern_position, pattern in enumerate(record.patterns):
-                    cursor.execute(
-                        "INSERT INTO patterns (set_id, run_id, position, "
-                        "attributes_json, gamma, gamma_text, size) "
-                        "VALUES (?, ?, ?, ?, ?, ?, ?)",
-                        (
-                            set_id,
-                            run_id,
-                            pattern_position,
-                            json.dumps(
-                                [encode_value(a) for a in pattern.attributes]
-                            ),
-                            pattern.gamma,
-                            repr(pattern.gamma),
-                            pattern.size,
-                        ),
-                    )
-                    pattern_id = cursor.lastrowid
-                    fault_point(
-                        "store.writer.pattern_row",
-                        key=(position, pattern_position),
-                    )
-                    cursor.executemany(
-                        "INSERT INTO pattern_vertices (pattern_id, vertex) "
-                        "VALUES (?, ?)",
-                        [
-                            (pattern_id, encode_value(v))
-                            for v in pattern.vertices
-                        ],
-                    )
-                listing.append(
-                    (record.epsilon, record.support, record.label(), set_id)
-                )
-            # Materialised top-by-ε ranking: the exact ordering contract
-            # of MiningResult.top_by_epsilon, frozen at write time.
-            listing.sort(key=lambda row: (-row[0], -row[1], row[2]))
+            self._write_run_rows(cursor, run_id, result)
+            fault_point("store.writer.commit")
+            connection.commit()
+        except BaseException:
+            connection.rollback()
+            raise
+        fault_point("store.writer.post_commit")
+        return run_id
+
+    def _write_run_rows(self, cursor, run_id: int, result: MiningResult) -> None:
+        """Insert every row of one run: sets, patterns, FTS, ε listing.
+
+        Shared by the initial :meth:`save` and by :meth:`apply_delta`
+        (which first deletes the old rows) — both paths therefore hit
+        the same ``store.writer.set_row`` / ``pattern_row`` /
+        ``listing`` fault points and produce bit-identical row content
+        for the same result.  Runs inside the caller's transaction.
+        """
+        listing = []
+        for position, record in enumerate(result.evaluated):
+            cursor.execute(
+                "INSERT INTO attribute_sets (run_id, position, "
+                "attributes_json, label, support, epsilon, epsilon_text, "
+                "expected_epsilon_text, delta, delta_text, qualified) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    position,
+                    json.dumps([encode_value(a) for a in record.attributes]),
+                    record.label(),
+                    record.support,
+                    record.epsilon,
+                    repr(record.epsilon),
+                    repr(record.expected_epsilon),
+                    # NaN has no REAL representation in SQLite; the
+                    # text column is authoritative either way.
+                    None if record.delta != record.delta else record.delta,
+                    repr(record.delta),
+                    int(record.qualified),
+                ),
+            )
+            set_id = cursor.lastrowid
+            fault_point("store.writer.set_row", key=position)
             cursor.executemany(
-                "INSERT INTO epsilon_listing (run_id, rank, set_id, epsilon, "
-                "support, label) VALUES (?, ?, ?, ?, ?, ?)",
+                "INSERT INTO set_attributes (set_id, position, attribute) "
+                "VALUES (?, ?, ?)",
                 [
-                    (run_id, rank, set_id, epsilon, support, label)
-                    for rank, (epsilon, support, label, set_id) in enumerate(
-                        listing, start=1
-                    )
+                    (set_id, i, encode_value(attribute))
+                    for i, attribute in enumerate(record.attributes)
                 ],
             )
-            fault_point("store.writer.listing")
+            cursor.executemany(
+                "INSERT INTO set_vertices (set_id, vertex) VALUES (?, ?)",
+                [(set_id, encode_value(v)) for v in record.covered_vertices],
+            )
+            if self.fts_enabled:
+                cursor.execute(
+                    "INSERT INTO attribute_search (rowid, tokens) "
+                    "VALUES (?, ?)",
+                    (set_id, _fts_tokens(record.attributes)),
+                )
+            for pattern_position, pattern in enumerate(record.patterns):
+                cursor.execute(
+                    "INSERT INTO patterns (set_id, run_id, position, "
+                    "attributes_json, gamma, gamma_text, size) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        set_id,
+                        run_id,
+                        pattern_position,
+                        json.dumps(
+                            [encode_value(a) for a in pattern.attributes]
+                        ),
+                        pattern.gamma,
+                        repr(pattern.gamma),
+                        pattern.size,
+                    ),
+                )
+                pattern_id = cursor.lastrowid
+                fault_point(
+                    "store.writer.pattern_row",
+                    key=(position, pattern_position),
+                )
+                cursor.executemany(
+                    "INSERT INTO pattern_vertices (pattern_id, vertex) "
+                    "VALUES (?, ?)",
+                    [
+                        (pattern_id, encode_value(v))
+                        for v in pattern.vertices
+                    ],
+                )
+            listing.append(
+                (record.epsilon, record.support, record.label(), set_id)
+            )
+        # Materialised top-by-ε ranking: the exact ordering contract
+        # of MiningResult.top_by_epsilon, frozen at write time.
+        listing.sort(key=lambda row: (-row[0], -row[1], row[2]))
+        cursor.executemany(
+            "INSERT INTO epsilon_listing (run_id, rank, set_id, epsilon, "
+            "support, label) VALUES (?, ?, ?, ?, ?, ?)",
+            [
+                (run_id, rank, set_id, epsilon, support, label)
+                for rank, (epsilon, support, label, set_id) in enumerate(
+                    listing, start=1
+                )
+            ],
+        )
+        fault_point("store.writer.listing")
+
+    # ------------------------------------------------------------------
+    # delta path
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self,
+        run_id: int,
+        result: MiningResult,
+        params: Optional[object] = None,
+    ) -> int:
+        """Replace the stored rows of ``run_id`` with ``result``, atomically.
+
+        The incremental miner
+        (:class:`repro.correlation.incremental.IncrementalSCPM`) patches
+        its :class:`MiningResult` in place after a graph update; this is
+        the store half of that contract.  One ``BEGIN IMMEDIATE``
+        transaction deletes the run's old attribute-set rows (cascading
+        to set/pattern memberships, with explicit contentless-FTS
+        deletes first), refreshes the run header counts, and re-inserts
+        everything through the same row writer — and therefore the same
+        ``store.writer.*`` fault points — as :meth:`save`.  Readers see
+        the old run or the new one, never a mix, and a crash at any
+        fault point leaves a store that
+        :func:`~repro.store.verify.verify_store` reports clean
+        (``tests/faults/test_delta_crash.py``).
+
+        ``params`` replaces the stored ``params_json`` when given;
+        ``None`` keeps the original.  Raises
+        :class:`~repro.errors.NotFoundError` for an unknown run.
+        Returns ``run_id`` for symmetry with :meth:`save`.
+        """
+        if self._connection is None:
+            raise StoreError("pattern store is closed")
+        self.last_save_retries = 0
+
+        def note_retry(error, attempt, delay) -> None:
+            self.last_save_retries += 1
+
+        return call_with_retry(
+            lambda: self._apply_delta_once(run_id, result, params),
+            policy=self.retry_policy,
+            retry_on=is_transient_operational_error,
+            on_retry=note_retry,
+        )
+
+    def _apply_delta_once(
+        self, run_id: int, result: MiningResult, params: Optional[object]
+    ) -> int:
+        """One delta attempt: a single ``BEGIN IMMEDIATE`` transaction."""
+        connection = self._connection
+        cursor = connection.cursor()
+        fault_point("store.writer.begin")
+        cursor.execute("BEGIN IMMEDIATE")
+        try:
+            if (
+                cursor.execute(
+                    "SELECT 1 FROM runs WHERE run_id = ?", (run_id,)
+                ).fetchone()
+                is None
+            ):
+                raise NotFoundError(f"run {run_id} is not in the store")
+            if self.fts_enabled:
+                # Contentless FTS5 cannot cascade: each row must be
+                # removed by replaying its original tokens (== label).
+                cursor.executemany(
+                    "INSERT INTO attribute_search "
+                    "(attribute_search, rowid, tokens) "
+                    "VALUES ('delete', ?, ?)",
+                    cursor.execute(
+                        "SELECT set_id, label FROM attribute_sets "
+                        "WHERE run_id = ?",
+                        (run_id,),
+                    ).fetchall(),
+                )
+            cursor.execute(
+                "DELETE FROM epsilon_listing WHERE run_id = ?", (run_id,)
+            )
+            cursor.execute(
+                "DELETE FROM attribute_sets WHERE run_id = ?", (run_id,)
+            )
+            fault_point("store.writer.delete_rows")
+            cursor.execute(
+                "UPDATE runs SET counters_json = ?, num_evaluated = ?, "
+                "num_qualified = ?, num_patterns = ?, "
+                "params_json = COALESCE(?, params_json) WHERE run_id = ?",
+                (
+                    json.dumps(result.counters.to_dict(), sort_keys=True),
+                    len(result.evaluated),
+                    len(result.qualified),
+                    len(result.patterns),
+                    _params_json(params),
+                    run_id,
+                ),
+            )
+            fault_point("store.writer.run_row")
+            self._write_run_rows(cursor, run_id, result)
             fault_point("store.writer.commit")
             connection.commit()
         except BaseException:

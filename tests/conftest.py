@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.correlation.parameters import SCPMParams
+from repro.datasets.evolving import EvolvingScenario, random_scenario
 from repro.datasets.example import paper_example_graph
 from repro.datasets.synthetic import random_attributed_graph
 from repro.graph.attributed_graph import AttributedGraph
@@ -43,6 +44,23 @@ def triangle_graph() -> AttributedGraph:
     graph.add_edge(1, 3)
     graph.add_edge(3, 4)
     return graph
+
+
+@pytest.fixture
+def evolving_graph():
+    """Factory for seeded evolving-graph scenarios (shared by the evolve,
+    store and serve suites).
+
+    Call it with a seed (and any :func:`repro.datasets.evolving.
+    random_scenario` keyword) to get an :class:`EvolvingScenario` —
+    an initial graph, an edit script, and an independent ``replay``
+    oracle for the differential harness.
+    """
+
+    def factory(seed: int = 3, **kwargs) -> EvolvingScenario:
+        return random_scenario(seed, **kwargs)
+
+    return factory
 
 
 @pytest.fixture

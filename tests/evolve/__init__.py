@@ -1,0 +1,2 @@
+"""Tests for evolving graphs: batched edits, chunk-level invalidation,
+and the delta-vs-full incremental mining differential harness."""

@@ -1,0 +1,169 @@
+"""Unit tests of :class:`~repro.correlation.incremental.IncrementalSCPM`
+lifecycle, :class:`UpdateStats` accounting, and the store delta path
+(:meth:`~repro.store.writer.PatternStore.apply_delta`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.correlation.incremental import IncrementalSCPM, UpdateStats
+from repro.correlation.parameters import SCPMParams
+from repro.datasets.evolving import patch_scenario
+from repro.errors import DeltaError, NotFoundError
+from repro.graph.evolve import EdgeEdit
+from repro.serve import PatternStoreReader
+from repro.store import PatternStore, verify_store
+
+PARAMS = SCPMParams(
+    min_support=3, gamma=0.6, min_size=3, min_epsilon=0.1, top_k=5
+)
+
+
+def result_fingerprint(result):
+    return [
+        (
+            r.attributes,
+            r.support,
+            r.epsilon,
+            r.expected_epsilon,
+            r.delta,
+            r.covered_vertices,
+            r.qualified,
+            tuple((p.attributes, p.vertices, p.gamma) for p in r.patterns),
+        )
+        for r in result.evaluated
+    ]
+
+
+class TestLifecycle:
+    def test_update_before_mine_raises(self, evolving_graph):
+        miner = IncrementalSCPM(evolving_graph(seed=3).build_handle(), PARAMS)
+        with pytest.raises(DeltaError):
+            miner.update(edge_edits=[EdgeEdit(0, 1)])
+
+    def test_non_evolvable_graph_raises(self, triangle_graph):
+        with pytest.raises(DeltaError):
+            IncrementalSCPM(triangle_graph, PARAMS)
+
+    def test_mine_returns_result_and_sets_state(self, evolving_graph):
+        miner = IncrementalSCPM(evolving_graph(seed=3).build_handle(), PARAMS)
+        result = miner.mine()
+        assert result is miner.result
+        assert result.evaluated
+        assert miner.last_update_stats is None
+
+
+class TestUpdateStats:
+    def test_empty_update_reuses_everything(self, evolving_graph):
+        miner = IncrementalSCPM(evolving_graph(seed=3).build_handle(), PARAMS)
+        miner.mine()
+        before = result_fingerprint(miner.result)
+        miner.update()
+        stats = miner.last_update_stats
+        assert isinstance(stats, UpdateStats)
+        assert stats.touched_chunks == 0
+        assert stats.roots_reevaluated == 0
+        assert stats.branches_rerun == 0
+        assert stats.roots_reused == stats.roots_total
+        assert result_fingerprint(miner.result) == before
+
+    def test_localized_edit_reuses_clean_roots(self):
+        scenario = patch_scenario(
+            7, num_patches=4, edges_per_vertex=1.5, edge_edits=10
+        )
+        params = SCPMParams(
+            min_support=3,
+            gamma=0.6,
+            min_size=3,
+            min_epsilon=0.0,
+            top_k=3,
+            engine="sparse",
+        )
+        miner = IncrementalSCPM(scenario.build_handle(), params)
+        miner.mine()
+        edge_edits, _ = scenario.batches()[0]
+        miner.update(edge_edits=edge_edits)
+        stats = miner.last_update_stats
+        assert stats.roots_total == 4
+        assert stats.touched_chunks == 1
+        assert stats.roots_reused + stats.roots_reevaluated == stats.roots_total
+        assert stats.roots_reused >= 2
+        # the structural change rebuilt the null model, so surviving
+        # clean records were patched against the new expectation
+        assert stats.records_patched >= stats.roots_reused
+        assert stats.elapsed_seconds >= 0.0
+
+
+class TestStoreDelta:
+    def test_apply_delta_round_trips(self, tmp_path, evolving_graph):
+        scenario = evolving_graph(seed=3)
+        miner = IncrementalSCPM(scenario.build_handle(), PARAMS)
+        miner.mine()
+        path = tmp_path / "patterns.sqlite"
+        with PatternStore(path) as store:
+            run_id = store.save(miner.result, params=PARAMS)
+            for edge_edits, attribute_edits in scenario.batches():
+                miner.update(
+                    edge_edits=edge_edits, attribute_edits=attribute_edits
+                )
+                assert store.apply_delta(run_id, miner.result) == run_id
+        report = verify_store(path)
+        assert report.ok, "\n".join(report.lines())
+        with PatternStoreReader(path) as reader:
+            loaded = reader.load_result(run_id)
+        assert result_fingerprint(loaded) == result_fingerprint(miner.result)
+
+    def test_apply_delta_unknown_run_raises_and_keeps_store(
+        self, tmp_path, evolving_graph
+    ):
+        scenario = evolving_graph(seed=17)
+        miner = IncrementalSCPM(scenario.build_handle(), PARAMS)
+        miner.mine()
+        path = tmp_path / "patterns.sqlite"
+        with PatternStore(path) as store:
+            run_id = store.save(miner.result, params=PARAMS)
+            with pytest.raises(NotFoundError):
+                store.apply_delta(run_id + 5, miner.result)
+        report = verify_store(path)
+        assert report.ok
+        with PatternStoreReader(path) as reader:
+            loaded = reader.load_result(run_id)
+        assert result_fingerprint(loaded) == result_fingerprint(miner.result)
+
+    def test_apply_delta_on_closed_store_raises(self, tmp_path, evolving_graph):
+        from repro.errors import StoreError
+
+        miner = IncrementalSCPM(evolving_graph(seed=3).build_handle(), PARAMS)
+        miner.mine()
+        store = PatternStore(tmp_path / "p.sqlite")
+        run_id = store.save(miner.result)
+        store.close()
+        with pytest.raises(StoreError):
+            store.apply_delta(run_id, miner.result)
+
+    def test_only_target_run_is_touched(self, tmp_path, evolving_graph):
+        """apply_delta on one run leaves every other stored run intact."""
+        scenario = evolving_graph(seed=3)
+        miner = IncrementalSCPM(scenario.build_handle(), PARAMS)
+        miner.mine()
+        other = IncrementalSCPM(
+            evolving_graph(seed=17).build_handle(), PARAMS
+        )
+        other.mine()
+        other_print = result_fingerprint(other.result)
+        path = tmp_path / "patterns.sqlite"
+        with PatternStore(path) as store:
+            run_id = store.save(miner.result, params=PARAMS)
+            other_id = store.save(other.result, params=PARAMS)
+            edge_edits, attribute_edits = scenario.batches()[0]
+            miner.update(
+                edge_edits=edge_edits, attribute_edits=attribute_edits
+            )
+            store.apply_delta(run_id, miner.result)
+        with PatternStoreReader(path) as reader:
+            assert result_fingerprint(
+                reader.load_result(other_id)
+            ) == other_print
+            assert result_fingerprint(
+                reader.load_result(run_id)
+            ) == result_fingerprint(miner.result)

@@ -1,0 +1,117 @@
+"""Property tests of chunk-level invalidation (:mod:`repro.quasiclique.delta`).
+
+The invariant incremental mining's correctness rests on: after an edit
+batch touching chunk set ``T``, a :class:`CoverageMemo` entry is evicted
+**iff** its working-set native has a member inside some chunk of ``T`` —
+and never otherwise.  Hypothesis generates arbitrary chunk layouts for
+both engine natives (dense int masks and chunked
+:class:`~repro.graph.sparseset.SparseBitset` containers, including
+members far beyond the first chunk) and arbitrary touched sets, and
+checks the footprint predicates against a direct member-level model.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.evolve import _set_bit
+from repro.graph.sparseset import CHUNK_BITS, SparseBitset
+from repro.quasiclique.delta import (
+    chunk_of,
+    chunks_of_native,
+    invalidate_memo,
+    native_touches,
+)
+from repro.quasiclique.memo import CoverageMemo
+
+#: Keep the universe a handful of chunks wide — wide enough that natives
+#: span several containers, small enough that examples stay fast.
+MAX_CHUNKS = 5
+
+members_strategy = st.sets(
+    st.integers(min_value=0, max_value=MAX_CHUNKS * CHUNK_BITS - 1),
+    max_size=24,
+)
+touched_strategy = st.frozensets(
+    st.integers(min_value=0, max_value=MAX_CHUNKS + 1), max_size=4
+)
+
+
+def sparse_of(members):
+    container = SparseBitset()
+    for member in members:
+        container, _ = _set_bit(container, member)
+    return container
+
+
+def dense_of(members):
+    mask = 0
+    for member in members:
+        mask |= 1 << member
+    return mask
+
+
+def model_chunks(members):
+    return {chunk_of(member) for member in members}
+
+
+class TestFootprintPredicates:
+    @given(members=members_strategy)
+    def test_chunks_of_native_matches_members(self, members):
+        expected = model_chunks(members)
+        assert chunks_of_native(sparse_of(members)) == expected
+        assert chunks_of_native(dense_of(members)) == expected
+
+    @given(members=members_strategy, touched=touched_strategy)
+    def test_native_touches_matches_member_model(self, members, touched):
+        expected = bool(model_chunks(members) & touched)
+        assert native_touches(sparse_of(members), touched) is expected
+        assert native_touches(dense_of(members), touched) is expected
+
+    @given(members=members_strategy)
+    def test_empty_touched_never_touches(self, members):
+        assert not native_touches(sparse_of(members), frozenset())
+        assert not native_touches(dense_of(members), frozenset())
+
+
+class TestMemoInvalidation:
+    @settings(max_examples=60)
+    @given(
+        layouts=st.lists(members_strategy, min_size=1, max_size=8),
+        touched=touched_strategy,
+        shared_split=st.integers(min_value=0, max_value=8),
+        use_sparse=st.booleans(),
+    )
+    def test_evicted_iff_intersecting(
+        self, layouts, touched, shared_split, use_sparse
+    ):
+        """An entry dies iff its working set meets a touched chunk —
+        across both layers, both engines, and any chunk layout."""
+        make = sparse_of if use_sparse else dense_of
+        shared = {}
+        memo = CoverageMemo(shared=shared)
+        keys = []
+        for i, members in enumerate(layouts):
+            # vary γ so equal working sets still make distinct keys
+            key = CoverageMemo.key(make(members), 0.5 + i / 100.0, 3)
+            keys.append((key, frozenset(model_chunks(members))))
+            if i < shared_split:
+                shared[key] = 0
+            else:
+                memo.put(key, 0)
+        before = {key for key, _ in keys}
+        expected_dead = {
+            key for key, chunks in keys if chunks & touched
+        }
+        removed = invalidate_memo(memo, touched)
+        survivors = set(memo.snapshot())
+        assert removed == len(expected_dead)
+        assert survivors == before - expected_dead
+
+    def test_disabled_memo_and_empty_touched_are_noops(self):
+        assert invalidate_memo(None, frozenset({1})) == 0
+        memo = CoverageMemo()
+        memo.put(CoverageMemo.key(0b11, 0.6, 3), 0b1)
+        assert invalidate_memo(memo, frozenset()) == 0
+        assert len(memo) == 1

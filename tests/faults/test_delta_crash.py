@@ -1,0 +1,185 @@
+"""Crash-point fuzz of ``PatternStore.apply_delta``: kill the writer at
+every fault site mid-delta and prove the stored run is never torn.
+
+The delta path has a sharper atomicity contract than ``save``: it
+*replaces* rows that readers may be serving, so a crash must leave
+either the complete **old** run (killed anywhere before COMMIT — even
+after the deletes, which happened inside the open transaction) or the
+complete **new** run (killed after), never a mix and never an empty
+husk.  Each case runs a real subprocess (plan activation via
+``REPRO_FAULT_PLAN``), kills it at one ``store.writer.*`` site, then
+checks :func:`verify_store` and the surviving content.
+"""
+
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.faults import KILL_EXIT_CODE, FaultPlan, FaultRule, installed
+from repro.serve import PatternStoreReader
+from repro.store import APPLY_DELTA_FAULT_SITES, PatternStore, verify_store
+from tests.faults.test_store_crash import build_result
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Sites at which the OLD run must survive a kill — everything before the
+#: COMMIT, including the delete step (it ran inside the open transaction).
+PRE_COMMIT_SITES = tuple(
+    site
+    for site in APPLY_DELTA_FAULT_SITES
+    if site != "store.writer.post_commit"
+)
+
+
+def updated_result():
+    """The post-update run: distinguishable from the base in every table."""
+    return build_result(num_sets=4, patterns_per_set=1)
+
+
+def base_store(store_path: Path) -> int:
+    """A store holding the base run, written without any faults."""
+    with PatternStore(store_path) as store:
+        return store.save(build_result())
+
+
+def _child_main(store_path: str) -> None:
+    """Subprocess body: apply one delta to run 1 (plan active via env)."""
+    with PatternStore(store_path) as store:
+        store.apply_delta(1, updated_result())
+
+
+def _delta_in_subprocess(store_path: Path, plan: FaultPlan) -> int:
+    plan_path = plan.save(plan.state_dir / "plan.json")
+    env = dict(os.environ)
+    env["REPRO_FAULT_PLAN"] = str(plan_path)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+    )
+    code = (
+        "from tests.faults.test_delta_crash import _child_main; "
+        f"_child_main({str(store_path)!r})"
+    )
+    return subprocess.run(
+        [sys.executable, "-c", code], cwd=str(REPO_ROOT), env=env
+    ).returncode
+
+
+def _kill_plan(state_dir: Path, site: str, occurrence: int = 0) -> FaultPlan:
+    return FaultPlan(
+        [FaultRule(site=site, action="kill", occurrences=(occurrence,))],
+        state_dir=state_dir,
+    )
+
+
+def _loaded_evaluated(store_path: Path):
+    with PatternStoreReader(store_path) as reader:
+        return reader.load_result(1).evaluated
+
+
+class TestDeltaCrashMatrix:
+    @pytest.mark.parametrize("site", PRE_COMMIT_SITES)
+    def test_kill_before_commit_keeps_old_run(self, tmp_path, site):
+        store_path = tmp_path / "store.sqlite"
+        base_store(store_path)
+        returncode = _delta_in_subprocess(
+            store_path, _kill_plan(tmp_path / "faults", site)
+        )
+        assert returncode == KILL_EXIT_CODE
+        report = verify_store(store_path)
+        assert report.ok, "\n".join(report.lines())
+        assert report.runs == 1
+        assert _loaded_evaluated(store_path) == build_result().evaluated
+
+    def test_kill_after_commit_keeps_new_run(self, tmp_path):
+        store_path = tmp_path / "store.sqlite"
+        base_store(store_path)
+        returncode = _delta_in_subprocess(
+            store_path,
+            _kill_plan(tmp_path / "faults", "store.writer.post_commit"),
+        )
+        assert returncode == KILL_EXIT_CODE
+        report = verify_store(store_path)
+        assert report.ok, "\n".join(report.lines())
+        assert report.runs == 1
+        assert _loaded_evaluated(store_path) == updated_result().evaluated
+
+    def test_fuzzed_kill_position(self, tmp_path):
+        rng = random.Random(int(os.environ.get("REPRO_FUZZ_SEED", "0")))
+        site = rng.choice(APPLY_DELTA_FAULT_SITES)
+        occurrence = rng.randrange(0, 3)
+        store_path = tmp_path / "store.sqlite"
+        base_store(store_path)
+        returncode = _delta_in_subprocess(
+            store_path, _kill_plan(tmp_path / "faults", site, occurrence)
+        )
+        assert returncode in (0, KILL_EXIT_CODE)
+        report = verify_store(store_path)
+        assert report.ok, "\n".join(report.lines())
+        assert report.runs == 1
+        # whichever side of the commit the kill landed on, the run is
+        # exactly one of the two complete states
+        assert _loaded_evaluated(store_path) in (
+            build_result().evaluated,
+            updated_result().evaluated,
+        )
+
+    def test_store_usable_after_mid_delta_crash(self, tmp_path):
+        store_path = tmp_path / "store.sqlite"
+        base_store(store_path)
+        _delta_in_subprocess(
+            store_path,
+            _kill_plan(tmp_path / "faults", "store.writer.delete_rows"),
+        )
+        with PatternStore(store_path) as store:
+            assert store.apply_delta(1, updated_result()) == 1
+        report = verify_store(store_path)
+        assert report.ok, "\n".join(report.lines())
+        assert _loaded_evaluated(store_path) == updated_result().evaluated
+
+
+class TestDeltaRetry:
+    def test_transient_lock_is_retried(self, tmp_path):
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    site="store.writer.begin",
+                    action="raise",
+                    occurrences=(1,),  # 0 fires inside the base save
+                    error="locked",
+                )
+            ]
+        )
+        store_path = tmp_path / "store.sqlite"
+        with installed(plan):
+            with PatternStore(store_path) as store:
+                run_id = store.save(build_result())
+                store.apply_delta(run_id, updated_result())
+                assert store.last_save_retries == 1
+        assert verify_store(store_path).ok
+        assert _loaded_evaluated(store_path) == updated_result().evaluated
+
+    def test_non_transient_error_rolls_back_to_old_run(self, tmp_path):
+        store_path = tmp_path / "store.sqlite"
+        base_store(store_path)
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    site="store.writer.set_row",
+                    action="raise",
+                    occurrences=(0,),
+                    error="io",
+                )
+            ]
+        )
+        with installed(plan):
+            with PatternStore(store_path) as store:
+                with pytest.raises(OSError):
+                    store.apply_delta(1, updated_result())
+                assert store.last_save_retries == 0
+        report = verify_store(store_path)
+        assert report.ok, "\n".join(report.lines())
+        assert _loaded_evaluated(store_path) == build_result().evaluated

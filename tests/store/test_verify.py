@@ -139,6 +139,47 @@ class TestStoreLevelCorruption:
         )
 
 
+class TestDiedMidDelta:
+    """A store whose writer died inside ``apply_delta`` must triage clean:
+    the transaction either rolled back (old run intact) or committed
+    (new run intact), and ``scpm verify-store`` exits 0 either way."""
+
+    @pytest.mark.parametrize(
+        "site", ["store.writer.delete_rows", "store.writer.commit"]
+    )
+    def test_killed_before_commit_verifies_clean(self, tmp_path, site):
+        from repro.faults import KILL_EXIT_CODE
+        from tests.faults.test_delta_crash import (
+            _delta_in_subprocess,
+            _kill_plan,
+            base_store,
+        )
+
+        path = tmp_path / "store.sqlite"
+        base_store(path)
+        assert (
+            _delta_in_subprocess(path, _kill_plan(tmp_path / "faults", site))
+            == KILL_EXIT_CODE
+        )
+        report = verify_store(path)
+        assert report.ok, "\n".join(report.lines())
+        assert report.runs == 1
+        assert main(["verify-store", "--store", str(path), "--quiet"]) == 0
+
+    def test_torn_delta_is_flagged(self, tmp_path):
+        """If a buggy delta DID tear (simulated by deleting listing rows
+        outside any transaction discipline), verify must catch it."""
+        from tests.faults.test_delta_crash import base_store
+
+        path = tmp_path / "store.sqlite"
+        base_store(path)
+        with sqlite3.connect(path) as connection:
+            connection.execute("DELETE FROM epsilon_listing WHERE rank = 1")
+        report = verify_store(path)
+        assert not report.ok
+        assert main(["verify-store", "--store", str(path)]) == 1
+
+
 class TestVerifyStoreCli:
     def test_clean_store_exits_zero(self, saved_store, capsys):
         assert main(["verify-store", "--store", str(saved_store)]) == 0
