@@ -34,6 +34,7 @@ from repro.correlation.structural import structural_correlation
 from repro.datasets.synthetic import CommunitySpec, SyntheticSpec, generate
 from repro.itemsets.eclat import EclatConfig, EclatMiner
 from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.kernel import numpy_available
 from repro.quasiclique.search import QuasiCliqueSearch
 from repro.serve import PatternStoreReader
 from repro.store import PatternStore
@@ -129,6 +130,37 @@ def run_grid(scale: float, jobs_grid, engines, schedules):
             )
         )
 
+    # Counter-lane backend rows: the same dense coverage search once per
+    # kernel backend, each row labelled with the resolved backend/dtype
+    # (``bigint`` / ``numpy(uint8)`` / ``numpy(uint16)``) so the
+    # trajectory attributes kernel perf moves to the lane representation.
+    # The ≥3× acceptance bar lives in bench_numpy_kernel.py's wide
+    # workload; this graph is deliberately the small trajectory one.
+    for backend in ("bigint", "numpy"):
+        if backend == "numpy" and not numpy_available():
+            continue
+        # kernel forced: the γ=0.6 auto rule would keep the oracle on this
+        # small graph and leave the backend label empty
+        search = QuasiCliqueSearch(
+            graph,
+            qc,
+            engine="dense",
+            use_incremental_kernel=True,
+            kernel_backend=backend,
+        )
+        seconds = timed(search.covered_mask)
+        entries.append(
+            entry(
+                "coverage_kernel_backend",
+                graph,
+                seconds,
+                engine="dense",
+                kernel_backend=search.stats.kernel_backend_label(),
+                nodes_expanded=search.stats.nodes_expanded,
+                counter_updates=search.stats.counter_updates,
+            )
+        )
+
     for engine in engines:
         for n_jobs in jobs_grid:
             for schedule in schedules if n_jobs > 1 else (schedules[0],):
@@ -160,6 +192,7 @@ def run_grid(scale: float, jobs_grid, engines, schedules):
                         memo_hits=counters.coverage_memo_hits,
                         memo_misses=counters.coverage_memo_misses,
                         kernel_counter_updates=counters.kernel_counter_updates,
+                        kernel_backends=dict(counters.kernel_backends),
                     )
                 )
 

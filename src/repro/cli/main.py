@@ -50,9 +50,10 @@ patches an existing stored run instead.
 streaming ingest (:mod:`repro.graph.streaming`): the files are folded
 straight into the sparse bitset index, so the whole
 file → stream → (parallel) scheduler → results path never materialises a
-hashed ``AttributedGraph``.  ``--engine`` and ``--jobs`` select the
-vertex-set engine and the worker-process count on either path; the mined
-output is byte-identical regardless of loader, engine or job count.
+hashed ``AttributedGraph``.  ``--engine``, ``--kernel-backend`` and
+``--jobs`` select the vertex-set engine, the search-kernel counter-lane
+backend and the worker-process count on either path; the mined output is
+byte-identical regardless of loader, engine, kernel backend or job count.
 """
 
 from __future__ import annotations
@@ -70,6 +71,7 @@ from repro.graph.engine import ENGINES
 from repro.graph.io import read_attributed_graph
 from repro.graph.statistics import summarize
 from repro.graph.streaming import stream_attributed_graph
+from repro.quasiclique.kernel import KERNEL_BACKENDS
 from repro.quasiclique.search import BFS, DFS
 
 
@@ -286,6 +288,14 @@ def _add_mining_arguments(
         "or auto selection by graph shape (default: auto, or the profile's)",
     )
     parser.add_argument(
+        "--kernel-backend",
+        choices=KERNEL_BACKENDS,
+        default=None,
+        help="counter-lane backend of the incremental search kernel: "
+        "big-int SWAR lanes, vectorized numpy lanes, or auto selection "
+        "by working-set size (default: auto, or the profile's)",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -304,7 +314,8 @@ def _add_mining_arguments(
         "--verbose",
         action="store_true",
         help="also print the work counters (attribute-set pruning, "
-        "coverage-memo hits/misses, incremental-kernel counter updates)",
+        "coverage-memo hits/misses, incremental-kernel counter updates "
+        "and the per-backend search tally)",
     )
     parser.add_argument(
         "--store",
@@ -336,6 +347,7 @@ def _params_from_args(args: argparse.Namespace, defaults: Optional[SCPMParams]) 
         ),
         order=args.order,
         engine=pick("engine", base.engine),
+        kernel_backend=pick("kernel_backend", base.kernel_backend),
         n_jobs=pick("jobs", base.n_jobs),
     )
 
@@ -409,8 +421,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"counters: qualified={c.attribute_sets_qualified} "
                 f"extended={c.attribute_sets_extended} pruned={c.attribute_sets_pruned}"
             )
+            backends = (
+                " ".join(
+                    f"{label}={count}"
+                    for label, count in sorted(c.kernel_backends.items())
+                )
+                or "none"
+            )
             print(
-                f"kernel: counter_updates={c.kernel_counter_updates}  "
+                f"kernel: counter_updates={c.kernel_counter_updates} "
+                f"backends[searches]: {backends}  "
                 f"coverage memo: hits={c.coverage_memo_hits} "
                 f"misses={c.coverage_memo_misses}"
             )

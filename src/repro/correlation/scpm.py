@@ -424,6 +424,7 @@ class SCPM:
             order=params.order,
             candidate_vertices=candidate_vertices,
             engine=params.engine,
+            kernel_backend=params.kernel_backend,
             memo=self.coverage_memo,
             counters=counters,
         )
@@ -446,6 +447,7 @@ class SCPM:
                     order=params.order,
                     candidate_vertices=covered,
                     engine=params.engine,
+                    kernel_backend=params.kernel_backend,
                 )
             )
 
@@ -485,6 +487,12 @@ def _accumulate_counters(target: MiningCounters, source: MiningCounters) -> None
     """Add every work counter of ``source`` into ``target`` (not the wall time)."""
     for field in fields(MiningCounters):
         if field.name == "elapsed_seconds":
+            continue
+        if field.name == "kernel_backends":
+            for label, count in source.kernel_backends.items():
+                target.kernel_backends[label] = (
+                    target.kernel_backends.get(label, 0) + count
+                )
             continue
         setattr(target, field.name, getattr(target, field.name) + getattr(source, field.name))
 

@@ -38,6 +38,7 @@ def structural_correlation_bitset(
     order: str = DFS,
     candidate_vertices: VertexRestriction = None,
     engine: str = "auto",
+    kernel_backend: str = "auto",
     memo: Optional[CoverageMemo] = None,
     counters=None,
 ) -> Tuple[float, VertexBitset]:
@@ -55,7 +56,11 @@ def structural_correlation_bitset(
     covered set is a pure function of ``(working set, γ, min_size)``, so
     a hit returns byte-identical output without constructing a search.
     ``counters`` (a :class:`~repro.correlation.patterns.MiningCounters`)
-    receives the memo hit/miss and kernel instrumentation.
+    receives the memo hit/miss and kernel instrumentation, including a
+    per-backend tally of kernel-driven coverage searches keyed by
+    ``"bigint"`` / ``"numpy(uint8)"`` / ``"numpy(uint16)"`` labels;
+    ``kernel_backend`` selects the counter-lane backend (see
+    :func:`repro.quasiclique.kernel.resolve_kernel_backend`).
     """
     index = graph.bitset_index(engine)
     members = index.members_mask(attributes)
@@ -68,7 +73,14 @@ def structural_correlation_bitset(
     if working.bit_count() < params.min_size:
         return 0.0, index.bitset(0)
     covered, search = covered_native(
-        graph, params, index, working, order=order, engine=engine, memo=memo
+        graph,
+        params,
+        index,
+        working,
+        order=order,
+        engine=engine,
+        kernel_backend=kernel_backend,
+        memo=memo,
     )
     if counters is not None:
         if search is None:
@@ -77,6 +89,11 @@ def structural_correlation_bitset(
             if memo is not None:
                 counters.coverage_memo_misses += 1
             counters.kernel_counter_updates += search.stats.counter_updates
+            label = search.stats.kernel_backend_label()
+            if label:
+                counters.kernel_backends[label] = (
+                    counters.kernel_backends.get(label, 0) + 1
+                )
     return covered.bit_count() / members.bit_count(), index.bitset(covered)
 
 
@@ -87,6 +104,7 @@ def covered_native(
     working,
     order: str = DFS,
     engine: str = "auto",
+    kernel_backend: str = "auto",
     memo: Optional[CoverageMemo] = None,
 ):
     """Covered set of one working set as an engine native, memo-aware.
@@ -104,7 +122,12 @@ def covered_native(
         if cached is not None:
             return cached, None
     search = QuasiCliqueSearch(
-        graph, params, vertices=index.bitset(working), order=order, engine=engine
+        graph,
+        params,
+        vertices=index.bitset(working),
+        order=order,
+        engine=engine,
+        kernel_backend=kernel_backend,
     )
     covered = search.covered_to_global(search.covered_mask(), index)
     if memo is not None:
@@ -171,6 +194,7 @@ def coverage_search(
     order: str = DFS,
     candidate_vertices: VertexRestriction = None,
     engine: str = "auto",
+    kernel_backend: str = "auto",
 ) -> QuasiCliqueSearch:
     """Build (without running) the coverage search object for ``G(S)``.
 
@@ -185,7 +209,12 @@ def coverage_search(
         else index.working_mask(candidate_vertices) & members
     )
     return QuasiCliqueSearch(
-        graph, params, vertices=index.bitset(working), order=order, engine=engine
+        graph,
+        params,
+        vertices=index.bitset(working),
+        order=order,
+        engine=engine,
+        kernel_backend=kernel_backend,
     )
 
 
@@ -197,6 +226,7 @@ def top_k_patterns(
     order: str = DFS,
     candidate_vertices: VertexRestriction = None,
     engine: str = "auto",
+    kernel_backend: str = "auto",
 ) -> List[StructuralCorrelationPattern]:
     """Return the top-``k`` structural correlation patterns induced by ``S``.
 
@@ -214,7 +244,12 @@ def top_k_patterns(
         else index.working_mask(candidate_vertices) & members
     )
     search = QuasiCliqueSearch(
-        graph, params, vertices=index.bitset(working), order=order, engine=engine
+        graph,
+        params,
+        vertices=index.bitset(working),
+        order=order,
+        engine=engine,
+        kernel_backend=kernel_backend,
     )
     return [
         StructuralCorrelationPattern(

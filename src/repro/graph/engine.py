@@ -24,6 +24,11 @@ output (enforced by the differential suite in
 :class:`VertexSetEngine` is the structural protocol both index classes
 satisfy; code that consumes an index should depend on it, not on a concrete
 class.
+
+Orthogonal to the dense/sparse *engine* choice, the sparse engine's chunk
+algebra has its own swappable *chunk-op backend* (big-int reference loops
+vs the vectorised numpy path) — see :mod:`repro.graph.chunkops`, whose
+selection helpers are re-exported here for discoverability.
 """
 
 from __future__ import annotations
@@ -42,6 +47,12 @@ from typing import (
 )
 
 from repro.errors import EngineError
+from repro.graph.chunkops import (
+    CHUNK_BACKENDS,
+    CHUNK_BACKEND_ENV,
+    resolve_chunk_backend,
+    set_chunk_backend,
+)
 
 Vertex = Hashable
 Attribute = Hashable
@@ -174,6 +185,8 @@ def dense_index_payload_bytes(num_vertices: int) -> int:
 
 __all__ = [
     "AUTO",
+    "CHUNK_BACKENDS",
+    "CHUNK_BACKEND_ENV",
     "DENSE",
     "ENGINES",
     "LOCAL_DENSE_FAST_PATH_MAX",
@@ -182,5 +195,7 @@ __all__ = [
     "SPARSE_VERTEX_THRESHOLD",
     "VertexSetEngine",
     "dense_index_payload_bytes",
+    "resolve_chunk_backend",
     "resolve_engine",
+    "set_chunk_backend",
 ]

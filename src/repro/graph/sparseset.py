@@ -31,6 +31,15 @@ Three layers mirror :mod:`repro.graph.vertexset` exactly:
   per-attribute holder sets are chunked containers, and dense masks are
   materialised only inside the degree-ranked local id space of a single
   quasi-clique search (:meth:`SparseGraphBitsetIndex.local_adjacency`).
+
+The bulk set algebra (``& | ^``, and-not, intersection counts, subset and
+disjointness tests) is delegated to a swappable *chunk-op backend* in
+:mod:`repro.graph.chunkops`: the big-int reference loops, or a vectorised
+numpy path that stacks shared 1024-bit chunks into ``uint64`` matrices.
+Both backends emit identical canonical containers, so everything above
+this module is backend-oblivious; selection is process-global via the
+``REPRO_CHUNK_BACKEND`` environment variable (see
+:func:`repro.graph.chunkops.resolve_chunk_backend`).
 """
 
 from __future__ import annotations
@@ -49,48 +58,22 @@ from typing import (
 )
 
 from repro.errors import IndexerMismatchError
+from repro.graph.chunkops import (
+    ARRAY_MAX,
+    CHUNK_BITS,
+    Container,
+    canonical as _canonical,
+    container_bits as _container_bits,
+    container_count as _container_count,
+    get_chunk_backend,
+)
 from repro.graph.engine import LOCAL_DENSE_FAST_PATH_MAX
 from repro.graph.vertexset import VertexIndexer, iter_bits
 
 Vertex = Hashable
 Attribute = Hashable
 
-#: Width of one chunk in bits.  1024 keeps bitmap containers at 16 machine
-#: words — small enough that a single populated block wastes little, large
-#: enough that dense regions collapse into a handful of int operations.
-CHUNK_BITS = 1024
-
-#: Array/bitmap promotion boundary: a chunk with at most this many ids is
-#: stored as a sorted offset tuple, above it as a CHUNK_BITS-bit int.
-ARRAY_MAX = 32
-
 _CHUNK_MASK = (1 << CHUNK_BITS) - 1
-
-# A container is either a sorted tuple of offsets (array) or an int (bitmap).
-Container = Union[int, Tuple[int, ...]]
-
-
-def _container_bits(container: Container) -> int:
-    """Bitmap form of a container (chunk-local)."""
-    if isinstance(container, int):
-        return container
-    bits = 0
-    for offset in container:
-        bits |= 1 << offset
-    return bits
-
-
-def _canonical(bits: int) -> Container:
-    """Canonical container for a non-zero chunk bitmap."""
-    if bits.bit_count() <= ARRAY_MAX:
-        return tuple(iter_bits(bits))
-    return bits
-
-
-def _container_count(container: Container) -> int:
-    if isinstance(container, int):
-        return container.bit_count()
-    return len(container)
 
 
 class SparseBitset:
@@ -194,51 +177,30 @@ class SparseBitset:
         return offset in container
 
     # -- algebra --------------------------------------------------------
+    # Every bulk operation delegates to the process-global chunk-op
+    # backend (repro.graph.chunkops): either the big-int reference loops
+    # or the vectorised numpy path.  Backends return canonical containers,
+    # so the results wrap straight into SparseBitset.
     def __and__(self, other: "SparseBitset") -> "SparseBitset":
         if not isinstance(other, SparseBitset):
             return NotImplemented
-        small, big = self._chunks, other._chunks
-        if len(big) < len(small):
-            small, big = big, small
-        chunks: Dict[int, Container] = {}
-        for chunk, container in small.items():
-            other_container = big.get(chunk)
-            if other_container is None:
-                continue
-            bits = _container_bits(container) & _container_bits(other_container)
-            if bits:
-                chunks[chunk] = _canonical(bits)
-        return SparseBitset(chunks)
+        return SparseBitset(
+            get_chunk_backend().and_chunks(self._chunks, other._chunks)
+        )
 
     def __or__(self, other: "SparseBitset") -> "SparseBitset":
         if not isinstance(other, SparseBitset):
             return NotImplemented
-        chunks: Dict[int, Container] = dict(self._chunks)
-        for chunk, container in other._chunks.items():
-            existing = chunks.get(chunk)
-            if existing is None:
-                chunks[chunk] = container
-            else:
-                chunks[chunk] = _canonical(
-                    _container_bits(existing) | _container_bits(container)
-                )
-        return SparseBitset(chunks)
+        return SparseBitset(
+            get_chunk_backend().or_chunks(self._chunks, other._chunks)
+        )
 
     def __xor__(self, other: "SparseBitset") -> "SparseBitset":
         if not isinstance(other, SparseBitset):
             return NotImplemented
-        chunks: Dict[int, Container] = dict(self._chunks)
-        for chunk, container in other._chunks.items():
-            existing = chunks.get(chunk)
-            if existing is None:
-                chunks[chunk] = container
-            else:
-                bits = _container_bits(existing) ^ _container_bits(container)
-                if bits:
-                    chunks[chunk] = _canonical(bits)
-                else:
-                    del chunks[chunk]
-        return SparseBitset(chunks)
+        return SparseBitset(
+            get_chunk_backend().xor_chunks(self._chunks, other._chunks)
+        )
 
     def andnot(self, other: "SparseBitset") -> "SparseBitset":
         """Set difference ``self \\ other`` (the chunked twin of ``a & ~b``)."""
@@ -246,16 +208,9 @@ class SparseBitset:
             raise TypeError(
                 f"andnot expects a SparseBitset, got {type(other).__name__}"
             )
-        chunks: Dict[int, Container] = {}
-        for chunk, container in self._chunks.items():
-            other_container = other._chunks.get(chunk)
-            if other_container is None:
-                chunks[chunk] = container
-                continue
-            bits = _container_bits(container) & ~_container_bits(other_container)
-            if bits:
-                chunks[chunk] = _canonical(bits)
-        return SparseBitset(chunks)
+        return SparseBitset(
+            get_chunk_backend().andnot_chunks(self._chunks, other._chunks)
+        )
 
     def __sub__(self, other: object) -> "SparseBitset":
         if not isinstance(other, SparseBitset):
@@ -264,40 +219,17 @@ class SparseBitset:
 
     def intersection_count(self, other: "SparseBitset") -> int:
         """``|self ∩ other|`` without materialising the intersection."""
-        small, big = self._chunks, other._chunks
-        if len(big) < len(small):
-            small, big = big, small
-        count = 0
-        for chunk, container in small.items():
-            other_container = big.get(chunk)
-            if other_container is not None:
-                count += (
-                    _container_bits(container) & _container_bits(other_container)
-                ).bit_count()
-        return count
+        return get_chunk_backend().intersection_count(
+            self._chunks, other._chunks
+        )
 
     def isdisjoint(self, other: "SparseBitset") -> bool:
         """``True`` when the two sets share no element."""
-        small, big = self._chunks, other._chunks
-        if len(big) < len(small):
-            small, big = big, small
-        for chunk, container in small.items():
-            other_container = big.get(chunk)
-            if other_container is not None and _container_bits(
-                container
-            ) & _container_bits(other_container):
-                return False
-        return True
+        return get_chunk_backend().isdisjoint(self._chunks, other._chunks)
 
     def issubset(self, other: "SparseBitset") -> bool:
         """``True`` when every element of ``self`` is in ``other``."""
-        for chunk, container in self._chunks.items():
-            other_container = other._chunks.get(chunk)
-            if other_container is None:
-                return False
-            if _container_bits(container) & ~_container_bits(other_container):
-                return False
-        return True
+        return get_chunk_backend().issubset(self._chunks, other._chunks)
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, SparseBitset):

@@ -68,13 +68,28 @@ the from-scratch oracle (enforced by the differential fuzz grid with
 The 16-bit lanes bound the local id space at :data:`KERNEL_MAX_VERTICES`
 vertices per search — far above any working set the searches materialise
 dense local masks for; :class:`~repro.quasiclique.search.QuasiCliqueSearch`
-falls back to the oracle loop beyond it.
+falls back to the oracle loop beyond it (or raises
+:class:`~repro.errors.KernelCapacityError` when the kernel was forced).
+
+This module is also the home of the **kernel backend seam**: this class
+(``"bigint"``) and :class:`repro.quasiclique.kernel_numpy.NumpySearchKernel`
+(``"numpy"`` — the counter lanes as a numpy array, retirement and threshold
+rules as bulk vector ops) implement the same node/method surface, and
+:func:`make_search_kernel` picks one per search by explicit name, the
+``REPRO_KERNEL_BACKEND`` environment override, or the working-set-size
+heuristic.  A future native (C/Cython) backend slots in by implementing the
+same surface and claiming a name in :data:`KERNEL_BACKENDS` — callers only
+ever go through the factory.  Whatever the backend, the mined output is
+byte-identical: the big-int path doubles as the differential oracle the
+numpy backend is fuzzed against.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import KernelCapacityError, ParameterError
 from repro.quasiclique.definitions import QuasiCliqueParams
 from repro.quasiclique.pruning import MaskDistanceIndex
 
@@ -98,6 +113,36 @@ _SMALL_SET = 8
 #: dominate the many small searches SCPM issues.  γ < 0.5 searches — no
 #: usable diameter bound, fat candidate sets — always profit.
 KERNEL_AUTO_MIN_VERTICES = 256
+
+#: Kernel backend names accepted by :func:`make_search_kernel`,
+#: ``SCPMParams.kernel_backend`` and the ``--kernel-backend`` CLI flag.
+BIGINT_BACKEND = "bigint"
+NUMPY_BACKEND = "numpy"
+KERNEL_BACKENDS = ("auto", BIGINT_BACKEND, NUMPY_BACKEND)
+
+#: Environment override consulted by ``"auto"`` backend resolution —
+#: set to ``bigint`` or ``numpy`` to force a backend without touching
+#: parameters (mirrors ``REPRO_FUZZ_SEED``'s role in the fuzz suites).
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+#: Working sets at or below this size keep ``uint8`` counter lanes on the
+#: numpy backend: counters never exceed n-1 ≤ 126, comfortably inside the
+#: dtype, and the arrays are half the width of ``uint16``.
+NUMPY_UINT8_MAX_VERTICES = 127
+
+#: ``uint16`` lanes mirror the big-int kernel's 16-bit lane bound so both
+#: backends refuse the same working sets and auto-selection needs one check.
+NUMPY_UINT16_MAX_VERTICES = KERNEL_MAX_VERTICES
+
+#: Below this working-set size ``"auto"`` keeps the big-int backend even
+#: when numpy is importable: per-call numpy dispatch overhead (~1 µs per
+#: array op, and a few dozen ops per node) beats the few-machine-word
+#: big-int lane arithmetic until the counter vectors are wide.  Measured
+#: on planted-community coverage searches the crossover sits around
+#: 1 000–1 200 working vertices (0.5× at n=300, 1.1× at n=1500, 2.6× at
+#: n=3000), so the threshold is set just below it.  Mirrors the PR 5
+#: kernel/oracle heuristic (:data:`KERNEL_AUTO_MIN_VERTICES`).
+NUMPY_AUTO_MIN_VERTICES = 1024
 
 #: ``_SPREAD_BYTES[b]`` is byte value ``b`` expanded to eight 16-bit
 #: lanes (little-endian) — the building block that turns an adjacency
@@ -205,8 +250,14 @@ class SearchKernel:
 
     #: Test seam — see class docstring.  Class-level so the property suite
     #: can observe every kernel a search builds without threading a
-    #: parameter through the public API.
+    #: parameter through the public API.  The numpy backend consults the
+    #: same attribute, so one hook observes every backend.
     debug_hook: Optional[Callable[["SearchKernel", KernelNode], None]] = None
+
+    #: Backend identity reported in stats/counters — the name from
+    #: :data:`KERNEL_BACKENDS` plus the lane representation.
+    backend_label = BIGINT_BACKEND
+    dtype_name = "int"
 
     def __init__(
         self,
@@ -217,10 +268,7 @@ class SearchKernel:
     ) -> None:
         n = len(adjacency)
         if n > KERNEL_MAX_VERTICES:
-            raise ValueError(
-                f"search kernel supports at most {KERNEL_MAX_VERTICES} working "
-                f"vertices, got {n}"
-            )
+            raise KernelCapacityError(n, KERNEL_MAX_VERTICES, BIGINT_BACKEND)
         self.adjacency = adjacency
         self.params = params
         self.distance_index = distance_index
@@ -492,11 +540,98 @@ class SearchKernel:
         ]
 
 
+# ----------------------------------------------------------------------
+# backend seam
+# ----------------------------------------------------------------------
+def numpy_available() -> bool:
+    """Whether the numpy kernel backend can be constructed here."""
+    try:
+        from repro.quasiclique import kernel_numpy
+    except Exception:  # pragma: no cover - import guard
+        return False
+    return kernel_numpy.HAVE_NUMPY
+
+
+def resolve_kernel_backend(backend: str, num_vertices: int) -> str:
+    """Resolve a backend request to ``"bigint"`` or ``"numpy"``.
+
+    ``"auto"`` consults the :data:`KERNEL_BACKEND_ENV` environment variable
+    first (``bigint``/``numpy`` force that backend, ``auto``/unset continue),
+    then picks by working-set size: numpy once the counter vectors are wide
+    enough that bulk ops beat big-int lane arithmetic
+    (≥ :data:`NUMPY_AUTO_MIN_VERTICES` vertices, and within the numpy lane
+    capacity), big-int otherwise.  Unknown names raise
+    :class:`repro.errors.ParameterError`.
+    """
+    if backend not in KERNEL_BACKENDS:
+        raise ParameterError(
+            f"kernel backend must be one of {KERNEL_BACKENDS}, got {backend!r}"
+        )
+    if backend == "auto":
+        env = os.environ.get(KERNEL_BACKEND_ENV, "").strip()
+        if env and env != "auto":
+            if env not in KERNEL_BACKENDS:
+                raise ParameterError(
+                    f"{KERNEL_BACKEND_ENV} must be one of {KERNEL_BACKENDS}, "
+                    f"got {env!r}"
+                )
+            backend = env
+    if backend != "auto":
+        return backend
+    if (
+        NUMPY_AUTO_MIN_VERTICES <= num_vertices <= NUMPY_UINT16_MAX_VERTICES
+        and numpy_available()
+    ):
+        return NUMPY_BACKEND
+    return BIGINT_BACKEND
+
+
+def make_search_kernel(
+    adjacency: Sequence[int],
+    params: QuasiCliqueParams,
+    distance_index: Optional[MaskDistanceIndex],
+    stats,
+    backend: str = "auto",
+):
+    """Construct the search kernel the resolved backend names.
+
+    The single construction point for every backend — the search loop and
+    any later native extension meet here, so callers never name a concrete
+    kernel class.  Raises :class:`~repro.errors.KernelCapacityError` when
+    the working set exceeds the resolved backend's lane capacity and
+    :class:`~repro.errors.ParameterError` for unknown backend names (or an
+    explicit ``"numpy"`` request without numpy importable).
+    """
+    resolved = resolve_kernel_backend(backend, len(adjacency))
+    if resolved == NUMPY_BACKEND:
+        from repro.quasiclique import kernel_numpy
+
+        if not kernel_numpy.HAVE_NUMPY:
+            raise ParameterError(
+                "kernel backend 'numpy' requested but numpy is not importable"
+            )
+        return kernel_numpy.NumpySearchKernel(
+            adjacency, params, distance_index, stats
+        )
+    return SearchKernel(adjacency, params, distance_index, stats)
+
+
 __all__ = [
+    "BIGINT_BACKEND",
+    "KERNEL_AUTO_MIN_VERTICES",
+    "KERNEL_BACKENDS",
+    "KERNEL_BACKEND_ENV",
     "KERNEL_MAX_VERTICES",
     "KernelNode",
     "LANE_BITS",
+    "NUMPY_AUTO_MIN_VERTICES",
+    "NUMPY_BACKEND",
+    "NUMPY_UINT8_MAX_VERTICES",
+    "NUMPY_UINT16_MAX_VERTICES",
     "SearchKernel",
+    "make_search_kernel",
+    "numpy_available",
+    "resolve_kernel_backend",
     "spread_lanes",
     "threshold_table",
 ]

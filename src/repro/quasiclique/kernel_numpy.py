@@ -1,0 +1,406 @@
+"""Numpy-vectorized search-kernel backend (``"numpy"``).
+
+The big-int :class:`~repro.quasiclique.kernel.SearchKernel` packs the
+``indeg_ext`` counter table into 16-bit lanes of one arbitrary-precision
+integer and runs every rule as a handful of big-int operations.  CPython
+executes those operations as scalar 30-bit-digit loops with carry
+propagation; this backend stores the same counter table as a numpy array —
+one unsigned lane per working vertex — so the identical rules run through
+numpy's SIMD bulk kernels instead:
+
+* vertex retirement (the sibling sweep of :meth:`NumpySearchKernel.children`
+  and the candidate drops of :meth:`NumpySearchKernel._remove`) is a
+  vectorized neighbourhood subtraction — one running sum over the retired
+  rows of the 0/1 adjacency matrix produces *every* sibling's counter
+  vector in one batch, where the big-int kernel subtracts per sibling;
+* the threshold rules (candidate filter, hopelessness, lookahead) are one
+  vectorized compare ``ext_vec < required`` plus a boolean mask-reduce,
+  replacing the SWAR borrow trick.
+
+Lane-width specialisation is dtype selection: working sets of at most
+:data:`~repro.quasiclique.kernel.NUMPY_UINT8_MAX_VERTICES` vertices use
+``uint8`` lanes (counters are bounded by n-1, so 8 bits suffice with
+headroom), larger ones ``uint16`` up to the same 32767-vertex bound as the
+big-int lanes — both backends refuse exactly the same working sets, with a
+typed :class:`~repro.errors.KernelCapacityError`.
+
+The method surface, node life cycle, traversal order, counter accounting
+and pruning fixpoints replicate :class:`SearchKernel` exactly — the big-int
+path is the differential oracle, and the fuzz grids assert byte-identical
+mining output and search statistics across backends.  The test seam is
+shared too: ``SearchKernel.debug_hook`` (when set) observes this backend's
+nodes after every :meth:`restrict`, and :meth:`unpack` /
+:meth:`recompute_counters` provide the same invariant probes.
+
+Node state differs from the big-int node only in representation:
+``ext_vec`` is an ``(n,)`` array in the selected dtype; everything else
+(member tuples, int masks) is byte-for-byte the big-int node's, so the
+search loop, the distance rule and the memo keys stay representation-blind.
+Boolean membership arrays are derived on demand from the int masks (one
+``unpackbits`` — microseconds at the lane bound) instead of being carried
+on nodes; profiling showed maintaining them in lockstep cost more than
+rebuilding them at the handful of vectorized decision points.  Counter
+arrays are never mutated across nodes: a child either owns a fresh row of
+the batch-computed sweep matrix or (the first child) aliases its parent's
+vector, which is dead by then — the same zero-copy sharing discipline as
+the immutable big-int lane vectors.
+
+Import of numpy is guarded (:data:`HAVE_NUMPY`): the module always
+imports, and :func:`repro.quasiclique.kernel.make_search_kernel` falls
+back to (or refuses with a typed error, for explicit requests) the big-int
+backend when numpy is missing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised only on numpy-less installs
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+from repro.errors import KernelCapacityError
+from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.kernel import (
+    NUMPY_BACKEND,
+    NUMPY_UINT8_MAX_VERTICES,
+    NUMPY_UINT16_MAX_VERTICES,
+    SearchKernel,
+    _SMALL_SET,
+    threshold_table,
+)
+from repro.quasiclique.pruning import MaskDistanceIndex
+
+#: Sibling batches with at most this many *cells* (siblings × lanes) use
+#: ``np.cumsum`` for the retirement sweep; larger batches run an explicit
+#: row loop — one in-place SIMD row add per retired sibling — because
+#: ``add.accumulate`` along axis 0 degenerates to a scalar per-column loop
+#: (measured ~15x slower at 3000x3000 lanes).
+_CUMSUM_CELLS_MAX = 1 << 15
+
+
+class NumpyKernelNode:
+    """One search-tree node with its counters in a numpy lane array.
+
+    ``members``/``members_mask``/``candidates`` are exactly the big-int
+    node's fields (tuples and int masks — the search loop is agnostic);
+    ``ext_vec`` holds ``|N(v) ∩ scope|`` for every working vertex in the
+    kernel's dtype.
+    """
+
+    __slots__ = ("members", "members_mask", "candidates", "ext_vec")
+
+    def __init__(
+        self,
+        members: Tuple[int, ...],
+        members_mask: int,
+        candidates: int,
+        ext_vec,
+    ) -> None:
+        self.members = members
+        self.members_mask = members_mask
+        self.candidates = candidates
+        self.ext_vec = ext_vec
+
+
+class NumpySearchKernel:
+    """Vectorized twin of :class:`~repro.quasiclique.kernel.SearchKernel`.
+
+    Same constructor signature, same method surface, same statistics —
+    see the module docstring for the representation differences.  One
+    kernel serves one search; ``stats.counter_updates`` accounts one unit
+    per neighbour lane touched, exactly like the big-int backend, so the
+    instrumentation the benchmarks report stays comparable.
+    """
+
+    __slots__ = (
+        "adjacency",
+        "params",
+        "distance_index",
+        "stats",
+        "dtype_name",
+        "_thresholds",
+        "_dtype",
+        "_n",
+        "_spread",
+        "_degrees",
+        "_root_ext",
+    )
+
+    backend_label = NUMPY_BACKEND
+
+    def __init__(
+        self,
+        adjacency: Sequence[int],
+        params: QuasiCliqueParams,
+        distance_index: Optional[MaskDistanceIndex],
+        stats,
+    ) -> None:
+        n = len(adjacency)
+        if n > NUMPY_UINT16_MAX_VERTICES:
+            raise KernelCapacityError(n, NUMPY_UINT16_MAX_VERTICES, NUMPY_BACKEND)
+        self.adjacency = adjacency
+        self.params = params
+        self.distance_index = distance_index
+        self.stats = stats
+        self._n = n
+        self._thresholds = threshold_table(params, max(n + 1, params.min_size))
+        if n <= NUMPY_UINT8_MAX_VERTICES:
+            self._dtype = np.uint8
+            self.dtype_name = "uint8"
+        else:
+            self._dtype = np.uint16
+            self.dtype_name = "uint16"
+        self._degrees = [mask.bit_count() for mask in adjacency]
+        if n:
+            nbytes = (n + 7) // 8
+            buf = b"".join(mask.to_bytes(nbytes, "little") for mask in adjacency)
+            packed = np.frombuffer(buf, dtype=np.uint8).reshape(n, nbytes)
+            bits = np.unpackbits(packed, axis=1, count=n, bitorder="little")
+            # 0/1 adjacency rows in the lane dtype: row u is SPREAD[u].
+            self._spread = np.ascontiguousarray(bits, dtype=self._dtype)
+        else:
+            self._spread = np.zeros((0, 0), dtype=self._dtype)
+        self._root_ext = np.array(self._degrees, dtype=self._dtype)
+
+    # ------------------------------------------------------------------
+    # mask ↔ array conversion
+    # ------------------------------------------------------------------
+    def _mask_to_bool(self, mask: int):
+        """Boolean membership array of an int bit mask (ascending ids)."""
+        n = self._n
+        raw = mask.to_bytes((n + 7) // 8, "little")
+        return np.unpackbits(
+            np.frombuffer(raw, dtype=np.uint8), count=n, bitorder="little"
+        ).view(np.bool_)
+
+    @staticmethod
+    def _bool_to_mask(flags) -> int:
+        """Int bit mask of a boolean membership array."""
+        return int.from_bytes(
+            np.packbits(flags, bitorder="little").tobytes(), "little"
+        )
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+    def root(self) -> NumpyKernelNode:
+        """The root node: empty X, every vertex a candidate."""
+        n = self._n
+        self.stats.counter_updates += n
+        return NumpyKernelNode((), 0, (1 << n) - 1, self._root_ext.copy())
+
+    def children(self, node: NumpyKernelNode) -> List[NumpyKernelNode]:
+        """Expand a node into its set-enumeration children.
+
+        Identical tree to the big-int kernel (ascending local id order,
+        candidates above the extension).  All sibling sweep vectors come
+        from **one** batched computation — a running sum over the retired
+        candidates' adjacency rows, subtracted from the parent vector —
+        so child ``i`` owns row ``i-1`` of the result, and child 0 aliases
+        the parent's vector, which is never used again.  Values stay
+        ≤ n-1 throughout, inside the lane dtype, so no accumulator
+        widening is needed.
+        """
+        idx = np.flatnonzero(self._mask_to_bool(node.candidates))
+        k = int(idx.size)
+        if not k:
+            return []
+        ext_mat = None
+        if k > 1:
+            rows = k - 1
+            if rows * self._n <= _CUMSUM_CELLS_MAX:
+                cum = np.cumsum(self._spread[idx[:-1]], axis=0, dtype=self._dtype)
+                ext_mat = node.ext_vec[None, :] - cum
+            else:
+                # ext_mat[i] = parent_ext - Σ_{j≤i} SPREAD[idx[j]]: seed
+                # every row with (parent_ext - its own retired row), then
+                # one in-place SIMD row-add of the previous row minus the
+                # double-counted parent vector.
+                ext_mat = np.subtract(node.ext_vec[None, :], self._spread[idx[:-1]])
+                parent = node.ext_vec
+                for i in range(1, rows):
+                    row = ext_mat[i]
+                    row += ext_mat[i - 1]
+                    row -= parent
+
+        members = node.members
+        members_mask = node.members_mask
+        degrees = self._degrees
+        rest = node.candidates
+        updates = 0
+        children: List[NumpyKernelNode] = []
+        for i, u in enumerate(idx.tolist()):
+            low = 1 << u
+            rest ^= low
+            children.append(
+                NumpyKernelNode(
+                    members + (u,),
+                    members_mask | low,
+                    rest,
+                    node.ext_vec if i == 0 else ext_mat[i - 1],
+                )
+            )
+            if rest:
+                # u leaves the scope of every higher-ranked sibling
+                updates += degrees[u]
+        self.stats.counter_updates += updates
+        return children
+
+    # ------------------------------------------------------------------
+    # pruning rules (vectorized forms — same fixpoints as the oracle)
+    # ------------------------------------------------------------------
+    def restrict(self, node: NumpyKernelNode) -> None:
+        """Apply the candidate-level pruning rules to ``node`` in place.
+
+        Same structure as the big-int :meth:`SearchKernel.restrict` —
+        diameter rule, then the unique degree-filter fixpoint.  Each
+        fixpoint round is one vectorized compare + mask over the candidate
+        lanes; tiny candidate sets keep the identical masked-popcount
+        short-cut (it is a pure function of the same counters).
+        """
+        candidates = node.candidates
+        if candidates:
+            distance_index = self.distance_index
+            if distance_index is not None and distance_index.enabled and node.members:
+                allowed = candidates & distance_index.reachable(node.members[-1])
+                dropped = candidates & ~allowed
+                if dropped:
+                    self._remove(node, dropped)
+                    candidates = allowed
+            if candidates:
+                required = self._thresholds[
+                    max(self.params.min_size, len(node.members) + 1)
+                ]
+                adjacency = self.adjacency
+                members_mask = node.members_mask
+                while True:
+                    dropped = 0
+                    if candidates.bit_count() <= _SMALL_SET:
+                        # few candidates: masked popcounts beat a lane op
+                        scope = members_mask | candidates
+                        scan = candidates
+                        while scan:
+                            low = scan & -scan
+                            scan ^= low
+                            c = low.bit_length() - 1
+                            if (adjacency[c] & scope).bit_count() < required:
+                                dropped |= low
+                    else:
+                        failing = self._mask_to_bool(candidates) & (
+                            node.ext_vec < required
+                        )
+                        if failing.any():
+                            dropped = self._bool_to_mask(failing)
+                    if not dropped:
+                        break
+                    self._remove(node, dropped)
+                    candidates &= ~dropped
+                    if not candidates:
+                        break
+            node.candidates = candidates
+        hook = SearchKernel.debug_hook
+        if hook is not None:
+            hook(self, node)
+
+    def _remove(self, node: NumpyKernelNode, dropped: int) -> None:
+        """Retire a candidate mask from the node's scope.
+
+        One batched row-sum over the dropped vertices' adjacency rows
+        replaces the big-int kernel's per-vertex ``SPREAD`` subtractions.
+        The counter vector is replaced out of place: it may be a row view
+        into a sibling sweep matrix, and no other node may observe the
+        change.
+        """
+        degrees = self._degrees
+        spread = self._spread
+        if dropped & (dropped - 1) == 0:
+            v = dropped.bit_length() - 1
+            total = spread[v]
+            updates = degrees[v]
+        else:
+            drop_idx = np.flatnonzero(self._mask_to_bool(dropped))
+            total = spread[drop_idx].sum(axis=0, dtype=self._dtype)
+            updates = sum(degrees[v] for v in drop_idx.tolist())
+        node.ext_vec = node.ext_vec - total
+        self.stats.counter_updates += updates
+
+    def is_hopeless(self, node: NumpyKernelNode) -> bool:
+        """Vectorized twin of :meth:`SearchKernel.is_hopeless`."""
+        params = self.params
+        members = node.members
+        member_count = len(members)
+        if not member_count:
+            return node.candidates.bit_count() < params.min_size
+        if member_count + node.candidates.bit_count() < params.min_size:
+            return True
+        required = self._thresholds[max(params.min_size, member_count)]
+        if member_count <= _SMALL_SET:
+            adjacency = self.adjacency
+            scope = node.members_mask | node.candidates
+            for member in members:
+                if (adjacency[member] & scope).bit_count() < required:
+                    return True
+            return False
+        return bool((node.ext_vec[list(members)] < required).any())
+
+    def union_satisfies(self, node: NumpyKernelNode) -> bool:
+        """Lookahead: does ``X ∪ candExts(X)`` meet the degree condition?"""
+        candidate_count = node.candidates.bit_count()
+        size = len(node.members) + candidate_count
+        if size < self.params.min_size:
+            return False
+        required = self._thresholds[size]
+        if size <= _SMALL_SET:
+            adjacency = self.adjacency
+            scope = node.members_mask | node.candidates
+            scan = scope
+            while scan:
+                low = scan & -scan
+                scan ^= low
+                if (adjacency[low.bit_length() - 1] & scope).bit_count() < required:
+                    return False
+            return True
+        scope_bool = self._mask_to_bool(node.members_mask | node.candidates)
+        return not bool(((node.ext_vec < required) & scope_bool).any())
+
+    def members_satisfy(self, node: NumpyKernelNode) -> bool:
+        """Does ``X`` itself meet the γ degree/size condition?
+
+        Identical to the big-int backend: |X| is small at the nodes that
+        get this far, so per-member masked popcounts on the int adjacency
+        beat any vector op.
+        """
+        members = node.members
+        size = len(members)
+        if size < self.params.min_size:
+            return False
+        required = self._thresholds[size]
+        adjacency = self.adjacency
+        members_mask = node.members_mask
+        for member in members:
+            if (adjacency[member] & members_mask).bit_count() < required:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # oracle recomputation (test seam)
+    # ------------------------------------------------------------------
+    def recompute_counters(self, node: NumpyKernelNode) -> List[int]:
+        """From-scratch ``indeg_ext`` for every vertex of the working graph."""
+        adjacency = self.adjacency
+        scope = node.members_mask | node.candidates
+        return [
+            (adjacency[v] & scope).bit_count() for v in range(len(adjacency))
+        ]
+
+    def unpack(self, node: NumpyKernelNode) -> List[int]:
+        """The node's live ``indeg_ext`` lane values, one per vertex."""
+        return node.ext_vec.tolist()
+
+
+__all__ = ["HAVE_NUMPY", "NumpyKernelNode", "NumpySearchKernel"]

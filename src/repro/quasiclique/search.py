@@ -61,7 +61,8 @@ from repro.quasiclique.definitions import (
 from repro.quasiclique.kernel import (
     KERNEL_AUTO_MIN_VERTICES,
     KERNEL_MAX_VERTICES,
-    SearchKernel,
+    make_search_kernel,
+    resolve_kernel_backend,
 )
 from repro.quasiclique.pruning import (
     MaskDistanceIndex,
@@ -88,7 +89,10 @@ class SearchStats:
 
     ``counter_updates`` counts the individual ``indeg_x``/``indeg_ext``
     increments and decrements the incremental kernel performed (0 when the
-    search runs on the from-scratch oracle).  ``memo_hits``/``memo_misses``
+    search runs on the from-scratch oracle).  ``kernel_backend`` /
+    ``kernel_dtype`` name the kernel backend that drove the search (e.g.
+    ``"bigint"``/``"int"`` or ``"numpy"``/``"uint8"``; empty strings when
+    the search ran on the oracle loop).  ``memo_hits``/``memo_misses``
     describe the :class:`~repro.quasiclique.memo.CoverageMemo` consultation
     that surrounded this search, when a caller such as
     :func:`repro.correlation.structural.structural_correlation_bitset`
@@ -107,6 +111,22 @@ class SearchStats:
     counter_updates: int = 0
     memo_hits: int = 0
     memo_misses: int = 0
+    kernel_backend: str = ""
+    kernel_dtype: str = ""
+
+    def kernel_backend_label(self) -> str:
+        """Attribution label of the kernel that drove this search.
+
+        ``""`` for oracle-driven searches, ``"bigint"`` for the SWAR
+        kernel, ``"numpy(uint8)"``/``"numpy(uint16)"`` for the vectorised
+        one — the vocabulary of
+        :attr:`repro.correlation.patterns.MiningCounters.kernel_backends`.
+        """
+        if not self.kernel_backend:
+            return ""
+        if self.kernel_dtype in ("", "int"):
+            return self.kernel_backend
+        return f"{self.kernel_backend}({self.kernel_dtype})"
 
 
 @dataclass
@@ -165,6 +185,21 @@ class QuasiCliqueSearch:
         capacity), ``False`` forces the oracle — retained as the
         differential reference the kernel is fuzzed against.  Every
         choice produces byte-identical results and expansion counts.
+    kernel_backend:
+        Kernel *implementation* once a kernel is engaged: ``"bigint"``
+        (SWAR lanes in one big int), ``"numpy"`` (lanes in a numpy
+        array, bulk vector ops) or ``"auto"`` (default — resolved per
+        search by :func:`repro.quasiclique.kernel.resolve_kernel_backend`:
+        the ``REPRO_KERNEL_BACKEND`` environment override, then a
+        working-set-size heuristic).  Orthogonal to
+        ``use_incremental_kernel``, which decides *whether* a kernel
+        runs at all; every backend produces byte-identical results and
+        statistics.  When a kernel is forced
+        (``use_incremental_kernel=True``) onto a working set beyond the
+        resolved backend's lane capacity, construction raises a typed
+        :class:`~repro.errors.KernelCapacityError` instead of silently
+        falling back; automatic selection still falls back to the
+        oracle loop.
     """
 
     def __init__(
@@ -177,9 +212,13 @@ class QuasiCliqueSearch:
         node_budget: Optional[int] = None,
         engine: str = "auto",
         use_incremental_kernel: Optional[bool] = None,
+        kernel_backend: str = "auto",
     ) -> None:
         if order not in _ORDERS:
             raise ParameterError(f"order must be one of {_ORDERS}, got {order!r}")
+        # Validate the backend name (and any environment override) up
+        # front, even for searches that end up on the oracle loop.
+        resolve_kernel_backend(kernel_backend, 0)
         self.params = params
         self.order = order
         self.node_budget = node_budget
@@ -236,14 +275,25 @@ class QuasiCliqueSearch:
             )
         else:
             use_kernel = use_incremental_kernel
-        # 16-bit counter lanes bound the kernel's local id space; working
-        # sets beyond that (far past anything the dense local masks are
-        # built for) fall back to the from-scratch oracle loop.
-        self._kernel = (
-            SearchKernel(self._adjacency, params, self._distance_index, self.stats)
-            if use_kernel and len(survivors) <= KERNEL_MAX_VERTICES
-            else None
-        )
+        # Counter lanes bound every kernel backend's local id space at
+        # KERNEL_MAX_VERTICES.  Under automatic selection, working sets
+        # beyond it (far past anything the dense local masks are built
+        # for) fall back to the from-scratch oracle loop; a *forced*
+        # kernel raises the typed capacity error from the constructor
+        # instead of silently degrading.
+        self._kernel = None
+        if use_kernel and (
+            use_incremental_kernel or len(survivors) <= KERNEL_MAX_VERTICES
+        ):
+            self._kernel = make_search_kernel(
+                self._adjacency,
+                params,
+                self._distance_index,
+                self.stats,
+                backend=kernel_backend,
+            )
+            self.stats.kernel_backend = self._kernel.backend_label
+            self.stats.kernel_dtype = self._kernel.dtype_name
         # Per-mask (size, γ, repr-rank) sort keys the top-k re-sorts reuse —
         # gamma_of_mask and the repr sort are pure functions of the mask.
         self._pattern_keys: Dict[int, Tuple] = {}

@@ -118,6 +118,47 @@ class TestMainMine:
         assert code == 0
         assert "11 vertices" in capsys.readouterr().out
 
+    def test_mine_kernel_backend_flag(self, graph_files, capsys):
+        """--kernel-backend switches the kernel without changing a byte."""
+        edges, attrs = graph_files
+        outputs = {}
+        for backend in ("bigint", "numpy"):
+            code = main(
+                [
+                    "mine",
+                    "--edges", edges,
+                    "--attributes", attrs,
+                    "--min-support", "3",
+                    "--gamma", "0.45",
+                    "--min-size", "3",
+                    "--kernel-backend", backend,
+                    "--verbose",
+                ]
+            )
+            assert code == 0
+            outputs[backend] = capsys.readouterr().out
+        assert "backends[searches]: bigint=" in outputs["bigint"]
+        assert "backends[searches]: numpy(uint8)=" in outputs["numpy"]
+        # everything except the backend attribution line is identical
+        strip = lambda text: [
+            line for line in text.splitlines()
+            if not line.startswith("kernel: counter_updates=")
+        ]
+        assert strip(outputs["numpy"]) == strip(outputs["bigint"])
+
+    def test_mine_rejects_unknown_kernel_backend(self, graph_files):
+        edges, attrs = graph_files
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "mine",
+                    "--edges", edges,
+                    "--attributes", attrs,
+                    "--min-support", "3",
+                    "--kernel-backend", "cython",
+                ]
+            )
+
     def test_mine_with_naive_algorithm(self, graph_files, capsys):
         edges, attrs = graph_files
         code = main(

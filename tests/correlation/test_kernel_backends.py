@@ -1,0 +1,142 @@
+"""SCPM-level differential suite for the kernel counter-lane backends.
+
+The mined output of a run must be byte-identical whichever kernel backend
+(``bigint`` big-int SWAR lanes or ``numpy`` vectorized lanes) drives the
+quasi-clique searches — across both vertex-set engines, sequential and
+parallel schedules, and γ on both sides of the 0.5 diameter-bound
+boundary.  ``MiningResult.fingerprint()`` is the comparison: record
+order, supports, ε/δ floats, covered sets and patterns included.
+
+Also pinned here: the ``MiningCounters.kernel_backends`` attribution
+vocabulary (searches tallied per backend label), its serialization
+round-trip, and the parallel merge of the per-task tallies.
+"""
+
+import pytest
+
+from repro.correlation.naive import mine_naive
+from repro.correlation.parameters import SCPMParams
+from repro.correlation.patterns import MiningCounters
+from repro.correlation.scpm import _accumulate_counters, mine_scpm
+from repro.datasets.synthetic import CommunitySpec, SyntheticSpec, generate
+from repro.errors import ParameterError
+from repro.quasiclique.kernel import numpy_available
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="backend differential needs numpy"
+)
+
+
+def community_graph():
+    return generate(
+        SyntheticSpec(
+            num_vertices=60,
+            background_degree=2.5,
+            vocabulary_size=8,
+            attributes_per_vertex=0.6,
+            communities=tuple(
+                CommunitySpec(attributes=(f"c{j}",), size=12, density=0.7)
+                for j in range(3)
+            ),
+            seed=11,
+        )
+    )
+
+
+def params_with(backend, gamma=0.45, n_jobs=1, schedule="steal", engine="auto"):
+    return SCPMParams(
+        min_support=5,
+        gamma=gamma,
+        min_size=3,
+        min_epsilon=0.1,
+        top_k=5,
+        engine=engine,
+        kernel_backend=backend,
+        n_jobs=n_jobs,
+        schedule=schedule,
+    )
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("gamma", (0.45, 0.6))
+    @pytest.mark.parametrize("engine", ("dense", "sparse"))
+    def test_scpm_identical_across_backends(self, gamma, engine):
+        graph = community_graph()
+        fingerprints = {
+            backend: mine_scpm(
+                graph, params_with(backend, gamma=gamma, engine=engine)
+            ).fingerprint()
+            for backend in ("bigint", "numpy", "auto")
+        }
+        assert fingerprints["numpy"] == fingerprints["bigint"]
+        assert fingerprints["auto"] == fingerprints["bigint"]
+
+    @pytest.mark.parametrize("schedule", ("steal", "stripe"))
+    def test_parallel_scpm_identical_across_backends(self, schedule):
+        graph = community_graph()
+        reference = mine_scpm(graph, params_with("bigint")).fingerprint()
+        for backend in ("bigint", "numpy"):
+            parallel = mine_scpm(
+                graph, params_with(backend, n_jobs=2, schedule=schedule)
+            )
+            assert parallel.fingerprint() == reference
+
+    def test_naive_identical_across_backends(self):
+        graph = community_graph()
+        fingerprints = [
+            mine_naive(graph, params_with(backend)).fingerprint()
+            for backend in ("bigint", "numpy")
+        ]
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_unknown_backend_rejected_at_params(self):
+        with pytest.raises(ParameterError):
+            params_with("cython")
+
+
+class TestBackendAttribution:
+    def test_backend_tally_labels(self):
+        graph = community_graph()
+        bigint_run = mine_scpm(graph, params_with("bigint"))
+        assert set(bigint_run.counters.kernel_backends) == {"bigint"}
+        numpy_run = mine_scpm(graph, params_with("numpy"))
+        # 60-vertex working sets fit uint8 lanes
+        assert set(numpy_run.counters.kernel_backends) == {"numpy(uint8)"}
+        assert (
+            sum(numpy_run.counters.kernel_backends.values())
+            == sum(bigint_run.counters.kernel_backends.values())
+            > 0
+        )
+
+    def test_parallel_tally_merges_across_tasks(self):
+        graph = community_graph()
+        sequential = mine_scpm(graph, params_with("numpy"))
+        parallel = mine_scpm(graph, params_with("numpy", n_jobs=2))
+        assert parallel.counters.kernel_backends == (
+            sequential.counters.kernel_backends
+        )
+
+    def test_counters_dict_round_trip(self):
+        counters = MiningCounters(
+            kernel_counter_updates=7,
+            kernel_backends={"bigint": 2, "numpy(uint16)": 3},
+        )
+        data = counters.to_dict()
+        assert data["kernel_backends"] == {"bigint": 2, "numpy(uint16)": 3}
+        rebuilt = MiningCounters.from_dict(data)
+        assert rebuilt == counters
+        assert rebuilt.kernel_backends is not counters.kernel_backends
+
+    def test_accumulate_merges_backend_tallies(self):
+        target = MiningCounters(kernel_backends={"bigint": 1, "numpy(uint8)": 2})
+        source = MiningCounters(
+            kernel_backends={"numpy(uint8)": 3, "numpy(uint16)": 4},
+            kernel_counter_updates=5,
+        )
+        _accumulate_counters(target, source)
+        assert target.kernel_backends == {
+            "bigint": 1,
+            "numpy(uint8)": 5,
+            "numpy(uint16)": 4,
+        }
+        assert target.kernel_counter_updates == 5

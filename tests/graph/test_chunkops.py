@@ -1,0 +1,247 @@
+"""Differential fuzz suite for the chunk-op backends.
+
+The big-int chunk loop (:class:`repro.graph.chunkops.BigintChunkOps`) is
+the reference; the vectorised numpy backend
+(:class:`repro.graph.chunkops.NumpyChunkOps`) must produce **identical
+canonical chunk dictionaries** — container types included (offset tuple
+iff cardinality ≤ ``ARRAY_MAX``, Python-int bitmap otherwise, no empty
+chunks) — for every operation, so that
+:class:`~repro.graph.sparseset.SparseBitset` equality, hashing and
+pickling never depend on which backend computed a value.  A plain
+``set``-of-ids model is the independent third oracle both backends must
+agree with.
+
+Randomized sets span sub-chunk, few-chunk and many-chunk shapes on both
+sides of the :data:`NUMPY_MIN_COMMON_CHUNKS` delegation threshold.  Seeds
+are fixed so failures replay; CI appends one more seed through the
+``REPRO_FUZZ_SEED`` environment variable, like the other differential
+suites.
+"""
+
+import os
+import pickle
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graph.chunkops import (
+    ARRAY_MAX,
+    BIGINT_CHUNKS,
+    BigintChunkOps,
+    CHUNK_BACKEND_ENV,
+    CHUNK_BITS,
+    NUMPY_CHUNKS,
+    NumpyChunkOps,
+    canonical,
+    container_bits,
+    container_count,
+    get_chunk_backend,
+    iter_chunk_ids,
+    numpy_available,
+    resolve_chunk_backend,
+    set_chunk_backend,
+)
+from repro.graph.sparseset import SparseBitset
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="chunk-op differential needs numpy"
+)
+
+BASE_SEEDS = (3, 17)
+
+#: (universe size, expected cardinality) — one-chunk sets, overlaps just
+#: under and over the numpy delegation threshold, and wide many-chunk
+#: sets with array and bitmap containers mixed.
+SHAPE_GRID = (
+    (CHUNK_BITS // 2, 40),
+    (3 * CHUNK_BITS, 90),
+    (6 * CHUNK_BITS, 500),
+    (40 * CHUNK_BITS, 1200),
+    (40 * CHUNK_BITS, 25000),
+)
+
+OPS = (
+    "and_chunks",
+    "or_chunks",
+    "xor_chunks",
+    "andnot_chunks",
+    "intersection_count",
+    "isdisjoint",
+    "issubset",
+)
+
+
+def fuzz_seeds():
+    seeds = list(BASE_SEEDS)
+    extra = os.environ.get("REPRO_FUZZ_SEED")
+    if extra is not None:
+        seeds.append(int(extra))
+    return seeds
+
+
+def chunks_of(ids):
+    """Canonical ``{chunk: container}`` dictionary of a set of ids."""
+    raw = {}
+    for value in ids:
+        raw[value // CHUNK_BITS] = raw.get(value // CHUNK_BITS, 0) | (
+            1 << (value % CHUNK_BITS)
+        )
+    return {chunk: canonical(bits) for chunk, bits in raw.items()}
+
+
+def ids_of(chunks):
+    return {
+        i
+        for chunk, container in chunks.items()
+        for i in iter_chunk_ids(chunk, container)
+    }
+
+
+def assert_canonical(chunks):
+    for container in chunks.values():
+        count = container_count(container)
+        assert count > 0, "empty chunk survived"
+        if count <= ARRAY_MAX:
+            assert isinstance(container, tuple)
+            assert list(container) == sorted(container)
+        else:
+            assert isinstance(container, int)
+
+
+def random_pair(rng, universe, cardinality):
+    """Two random sets sharing about half their ids (dense overlaps)."""
+    shared = rng.sample(range(universe), min(cardinality, universe))
+    half = len(shared) // 2
+    a = set(shared[:half]) | set(
+        rng.sample(range(universe), min(cardinality // 2, universe))
+    )
+    b = set(shared[half:]) | set(
+        rng.sample(range(universe), min(cardinality // 2, universe))
+    )
+    return a, b
+
+
+def model(op, a_ids, b_ids):
+    """Plain-set semantics of one chunk op."""
+    if op == "and_chunks":
+        return a_ids & b_ids
+    if op == "or_chunks":
+        return a_ids | b_ids
+    if op == "xor_chunks":
+        return a_ids ^ b_ids
+    if op == "andnot_chunks":
+        return a_ids - b_ids
+    if op == "intersection_count":
+        return len(a_ids & b_ids)
+    if op == "isdisjoint":
+        return a_ids.isdisjoint(b_ids)
+    return a_ids <= b_ids
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds())
+@pytest.mark.parametrize("universe,cardinality", SHAPE_GRID)
+def test_numpy_chunk_ops_identical_to_bigint(seed, universe, cardinality):
+    rng = random.Random(seed * 7919 + universe + cardinality)
+    for trial in range(8):
+        a_ids, b_ids = random_pair(rng, universe, cardinality)
+        a, b = chunks_of(a_ids), chunks_of(b_ids)
+        for op in OPS:
+            reference = getattr(BigintChunkOps, op)(a, b)
+            vectorized = getattr(NumpyChunkOps, op)(a, b)
+            assert vectorized == reference, (op, seed, trial)
+            if isinstance(reference, dict):
+                assert_canonical(reference)
+                assert_canonical(vectorized)
+                # container *types* must match too, not just the id sets
+                for chunk, container in reference.items():
+                    assert type(vectorized[chunk]) is type(container)
+                assert ids_of(reference) == model(op, a_ids, b_ids)
+            else:
+                assert reference == model(op, a_ids, b_ids)
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds())
+def test_subset_and_edge_shapes(seed):
+    rng = random.Random(seed)
+    base = set(rng.sample(range(20 * CHUNK_BITS), 3000))
+    sub = set(rng.sample(sorted(base), 1500))
+    cases = [
+        (sub, base),  # genuine subset across many chunks
+        (base, sub),  # superset direction
+        (set(), base),  # empty operand
+        (base, set()),
+        (base, base),  # identical operands
+    ]
+    for a_ids, b_ids in cases:
+        a, b = chunks_of(a_ids), chunks_of(b_ids)
+        for op in OPS:
+            reference = getattr(BigintChunkOps, op)(a, b)
+            vectorized = getattr(NumpyChunkOps, op)(a, b)
+            assert vectorized == reference, op
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds())
+def test_sparsebitset_equality_hash_pickle_across_backends(seed):
+    """Values computed under different active backends are interchangeable."""
+    rng = random.Random(seed * 31)
+    a_ids, b_ids = random_pair(rng, 12 * CHUNK_BITS, 4000)
+    previous = get_chunk_backend()
+    try:
+        set_chunk_backend(BIGINT_CHUNKS)
+        by_bigint = {
+            "and": SparseBitset(chunks_of(a_ids)) & SparseBitset(chunks_of(b_ids)),
+            "or": SparseBitset(chunks_of(a_ids)) | SparseBitset(chunks_of(b_ids)),
+            "andnot": SparseBitset(chunks_of(a_ids)).andnot(
+                SparseBitset(chunks_of(b_ids))
+            ),
+        }
+        set_chunk_backend(NUMPY_CHUNKS)
+        by_numpy = {
+            "and": SparseBitset(chunks_of(a_ids)) & SparseBitset(chunks_of(b_ids)),
+            "or": SparseBitset(chunks_of(a_ids)) | SparseBitset(chunks_of(b_ids)),
+            "andnot": SparseBitset(chunks_of(a_ids)).andnot(
+                SparseBitset(chunks_of(b_ids))
+            ),
+        }
+    finally:
+        set_chunk_backend(previous.name)
+    for key, reference in by_bigint.items():
+        other = by_numpy[key]
+        assert other == reference
+        assert hash(other) == hash(reference)
+        assert pickle.dumps(other._chunks) == pickle.dumps(reference._chunks)
+
+
+# ----------------------------------------------------------------------
+# backend resolution and the process-global switch
+# ----------------------------------------------------------------------
+def test_resolve_rejects_unknown_names():
+    with pytest.raises(ParameterError):
+        resolve_chunk_backend("roaring")
+
+
+def test_resolve_auto_prefers_numpy_when_available(monkeypatch):
+    monkeypatch.delenv(CHUNK_BACKEND_ENV, raising=False)
+    assert resolve_chunk_backend("auto") == NUMPY_CHUNKS
+
+
+def test_env_override_steers_auto(monkeypatch):
+    monkeypatch.setenv(CHUNK_BACKEND_ENV, BIGINT_CHUNKS)
+    assert resolve_chunk_backend("auto") == BIGINT_CHUNKS
+    monkeypatch.setenv(CHUNK_BACKEND_ENV, "not-a-backend")
+    with pytest.raises(ParameterError):
+        resolve_chunk_backend("auto")
+    # explicit names ignore the environment entirely
+    assert resolve_chunk_backend(NUMPY_CHUNKS) == NUMPY_CHUNKS
+
+
+def test_set_chunk_backend_switches_and_restores():
+    previous = get_chunk_backend()
+    try:
+        assert set_chunk_backend(BIGINT_CHUNKS) is BigintChunkOps
+        assert get_chunk_backend() is BigintChunkOps
+        assert set_chunk_backend(NUMPY_CHUNKS) is NumpyChunkOps
+        assert get_chunk_backend() is NumpyChunkOps
+    finally:
+        set_chunk_backend(previous.name)

@@ -1,0 +1,326 @@
+"""Property suite for the numpy counter-lane kernel backend.
+
+Mirrors ``test_kernel.py`` one level up the backend seam: where that
+suite proves the big-int SWAR kernel byte-identical to the from-scratch
+oracle, this one proves the vectorized numpy backend
+(:mod:`repro.quasiclique.kernel_numpy`) byte-identical to the big-int
+kernel — same emitted sets, same expansion/pruning statistics and the
+same ``counter_updates`` tally, across the randomized grid, both
+traversal orders and both vertex-set engines.  The big-int backend thus
+stays the differential oracle for any future lane representation (a C
+extension would slot into the same :func:`make_search_kernel` seam and
+inherit this suite).
+
+Also covered: the per-dtype lane selection (uint8 up to 127 working
+vertices, uint16 beyond), the typed :class:`KernelCapacityError` on both
+capacity limits, the ``REPRO_KERNEL_BACKEND`` environment override and
+the working-set-size auto heuristic.
+
+Seeds are fixed so failures replay; CI appends one more seed through the
+``REPRO_FUZZ_SEED`` environment variable, exactly like ``test_kernel.py``.
+"""
+
+import os
+
+import pytest
+
+from repro.datasets.synthetic import random_attributed_graph
+from repro.errors import KernelCapacityError, ParameterError
+from repro.quasiclique.definitions import QuasiCliqueParams
+from repro.quasiclique.kernel import (
+    BIGINT_BACKEND,
+    KERNEL_BACKEND_ENV,
+    KERNEL_MAX_VERTICES,
+    NUMPY_AUTO_MIN_VERTICES,
+    NUMPY_BACKEND,
+    NUMPY_UINT8_MAX_VERTICES,
+    SearchKernel,
+    make_search_kernel,
+    numpy_available,
+    resolve_kernel_backend,
+)
+from repro.quasiclique.search import BFS, DFS, QuasiCliqueSearch, SearchStats
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend needs numpy importable"
+)
+
+BASE_SEEDS = (5, 23)
+
+#: (num_vertices, edge_probability, γ, min_size) — the lean subset of the
+#: ``test_kernel.py`` grid: γ < 0.5 rows exercise the no-diameter-bound
+#: regime the numpy lanes target, γ ≥ 0.5 the distance-pruned one, and
+#: every row's exhaustive tree stays small (γ=0.4 at min_size=2 explodes
+#: to ~10M counter updates — deliberately excluded).
+CASE_GRID = (
+    (10, 0.1, 0.4, 3),
+    (14, 0.3, 0.4, 3),
+    (16, 0.25, 0.45, 3),
+    (16, 0.25, 0.6, 3),
+    (20, 0.4, 0.6, 3),
+    (18, 0.5, 0.8, 4),
+    (30, 0.2, 0.6, 3),
+)
+
+
+def fuzz_seeds():
+    seeds = list(BASE_SEEDS)
+    extra = os.environ.get("REPRO_FUZZ_SEED")
+    if extra is not None:
+        seeds.append(int(extra))
+    return seeds
+
+
+def fuzz_graph(seed, num_vertices, edge_probability):
+    return random_attributed_graph(
+        num_vertices=num_vertices,
+        edge_probability=edge_probability,
+        attributes=["a", "b"],
+        attribute_probability=0.6,
+        seed=seed * 977 + num_vertices,
+    )
+
+
+def stats_tuple(stats):
+    """Every statistic both backends must agree on (labels aside)."""
+    return (
+        stats.nodes_expanded,
+        stats.lookahead_hits,
+        stats.satisfying_sets_found,
+        stats.pruned_hopeless,
+        stats.pruned_covered,
+        stats.pruned_by_size,
+        stats.counter_updates,
+    )
+
+
+def all_modes(graph, params, order, backend):
+    def searcher():
+        return QuasiCliqueSearch(
+            graph,
+            params,
+            order=order,
+            use_incremental_kernel=True,
+            kernel_backend=backend,
+        )
+
+    coverage, enum, topk = searcher(), searcher(), searcher()
+    return (
+        coverage.covered_vertices(),
+        stats_tuple(coverage.stats),
+        enum.enumerate_maximal(),  # order included
+        stats_tuple(enum.stats),
+        topk.top_k(4),
+        stats_tuple(topk.stats),
+    )
+
+
+# ----------------------------------------------------------------------
+# differential identity: numpy backend vs big-int backend
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", fuzz_seeds())
+@pytest.mark.parametrize(
+    "num_vertices,edge_probability,gamma,min_size", CASE_GRID
+)
+def test_numpy_byte_identical_to_bigint(
+    seed, num_vertices, edge_probability, gamma, min_size
+):
+    graph = fuzz_graph(seed, num_vertices, edge_probability)
+    params = QuasiCliqueParams(gamma=gamma, min_size=min_size)
+    for order in (DFS, BFS):
+        bigint = all_modes(graph, params, order, BIGINT_BACKEND)
+        vectorized = all_modes(graph, params, order, NUMPY_BACKEND)
+        assert vectorized == bigint
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds())
+def test_numpy_byte_identical_on_both_engines(seed):
+    graph = fuzz_graph(seed, 22, 0.35)
+    params = QuasiCliqueParams(gamma=0.6, min_size=3)
+    results = set()
+    for engine in ("dense", "sparse"):
+        for backend in (BIGINT_BACKEND, NUMPY_BACKEND):
+            search = QuasiCliqueSearch(
+                graph,
+                params,
+                engine=engine,
+                use_incremental_kernel=True,
+                kernel_backend=backend,
+            )
+            results.add(
+                (search.covered_vertices(), tuple(search.enumerate_maximal()))
+            )
+    assert len(results) == 1
+
+
+# ----------------------------------------------------------------------
+# counter invariants through the shared debug hook
+# ----------------------------------------------------------------------
+class _InvariantChecker:
+    """debug_hook asserting live lanes == from-scratch at every node."""
+
+    def __init__(self):
+        self.nodes_checked = 0
+
+    def __call__(self, kernel, node):
+        self.nodes_checked += 1
+        live = kernel.unpack(node)
+        oracle = kernel.recompute_counters(node)
+        assert live == oracle, (
+            f"indeg_ext diverged at node X={node.members!r} "
+            f"cand={bin(node.candidates)}: {live} != {oracle}"
+        )
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds())
+@pytest.mark.parametrize(
+    "num_vertices,edge_probability,gamma,min_size", CASE_GRID[:4]
+)
+def test_numpy_indeg_ext_invariant_at_every_expanded_node(
+    seed, num_vertices, edge_probability, gamma, min_size
+):
+    params = QuasiCliqueParams(gamma=gamma, min_size=min_size)
+    checker = _InvariantChecker()
+    SearchKernel.debug_hook = checker
+    try:
+        graph = fuzz_graph(seed, num_vertices, edge_probability)
+        for order in (DFS, BFS):
+            for mode in ("coverage", "enumerate", "topk"):
+                search = QuasiCliqueSearch(
+                    graph,
+                    params,
+                    order=order,
+                    use_incremental_kernel=True,
+                    kernel_backend=NUMPY_BACKEND,
+                )
+                if mode == "coverage":
+                    search.covered_vertices()
+                elif mode == "enumerate":
+                    search.enumerate_maximal()
+                else:
+                    search.top_k(3)
+    finally:
+        SearchKernel.debug_hook = None
+    assert checker.nodes_checked > 0
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds())
+def test_row_loop_sweep_identical_to_cumsum(seed, monkeypatch):
+    """Both retirement-sweep strategies must agree byte-for-byte.
+
+    ``children()`` batches the sibling retirement with ``np.cumsum`` for
+    small sibling blocks and an explicit SIMD row loop past
+    ``_CUMSUM_CELLS_MAX`` cells; forcing the threshold to zero runs the
+    row loop on the small fuzz graphs too, so the branch the benchmark
+    workload exercises is differentially pinned here.
+    """
+    from repro.quasiclique import kernel_numpy
+
+    graph = fuzz_graph(seed, 16, 0.35)
+    params = QuasiCliqueParams(gamma=0.45, min_size=3)
+    default = all_modes(graph, params, DFS, NUMPY_BACKEND)
+    monkeypatch.setattr(kernel_numpy, "_CUMSUM_CELLS_MAX", 0)
+    forced_row_loop = all_modes(graph, params, DFS, NUMPY_BACKEND)
+    assert forced_row_loop == default
+    assert default == all_modes(graph, params, DFS, BIGINT_BACKEND)
+
+
+def test_empty_working_set_kernel():
+    """A zero-vertex working set builds a (0, 0) kernel without tripping."""
+    kernel = _kernel_for(0)
+    assert kernel.backend_label == NUMPY_BACKEND
+
+
+# ----------------------------------------------------------------------
+# dtype selection and capacity limits
+# ----------------------------------------------------------------------
+def _kernel_for(n, backend=NUMPY_BACKEND):
+    params = QuasiCliqueParams(gamma=0.5, min_size=3)
+    return make_search_kernel([0] * n, params, None, SearchStats(), backend)
+
+
+def test_dtype_uint8_up_to_127_vertices():
+    for n in (1, NUMPY_UINT8_MAX_VERTICES):
+        kernel = _kernel_for(n)
+        assert kernel.backend_label == NUMPY_BACKEND
+        assert kernel.dtype_name == "uint8"
+
+
+def test_dtype_uint16_beyond_127_vertices():
+    for n in (NUMPY_UINT8_MAX_VERTICES + 1, 500):
+        kernel = _kernel_for(n)
+        assert kernel.dtype_name == "uint16"
+
+
+def test_numpy_capacity_error_beyond_uint16():
+    with pytest.raises(KernelCapacityError) as caught:
+        _kernel_for(KERNEL_MAX_VERTICES + 1)
+    error = caught.value
+    assert error.working_set_size == KERNEL_MAX_VERTICES + 1
+    assert error.limit == KERNEL_MAX_VERTICES
+    assert error.backend == NUMPY_BACKEND
+    assert "uint8" in str(error) and "uint16" in str(error)
+
+
+def test_bigint_capacity_error_beyond_lane_limit():
+    with pytest.raises(KernelCapacityError) as caught:
+        _kernel_for(KERNEL_MAX_VERTICES + 1, backend=BIGINT_BACKEND)
+    error = caught.value
+    assert error.limit == KERNEL_MAX_VERTICES
+    assert error.backend == BIGINT_BACKEND
+
+
+def test_search_reports_backend_and_dtype():
+    graph = fuzz_graph(1, 20, 0.4)
+    params = QuasiCliqueParams(gamma=0.6, min_size=3)
+    search = QuasiCliqueSearch(
+        graph, params, use_incremental_kernel=True, kernel_backend=NUMPY_BACKEND
+    )
+    assert search.stats.kernel_backend == NUMPY_BACKEND
+    assert search.stats.kernel_dtype == "uint8"
+    assert search.stats.kernel_backend_label() == "numpy(uint8)"
+
+
+# ----------------------------------------------------------------------
+# backend resolution: validation, env override, auto heuristic
+# ----------------------------------------------------------------------
+def test_unknown_backend_rejected():
+    with pytest.raises(ParameterError):
+        resolve_kernel_backend("cython", 10)
+    with pytest.raises(ParameterError):
+        QuasiCliqueSearch(
+            fuzz_graph(1, 8, 0.3),
+            QuasiCliqueParams(gamma=0.5, min_size=3),
+            kernel_backend="cython",
+        )
+
+
+def test_auto_picks_by_working_set_size(monkeypatch):
+    monkeypatch.delenv(KERNEL_BACKEND_ENV, raising=False)
+    assert (
+        resolve_kernel_backend("auto", NUMPY_AUTO_MIN_VERTICES - 1)
+        == BIGINT_BACKEND
+    )
+    assert (
+        resolve_kernel_backend("auto", NUMPY_AUTO_MIN_VERTICES) == NUMPY_BACKEND
+    )
+    # beyond numpy lane capacity auto stays on big-int (which the search
+    # loop then auto-disables; only a *forced* kernel raises).
+    assert (
+        resolve_kernel_backend("auto", KERNEL_MAX_VERTICES + 1)
+        == BIGINT_BACKEND
+    )
+
+
+def test_env_override_steers_auto(monkeypatch):
+    monkeypatch.setenv(KERNEL_BACKEND_ENV, NUMPY_BACKEND)
+    assert resolve_kernel_backend("auto", 10) == NUMPY_BACKEND
+    monkeypatch.setenv(KERNEL_BACKEND_ENV, BIGINT_BACKEND)
+    assert resolve_kernel_backend("auto", 10 ** 6) == BIGINT_BACKEND
+    # explicit requests win over the environment
+    assert resolve_kernel_backend(NUMPY_BACKEND, 10) == NUMPY_BACKEND
+    monkeypatch.setenv(KERNEL_BACKEND_ENV, "not-a-backend")
+    with pytest.raises(ParameterError):
+        resolve_kernel_backend("auto", 10)
+    # ...and ignore a broken environment value entirely
+    assert resolve_kernel_backend(BIGINT_BACKEND, 10) == BIGINT_BACKEND
